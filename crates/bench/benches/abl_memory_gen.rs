@@ -1,0 +1,62 @@
+//! Ablation: memory generations (§IX outlook).
+//!
+//! "Even though the proposed design is based on DDR4 SDRAM, we believe
+//! similar designs can be adopted to other memories … It is expected to
+//! show similar speedups or improvement if we exploit more bank group
+//! numbers in advanced memory technologies."
+//!
+//! Sweeps the update phase across DDR4-2133 / DDR4-3200 / DDR5-like /
+//! HBM2-like devices, reporting baseline-vs-GradPIM-Buffered update times
+//! and the internal/external bandwidth ratio that drives the gain.
+
+use gradpim_bench::banner;
+use gradpim_dram::DramConfig;
+use gradpim_optim::{HyperParams, OptimizerKind, PrecisionMix};
+use gradpim_sim::phase::{baseline_update_phase, pim_update_phase};
+use gradpim_sim::{Design, SystemConfig};
+
+fn main() {
+    banner("Ablation: memory generations", "Update-phase gain across DDR4/DDR5/HBM devices (§IX)");
+    let params = 4_000_000u64;
+    let cap = 96_000u64;
+    println!(
+        "{:<12} {:>6} {:>10} {:>10} {:>12} {:>12} {:>9}",
+        "device", "BGs", "ext GB/s", "int GB/s", "base (us)", "pim (us)", "speedup"
+    );
+    for preset in [
+        DramConfig::ddr4_2133(),
+        DramConfig::ddr4_3200(),
+        DramConfig::ddr5_like(),
+        DramConfig::hbm2_like(),
+    ] {
+        let mut base_sys = SystemConfig::new(Design::Baseline);
+        base_sys.base_dram = preset.clone();
+        let mut pim_sys = SystemConfig::new(Design::GradPimBuffered);
+        pim_sys.base_dram = preset.clone();
+        let base = baseline_update_phase(
+            &base_sys.dram(),
+            OptimizerKind::MomentumSgd,
+            PrecisionMix::MIXED_8_32,
+            params,
+            cap,
+        );
+        let pim = pim_update_phase(
+            &pim_sys.dram(),
+            OptimizerKind::MomentumSgd,
+            PrecisionMix::MIXED_8_32,
+            &HyperParams::default(),
+            params,
+            cap,
+        );
+        println!(
+            "{:<12} {:>6} {:>10.1} {:>10.1} {:>12.1} {:>12.1} {:>8.2}x",
+            preset.name,
+            preset.channels * preset.ranks * preset.bankgroups,
+            preset.peak_external_bw() / 1e9,
+            preset.peak_internal_bw() / 1e9,
+            base.time_ns / 1e3,
+            pim.time_ns / 1e3,
+            base.time_ns / pim.time_ns,
+        );
+    }
+}

@@ -1,0 +1,43 @@
+//! Ablation: sensitivity to the tPIM timing parameter (§IV-C).
+//!
+//! tPIM bounds the parallel ALU's occupancy per operation. The paper sets
+//! it to 5 cycles; this sweep shows how far it can grow before the ALU —
+//! rather than the bank-group I/O at tCCD_L or the command bus — becomes
+//! the update-phase bottleneck.
+
+use gradpim_bench::banner;
+use gradpim_optim::{HyperParams, OptimizerKind, PrecisionMix};
+use gradpim_sim::phase::pim_update_phase;
+use gradpim_sim::{Design, SystemConfig};
+
+fn main() {
+    banner("Ablation: tPIM", "Update-phase time vs the tPIM ALU occupancy (paper value: 5)");
+    let params = 2_000_000u64;
+    let cap = 64_000u64;
+    println!("{:<8} {:>14} {:>14}", "tPIM", "direct (us)", "buffered (us)");
+    let mut base = (0.0, 0.0);
+    for tpim in [1u64, 3, 5, 8, 12, 16, 24] {
+        let mut times = [0.0f64; 2];
+        for (i, design) in [Design::GradPimDirect, Design::GradPimBuffered].iter().enumerate() {
+            let mut sys = SystemConfig::new(*design);
+            sys.base_dram.tpim = tpim;
+            let r = pim_update_phase(
+                &sys.dram(),
+                OptimizerKind::MomentumSgd,
+                PrecisionMix::MIXED_8_32,
+                &HyperParams::default(),
+                params,
+                cap,
+            );
+            times[i] = r.time_ns / 1e3;
+        }
+        if tpim == 5 {
+            base = (times[0], times[1]);
+        }
+        println!("{:<8} {:>14.1} {:>14.1}", tpim, times[0], times[1]);
+    }
+    println!(
+        "\nat the paper's tPIM=5: direct {:.1} us, buffered {:.1} us for {} params",
+        base.0, base.1, params
+    );
+}

@@ -1,0 +1,86 @@
+//! Criterion microbenchmarks for the DRAM simulator core: simulation
+//! throughput for streaming reads, mixed read/write, and PIM kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gradpim_dram::{AddressMapping, DramConfig, MemError, MemorySystem, PimOp};
+
+fn stream_reads(mem: &mut MemorySystem, n: u64) {
+    for i in 0..n {
+        loop {
+            match mem.enqueue_read(i * 64) {
+                Ok(_) => break,
+                Err(MemError::QueueFull) => mem.tick(),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+    mem.drain(u64::MAX).unwrap();
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_stream");
+    g.sample_size(10);
+    for bursts in [1024u64, 8192] {
+        g.throughput(Throughput::Elements(bursts));
+        g.bench_with_input(BenchmarkId::new("reads", bursts), &bursts, |b, &n| {
+            b.iter(|| {
+                let mut mem =
+                    MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+                stream_reads(&mut mem, n);
+                mem.cycles()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_pim_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_pim");
+    g.sample_size(10);
+    let cols = 512u32;
+    g.throughput(Throughput::Elements(cols as u64 * 9));
+    g.bench_function("momentum_column_ops", |b| {
+        b.iter(|| {
+            let mut mem = MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+            for col in 0..cols {
+                for op in [
+                    PimOp::ScaledRead { bank: 1, row: 0, col, scaler: 0, dst: 0 },
+                    PimOp::ScaledRead { bank: 2, row: 0, col, scaler: 1, dst: 1 },
+                    PimOp::Add { bank: 0, dst: 1 },
+                    PimOp::Writeback { bank: 2, row: 0, col, src: 1 },
+                    PimOp::ScaledRead { bank: 0, row: 0, col, scaler: 3, dst: 0 },
+                    PimOp::Add { bank: 0, dst: 0 },
+                    PimOp::Writeback { bank: 0, row: 0, col, src: 0 },
+                ] {
+                    loop {
+                        match mem.enqueue_pim(0, 0, 0, op) {
+                            Ok(_) => break,
+                            Err(MemError::QueueFull) => mem.tick(),
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            }
+            mem.drain(u64::MAX).unwrap();
+            mem.cycles()
+        })
+    });
+    g.finish();
+}
+
+fn bench_functional_storage(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_functional");
+    g.sample_size(10);
+    g.bench_function("poke_peek_1mb", |b| {
+        let mut mem = MemorySystem::with_storage(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        let data = vec![0xa5u8; 1 << 20];
+        b.iter(|| {
+            mem.poke(0, &data);
+            mem.peek(0, 1 << 20).len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_streaming, bench_pim_kernel, bench_functional_storage);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks for the optimizer/quantization numerics.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gradpim_optim::{
+    quant::{dequantize_slice_i8, quantize_slice_i8},
+    f16_to_f32, f32_to_f16, Adam, MomentumSgd, Optimizer,
+};
+
+const N: usize = 1 << 16;
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optim_step");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("momentum_sgd_64k", |b| {
+        let mut opt = MomentumSgd::new(0.01, 0.9, 1e-4, N);
+        let mut p = vec![0.1f32; N];
+        let grads = vec![0.01f32; N];
+        b.iter(|| {
+            opt.step(&mut p, &grads);
+            p[0]
+        })
+    });
+    g.bench_function("adam_64k", |b| {
+        let mut opt = Adam::with_defaults(0.01, N);
+        let mut p = vec![0.1f32; N];
+        let grads = vec![0.01f32; N];
+        b.iter(|| {
+            opt.step(&mut p, &grads);
+            p[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_quant(c: &mut Criterion) {
+    let data: Vec<f32> = (0..N).map(|i| (i as f32 * 0.001).sin()).collect();
+    let mut g = c.benchmark_group("quant");
+    g.throughput(Throughput::Elements(N as u64));
+    g.bench_function("int8_round_trip_64k", |b| {
+        b.iter(|| {
+            let (s, q) = quantize_slice_i8(&data);
+            dequantize_slice_i8(&q, s).len()
+        })
+    });
+    g.bench_function("f16_round_trip_64k", |b| {
+        b.iter(|| data.iter().map(|&x| f16_to_f32(f32_to_f16(x))).sum::<f32>())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimizers, bench_quant);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Fig. 2: breakdown of memory accesses of ResNet-18 layers for
+//! full-precision (top) and mixed-precision (bottom) training.
+//!
+//! Prints per-layer Fwd / Bact / Bwgt / Wup in MB for a batch of 32, plus
+//! the §II headline shares (paper: Wup = 22.4 % full, 45.9 % mixed, 80.5 %
+//! for the conv5m block).
+
+use gradpim_bench::{banner, pct};
+use gradpim_workloads::traffic::{
+    block_traffic, network_traffic, total_traffic, update_share, TrafficConfig,
+};
+use gradpim_workloads::models;
+
+fn print_chart(title: &str, cfg: &TrafficConfig) {
+    let net = models::resnet18();
+    println!("\n--- {title} (batch {}) ---", cfg.batch);
+    println!("{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}", "layer", "Fwd", "Bact", "Bwgt", "Wup", "total");
+    for (name, t) in network_traffic(&net, cfg) {
+        if t.total() == 0 {
+            continue;
+        }
+        println!(
+            "{:<12} {:>8.1}M {:>8.1}M {:>8.1}M {:>8.1}M {:>8.1}M",
+            name,
+            t.fwd as f64 / 1e6,
+            t.bact as f64 / 1e6,
+            t.bwgt as f64 / 1e6,
+            t.wup as f64 / 1e6,
+            t.total() as f64 / 1e6
+        );
+    }
+    let total = total_traffic(&net, cfg);
+    let share = update_share(&net, cfg);
+    println!(
+        "TOTAL: {:.1} MB, update share {}",
+        total.total() as f64 / 1e6,
+        pct(share)
+    );
+    let blocks = block_traffic(&net, cfg);
+    let (_, b4) = blocks.iter().find(|(n, _)| n == "Block4").expect("Block4");
+    println!(
+        "conv5 block (Block4) update share: {}",
+        pct(b4.wup as f64 / b4.total() as f64)
+    );
+}
+
+fn main() {
+    banner(
+        "Fig. 2",
+        "Breakdown of the memory accesses of ResNet-18 layers (paper: Wup = 22.4% full / 45.9% mixed; conv5m block 80.5%)",
+    );
+    print_chart("full-precision (32/32)", &TrafficConfig::paper_full_precision());
+    print_chart("mixed-precision (8/32)", &TrafficConfig::paper_default());
+}

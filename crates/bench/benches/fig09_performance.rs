@@ -1,0 +1,79 @@
+//! Fig. 9: normalized execution time of each block on the five networks
+//! under the six designs.
+//!
+//! For every network, prints one row per block and design with the
+//! update-phase and fwd/bwd components, normalized to the baseline time of
+//! the most time-consuming block (the paper's normalization), plus the
+//! Total column normalized to the baseline whole-network time.
+//!
+//! Paper shape targets: GradPIM-DR ≈ 2.25× on updates / 1.38× overall
+//! (gmean), GradPIM-BD ≈ 8.23× / 1.94×, TensorDIMM ≈ 1.36× overall, AoS and
+//! AoS-PB lose their gains in fwd/bwd.
+
+use gradpim_bench::{banner, bench_config, networks};
+use gradpim_sim::{Design, TrainingSim};
+
+fn main() {
+    banner("Fig. 9", "Normalized execution time per block (update + fwd/bwd), six designs");
+    let mut gmean_acc: Vec<(Design, f64, u32)> =
+        Design::ALL.iter().map(|d| (*d, 0.0, 0)).collect();
+
+    for net in networks() {
+        println!("\n=== {} ===", net.name);
+        let reports: Vec<_> = Design::ALL
+            .iter()
+            .map(|d| TrainingSim::new(bench_config(*d)).run(&net))
+            .collect();
+        let baseline = &reports[0];
+        // Normalize blocks to the baseline's slowest block.
+        let norm_block = baseline
+            .blocks
+            .iter()
+            .map(|b| b.total_ns())
+            .fold(0.0f64, f64::max);
+        let norm_total = baseline.total_time_ns();
+
+        println!(
+            "{:<12} {}",
+            "block",
+            Design::ALL.map(|d| format!("{:>20}", d.label())).join("")
+        );
+        for (bi, block) in baseline.blocks.iter().enumerate() {
+            let cells: Vec<String> = reports
+                .iter()
+                .map(|r| {
+                    let b = &r.blocks[bi];
+                    format!(
+                        "{:>9.3}({:>6.3}u)",
+                        b.total_ns() / norm_block,
+                        b.update_ns / norm_block
+                    )
+                })
+                .collect();
+            println!("{:<12} {}", block.block, cells.join(" "));
+        }
+        let totals: Vec<String> = reports
+            .iter()
+            .map(|r| format!("{:>9.3}({:>6.3}u)", r.total_time_ns() / norm_total, r.update_ns() / norm_total))
+            .collect();
+        println!("{:<12} {}", "Total", totals.join(" "));
+
+        for (i, r) in reports.iter().enumerate() {
+            let overall = norm_total / r.total_time_ns();
+            let upd = baseline.update_ns() / r.update_ns().max(1.0);
+            println!(
+                "  {:<12} overall speedup {:>5.2}x   update speedup {:>5.2}x",
+                r.design.label(),
+                overall,
+                upd
+            );
+            gmean_acc[i].1 += overall.ln();
+            gmean_acc[i].2 += 1;
+        }
+    }
+
+    println!("\n--- geometric-mean overall speedups (paper: DR 1.38x, TD 1.36x, BD 1.94x) ---");
+    for (d, acc, n) in gmean_acc {
+        println!("{:<12} {:>5.2}x", d.label(), (acc / n as f64).exp());
+    }
+}

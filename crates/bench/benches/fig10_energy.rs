@@ -1,0 +1,43 @@
+//! Fig. 10: memory energy consumption of GradPIM and the other designs,
+//! broken down into PIM / WR / RD / ACT (plus refresh, background and
+//! off-chip I/O, which the paper folds into the bars).
+//!
+//! Energies are normalized to the baseline of each network, as in the
+//! paper. Shape targets: savings roughly proportional to speedup; ACT
+//! energy nearly constant across designs; AoS variants burn extra RD/WR in
+//! fwd/bwd.
+
+use gradpim_bench::{banner, bench_config, networks};
+use gradpim_sim::{Design, TrainingSim};
+
+fn main() {
+    banner("Fig. 10", "Memory energy, normalized to baseline (breakdown: ACT/RD/WR/IO/PIM/other)");
+    println!(
+        "{:<14} {:<12} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>8}",
+        "network", "design", "ACT", "RD", "WR", "IO", "PIM", "other", "total"
+    );
+    for net in networks() {
+        let base_total = {
+            let r = TrainingSim::new(bench_config(Design::Baseline)).run(&net);
+            r.energy().total_pj()
+        };
+        for design in Design::ALL {
+            let r = TrainingSim::new(bench_config(design)).run(&net);
+            let e = r.energy();
+            let n = |x: f64| x / base_total;
+            println!(
+                "{:<14} {:<12} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>8.3}",
+                net.name,
+                design.label(),
+                n(e.act_pj),
+                n(e.rd_pj),
+                n(e.wr_pj),
+                n(e.io_pj),
+                n(e.pim_pj),
+                n(e.refresh_pj + e.background_pj),
+                n(e.total_pj()),
+            );
+        }
+        println!();
+    }
+}

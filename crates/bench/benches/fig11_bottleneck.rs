@@ -1,0 +1,51 @@
+//! Fig. 11: command-bus utilization (top) and internal memory bandwidth
+//! (bottom) during the update phase, for Baseline / GradPIM-DR /
+//! TensorDIMM / GradPIM-BD.
+//!
+//! Paper targets: baseline external ≈ 15 GB/s (of the 17.1 GB/s peak);
+//! GradPIM-DR ≈ 28 GB/s internal with the command bus at ~100 %;
+//! GradPIM-BD ≈ 113 GB/s (≈4× DR); peak internal 181.28 GB/s.
+
+use gradpim_bench::{banner, bench_config, networks};
+use gradpim_sim::{Design, TrainingSim};
+
+fn main() {
+    banner("Fig. 11", "Update-phase command-bus utilization (top) and internal bandwidth (bottom)");
+    let designs = [
+        Design::Baseline,
+        Design::GradPimDirect,
+        Design::TensorDimm,
+        Design::GradPimBuffered,
+    ];
+    let peak = bench_config(Design::GradPimBuffered).dram().peak_internal_bw() / 1e9;
+    println!("peak internal bandwidth: {peak:.2} GB/s (paper: 181.28 GB/s)\n");
+
+    println!("--- command-bus utilization (% of one direct bus; buffered designs may exceed 100%) ---");
+    println!(
+        "{:<14} {}",
+        "network",
+        designs.map(|d| format!("{:>12}", d.label())).join("")
+    );
+    let mut bw_rows = Vec::new();
+    for net in networks() {
+        let mut util_cells = Vec::new();
+        let mut bw_cells = Vec::new();
+        for design in designs {
+            let r = TrainingSim::new(bench_config(design)).run(&net);
+            util_cells.push(format!("{:>11.0}%", r.update_cmd_util() * 100.0));
+            bw_cells.push(format!("{:>9.1}GB/s", r.update_internal_bw() / 1e9));
+        }
+        println!("{:<14} {}", net.name, util_cells.join(""));
+        bw_rows.push((net.name.clone(), bw_cells));
+    }
+
+    println!("\n--- internal memory bandwidth during the update phase ---");
+    println!(
+        "{:<14} {}",
+        "network",
+        designs.map(|d| format!("{:>13}", d.label())).join("")
+    );
+    for (name, cells) in bw_rows {
+        println!("{:<14} {}", name, cells.join(""));
+    }
+}

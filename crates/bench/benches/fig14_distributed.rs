@@ -1,0 +1,37 @@
+//! Fig. 14: speedups for distributed training — 4 NPU nodes, 100 Gb/s
+//! links, ring all-reduce; per-network normalized time split into
+//! Comm / Fw-Bw / Pup for Baseline vs GradPIM-BD.
+//!
+//! Paper shape: "the performance is almost 2× better than the baseline with
+//! distributed training" (better than single-node because the per-node
+//! batch is smaller).
+
+use gradpim_bench::{banner, bench_config, networks};
+use gradpim_sim::{distributed_step, Design, DistConfig};
+
+fn main() {
+    banner("Fig. 14", "Distributed training (4 nodes, 100 Gb/s): normalized time, Comm/FwBw/Pup");
+    let dist = DistConfig::paper_default();
+    println!(
+        "{:<14} {:<12} {:>8} {:>8} {:>8} {:>8} {:>9}",
+        "network", "design", "Comm", "Fw/Bw", "Pup", "total", "speedup"
+    );
+    for net in networks() {
+        let base = distributed_step(&bench_config(Design::Baseline), &net, &dist);
+        let pim = distributed_step(&bench_config(Design::GradPimBuffered), &net, &dist);
+        let norm = base.total_ns();
+        for (label, r) in [("Baseline", &base), ("GradPIM-BD", &pim)] {
+            println!(
+                "{:<14} {:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.2}x",
+                net.name,
+                label,
+                r.comm_ns / norm,
+                r.fwdbwd_ns / norm,
+                r.update_ns / norm,
+                r.total_ns() / norm,
+                norm / r.total_ns(),
+            );
+        }
+        println!();
+    }
+}

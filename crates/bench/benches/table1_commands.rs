@@ -1,0 +1,32 @@
+//! Table I: the truth table for GradPIM commands over the five RFU
+//! signals, regenerated from the ISA encoder.
+
+use gradpim_bench::banner;
+use gradpim_core::GradPimFunc;
+
+fn main() {
+    banner("Table I", "Truth table for GradPIM commands (Op0 Op1 Param0 Param1 Src/Dst)");
+    println!("{:<14} {:<12} {}", "Func.", "Signals", "notes");
+    let rows: Vec<(&str, GradPimFunc, &str)> = vec![
+        ("Scaled Read", GradPimFunc::ScaledRead { scale: 0, dst: 0 }, "Param = scale id (2b), SD = dst"),
+        ("DeQuant", GradPimFunc::Dequant { pos: 0, dst: 0 }, "Param = src position (2b), SD = dst"),
+        ("Quant", GradPimFunc::Quant { pos: 0, src: 0 }, "Param = dst position (2b), SD = src"),
+        ("Writeback", GradPimFunc::Writeback { src: 0 }, "SD = src"),
+        ("Q. Reg", GradPimFunc::QReg { write: false }, "SD = RD/WR"),
+        ("Add", GradPimFunc::Add { dst: 0 }, "SD = dst"),
+        ("Sub", GradPimFunc::Sub { dst: 0 }, "SD = dst"),
+    ];
+    for (name, f, note) in rows {
+        println!("{:<14} {:<12} {}", name, f.truth_table_row(), note);
+    }
+    println!("\nfull 5-bit decode check:");
+    let mut ok = 0;
+    for v in 0..32u8 {
+        let bits = gradpim_core::RfuBits::unpack(v);
+        if let Ok(f) = GradPimFunc::decode(bits) {
+            assert_eq!(f.encode().pack(), v);
+            ok += 1;
+        }
+    }
+    println!("all {ok}/32 RFU patterns decode and round-trip");
+}

@@ -1,0 +1,42 @@
+//! Table II: the DRAM timing and current parameters, regenerated from the
+//! configuration presets, plus the derived bandwidth ceilings the
+//! evaluation relies on.
+
+use gradpim_bench::banner;
+use gradpim_dram::DramConfig;
+
+fn main() {
+    banner("Table II", "DRAM parameters (DDR4-2133)");
+    let c = DramConfig::ddr4_2133();
+    println!("Timing (cycles)        Value    | Current (mA)   Value");
+    println!("tCK                 {:>7.2}ns | Vdd          {:>7.1}V", c.cycle_ns(), c.vdd);
+    let rows = [
+        ("tCL", c.tcl, "IDD0", c.idd0),
+        ("tRCD", c.trcd, "IDD2P", c.idd2p),
+        ("tRP", c.trp, "IDD2N", c.idd2n),
+        ("tRAS", c.tras, "IDD3P", c.idd3p),
+        ("tCCD_L", c.tccd_l, "IDD3N", c.idd3n),
+        ("tCCD_S", c.tccd_s, "IDD4W", c.idd4w),
+        ("tRTRS", c.trtrs, "IDD4R", c.idd4r),
+        ("tPIM", c.tpim, "IDDpre", c.iddpre),
+    ];
+    for (tn, tv, cn, cv) in rows {
+        println!("{:<10} {:>12}   | {:<10} {:>8.0}", tn, tv, cn, cv);
+    }
+    println!("\nderived ceilings:");
+    println!("  peak external bandwidth : {:>7.2} GB/s (paper: 17.1)", c.peak_external_bw() / 1e9);
+    println!("  peak internal bandwidth : {:>7.2} GB/s (paper: 181.28)", c.peak_internal_bw() / 1e9);
+    println!(
+        "  command issue (direct)  : {:>7.2} Gcmd/s",
+        c.command_issue_capacity() / 1e9
+    );
+    for preset in [DramConfig::ddr4_3200(), DramConfig::hbm2_like()] {
+        println!(
+            "\n{}: tCK {:.3} ns, ext {:.1} GB/s, int {:.1} GB/s",
+            preset.name,
+            preset.cycle_ns(),
+            preset.peak_external_bw() / 1e9,
+            preset.peak_internal_bw() / 1e9
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Table III: GradPIM-unit layout results (area and power per module) and
+//! the §VI-A area-overhead claim.
+
+use gradpim_bench::banner;
+use gradpim_dram::{PimLayout, PowerModel, DramConfig, DDR4_8GB_DIE_MM2};
+
+fn main() {
+    banner("Table III", "Layout results (45 nm DRAM process, scaled to 32 nm)");
+    let l = PimLayout::paper();
+    println!("{:<18} {:>12} {:>12}", "Module", "Area (um^2)", "Power (mW)");
+    let rows = [
+        ("Adder", l.adder_um2, l.adder_power_mw),
+        ("Quantize", l.quantize_um2, l.quantize_power_mw),
+        ("Dequantize", l.dequantize_um2, l.dequantize_power_mw),
+        ("Scaler", l.scaler_um2, l.scaler_power_mw),
+        ("Registers (x3)", l.register_um2, l.register_power_mw),
+    ];
+    for (n, a, p) in rows {
+        println!("{:<18} {:>12.1} {:>12.3}", n, a, p);
+    }
+    println!(
+        "{:<18} {:>12.1} {:>12.2}   (paper: 8267.8 / 1.74)",
+        "Total (4 units)",
+        l.total_area_um2(),
+        l.total_power_mw()
+    );
+    println!(
+        "\narea overhead vs 8Gb DDR4 die ({DDR4_8GB_DIE_MM2} mm^2): {:.4}% (paper: ~0.01%)",
+        l.area_overhead(DDR4_8GB_DIE_MM2) * 100.0
+    );
+
+    let pm = PowerModel::new(&DramConfig::ddr4_2133());
+    println!("\nper-event energies derived for the Fig. 10 model (pJ):");
+    println!("  ACT+PRE pair        : {:>8.1}", pm.act_pre_pj);
+    println!("  external read burst : {:>8.1} (+ {:.1} I/O)", pm.rd_pj, pm.io_pj);
+    println!("  external write burst: {:>8.1} (+ {:.1} I/O)", pm.wr_pj, pm.io_pj);
+    println!("  PIM column transfer : {:>8.1}", pm.pim_xfer_pj);
+    println!("  PIM ALU op          : {:>8.3}", pm.pim_alu_pj);
+}

@@ -1,0 +1,412 @@
+//! Whole-network GradPIM memory: one parameter group per layer, stacked in
+//! the same device.
+//!
+//! Real deployments hold *every* layer's θ/g/state arrays in the GradPIM
+//! memory at once (§V-B's allocator "supporting separation between data
+//! structures"). [`NetworkPimMemory`] stacks one [`Placement`] per layer at
+//! increasing row bases and runs the whole network's update step with a
+//! single call:
+//!
+//! * the update kernels of **all** groups are concatenated per unit and run
+//!   concurrently — layers share the bank-group units, so small layers ride
+//!   along with big ones at no extra cost;
+//! * the quantization/dequantization kernels run per group (each group's
+//!   int8 scale lives in the mode register, so groups are separated by MRW
+//!   reprogrammings — the §VIII mode-register mechanism).
+
+use gradpim_dram::{AddressMapping, DramConfig, MemorySystem, ModeRegisters};
+use gradpim_optim::{HyperParams, OptimizerKind, PrecisionMix, Q8Scale};
+
+use crate::kernel::{compile_step_parts, scaler_bank_for, KernelParts, UnitStream};
+use crate::memory::GradPimError;
+use crate::placement::{ArrayName, Placement};
+
+fn elem_for(p: gradpim_optim::Precision) -> gradpim_dram::ElemKind {
+    match p {
+        gradpim_optim::Precision::Fp32 => gradpim_dram::ElemKind::F32,
+        gradpim_optim::Precision::Fp16 => gradpim_dram::ElemKind::F16,
+        gradpim_optim::Precision::Int8 => gradpim_dram::ElemKind::I8,
+    }
+}
+
+/// One stacked parameter group.
+#[derive(Debug)]
+struct Group {
+    name: String,
+    placement: Placement,
+    grad_exponent: i32,
+    theta_exponent: i32,
+}
+
+/// A GradPIM memory hosting every layer of a network as a stacked group.
+#[derive(Debug)]
+pub struct NetworkPimMemory {
+    mem: MemorySystem,
+    groups: Vec<Group>,
+    hyper: HyperParams,
+    mode: ModeRegisters,
+}
+
+impl NetworkPimMemory {
+    /// Builds the memory with one group per `(name, n_params)` layer,
+    /// stacked by row base in declaration order.
+    ///
+    /// # Errors
+    ///
+    /// [`GradPimError::Placement`] when the stacked groups exceed the
+    /// device rows; [`GradPimError::Kernel`] for unsupported optimizers.
+    pub fn new(
+        cfg: DramConfig,
+        optimizer: OptimizerKind,
+        mix: PrecisionMix,
+        hyper: HyperParams,
+        layers: &[(String, usize)],
+    ) -> Result<Self, GradPimError> {
+        assert!(!layers.is_empty(), "at least one layer group required");
+        let scalers = scaler_bank_for(optimizer, &hyper)?;
+        let mut groups = Vec::with_capacity(layers.len());
+        let mut row_base = 0u32;
+        for (name, n) in layers {
+            let placement = Placement::for_optimizer_at(optimizer, mix, *n, &cfg, row_base)?;
+            row_base += placement.rows_footprint();
+            groups.push(Group {
+                name: name.clone(),
+                placement,
+                grad_exponent: -7,
+                theta_exponent: -7,
+            });
+        }
+        let mut mem = MemorySystem::with_storage(cfg, AddressMapping::GradPim);
+        let mode = ModeRegisters {
+            scalers: scalers.to_mode_floats(),
+            q8_exponent: -7,
+            high: elem_for(mix.high),
+            low: elem_for(mix.low),
+            eps: hyper.eps,
+        };
+        mem.set_mode_registers(mode);
+        Ok(Self { mem, groups, hyper, mode })
+    }
+
+    /// Number of stacked groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The underlying memory system (stats etc.).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+
+    fn group_idx(&self, name: &str) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.name == name)
+            .unwrap_or_else(|| panic!("unknown group '{name}'"))
+    }
+
+    fn mode_with_exponent(&self, e: i32) -> ModeRegisters {
+        let mut m = self.mode;
+        m.q8_exponent = e;
+        m
+    }
+
+    /// Loads master weights for group `name` (state arrays zeroed, Q(θ)
+    /// initialized for mixed precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown group or length mismatch.
+    pub fn load_theta(&mut self, name: &str, theta: &[f32]) {
+        let gi = self.group_idx(name);
+        let max = theta.iter().fold(0f32, |m, v| m.max(v.abs()));
+        self.groups[gi].theta_exponent = Q8Scale::for_max_abs(max).exponent;
+        let mode = self.mode_with_exponent(self.groups[gi].theta_exponent);
+        let p = &self.groups[gi].placement;
+        p.write_master(&mut self.mem, ArrayName::Theta, &mode, theta);
+        if p.has_array(ArrayName::QTheta) {
+            p.write_quantized(&mut self.mem, ArrayName::QTheta, &mode, theta);
+        }
+        let zeros = vec![0.0; theta.len()];
+        if p.has_array(ArrayName::State0) {
+            p.write_master(&mut self.mem, ArrayName::State0, &mode, &zeros);
+        }
+        if p.has_array(ArrayName::State1) {
+            p.write_master(&mut self.mem, ArrayName::State1, &mode, &zeros);
+        }
+    }
+
+    /// Writes one step's gradients for group `name` (quantized under a
+    /// fresh per-group scale for mixed precision).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown group or length mismatch.
+    pub fn write_gradients(&mut self, name: &str, grads: &[f32]) {
+        let gi = self.group_idx(name);
+        if self.groups[gi].placement.mix().is_mixed() {
+            let max = grads.iter().fold(0f32, |m, v| m.max(v.abs()));
+            self.groups[gi].grad_exponent = Q8Scale::for_max_abs(max).exponent;
+            let mode = self.mode_with_exponent(self.groups[gi].grad_exponent);
+            let p = &self.groups[gi].placement;
+            p.write_quantized(&mut self.mem, ArrayName::QGrad, &mode, grads);
+        } else {
+            let p = &self.groups[gi].placement;
+            p.write_master(&mut self.mem, ArrayName::Grad, &self.mode, grads);
+        }
+    }
+
+    /// Runs one update step over **all** groups: per-group dequantization
+    /// (sequential, own gradient scale), all update kernels concurrently,
+    /// per-group re-quantization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel-compilation and simulation failures.
+    pub fn step_all(&mut self) -> Result<(), GradPimError> {
+        let cfg = self.mem.config().clone();
+        let mixed = self.groups[0].placement.mix().is_mixed();
+
+        // Per-group dequantization with its own exponent.
+        if mixed {
+            for gi in 0..self.groups.len() {
+                let plan = compile_step_parts(
+                    &self.groups[gi].placement,
+                    &self.hyper,
+                    &cfg,
+                    KernelParts { dequant: true, update: false, quant: false },
+                )?;
+                let exp = self.groups[gi].grad_exponent;
+                self.mem.set_mode_registers(self.mode_with_exponent(exp));
+                self.run_streams(&plan.streams)?;
+            }
+        }
+
+        // Concatenate all groups' update kernels per unit and run them in
+        // one wave — the big cross-layer parallelism win.
+        let mut merged: Vec<UnitStream> = Vec::new();
+        for g in &self.groups {
+            let plan = compile_step_parts(
+                &g.placement,
+                &self.hyper,
+                &cfg,
+                KernelParts { dequant: false, update: true, quant: false },
+            )?;
+            for s in plan.streams {
+                match merged.iter_mut().find(|m| {
+                    m.channel == s.channel && m.rank == s.rank && m.bankgroup == s.bankgroup
+                }) {
+                    Some(m) => m.ops.extend(s.ops),
+                    None => merged.push(s),
+                }
+            }
+        }
+        self.mem.set_mode_registers(self.mode);
+        self.run_streams(&merged)?;
+
+        // Per-group re-quantization with refreshed θ scales.
+        if mixed {
+            for gi in 0..self.groups.len() {
+                let theta = self.groups[gi].placement.read_master(
+                    &self.mem,
+                    ArrayName::Theta,
+                    &self.mode,
+                );
+                let max = theta.iter().fold(0f32, |m, v| m.max(v.abs()));
+                self.groups[gi].theta_exponent = Q8Scale::for_max_abs(max * 1.25).exponent;
+                let plan = compile_step_parts(
+                    &self.groups[gi].placement,
+                    &self.hyper,
+                    &cfg,
+                    KernelParts { dequant: false, update: false, quant: true },
+                )?;
+                let exp = self.groups[gi].theta_exponent;
+                self.mem.set_mode_registers(self.mode_with_exponent(exp));
+                self.run_streams(&plan.streams)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads group `name`'s master weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown group.
+    pub fn theta(&self, name: &str) -> Vec<f32> {
+        let gi = self.group_idx(name);
+        self.groups[gi].placement.read_master(&self.mem, ArrayName::Theta, &self.mode)
+    }
+
+    /// Reads group `name`'s quantized weights (what the NPU sees),
+    /// dequantized to f32.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown group.
+    pub fn quantized_theta(&self, name: &str) -> Vec<f32> {
+        let gi = self.group_idx(name);
+        let g = &self.groups[gi];
+        if g.placement.mix().is_mixed() {
+            let mode = self.mode_with_exponent(g.theta_exponent);
+            g.placement.read_quantized(&self.mem, ArrayName::QTheta, &mode)
+        } else {
+            self.theta(name)
+        }
+    }
+
+    fn run_streams(&mut self, streams: &[UnitStream]) -> Result<(), GradPimError> {
+        let mut cursors = vec![0usize; streams.len()];
+        loop {
+            let mut all_done = true;
+            let mut progress = false;
+            for (i, s) in streams.iter().enumerate() {
+                while cursors[i] < s.ops.len() {
+                    match self.mem.enqueue_pim(s.channel, s.rank, s.bankgroup, s.ops[cursors[i]]) {
+                        Ok(_) => {
+                            cursors[i] += 1;
+                            progress = true;
+                        }
+                        Err(gradpim_dram::MemError::QueueFull) => break,
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                if cursors[i] < s.ops.len() {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+            if !progress {
+                self.mem.tick();
+            }
+        }
+        let total_ops: usize = streams.iter().map(|s| s.ops.len()).sum();
+        self.mem.drain(1_000_000 + total_ops as u64 * 64)?;
+        self.mem.take_completions();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradpim_optim::{MomentumSgd, Optimizer};
+
+    fn hyper() -> HyperParams {
+        HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.0, ..Default::default() }
+    }
+
+    #[test]
+    fn two_groups_update_independently_and_match_references() {
+        let layers = vec![("fc1".to_string(), 2048usize), ("fc2".to_string(), 512)];
+        let mut net = NetworkPimMemory::new(
+            DramConfig::ddr4_2133(),
+            OptimizerKind::MomentumSgd,
+            PrecisionMix::FULL_32,
+            hyper(),
+            &layers,
+        )
+        .unwrap();
+        let t1: Vec<f32> = (0..2048).map(|i| (i as f32 * 0.01).sin()).collect();
+        let t2: Vec<f32> = (0..512).map(|i| (i as f32 * 0.02).cos()).collect();
+        net.load_theta("fc1", &t1);
+        net.load_theta("fc2", &t2);
+
+        let mut r1 = MomentumSgd::new(0.125, 0.5, 0.0, 2048);
+        let mut r2 = MomentumSgd::new(0.125, 0.5, 0.0, 512);
+        let mut e1 = t1.clone();
+        let mut e2 = t2.clone();
+        for step in 0..3 {
+            let g1: Vec<f32> = (0..2048).map(|i| ((i + step * 7) as f32 * 0.03).cos()).collect();
+            let g2: Vec<f32> = (0..512).map(|i| ((i + step * 3) as f32 * 0.05).sin()).collect();
+            net.write_gradients("fc1", &g1);
+            net.write_gradients("fc2", &g2);
+            net.step_all().unwrap();
+            r1.step(&mut e1, &g1);
+            r2.step(&mut e2, &g2);
+        }
+        assert_eq!(net.theta("fc1"), e1, "group fc1");
+        assert_eq!(net.theta("fc2"), e2, "group fc2");
+    }
+
+    #[test]
+    fn mixed_precision_groups_keep_separate_scales() {
+        // Two groups with wildly different gradient magnitudes: per-group
+        // exponents keep both accurate.
+        let layers = vec![("big".to_string(), 2048usize), ("small".to_string(), 2048)];
+        let mut net = NetworkPimMemory::new(
+            DramConfig::ddr4_2133(),
+            OptimizerKind::Sgd,
+            PrecisionMix::MIXED_8_32,
+            HyperParams { lr: 0.5, weight_decay: 0.0, ..Default::default() },
+            &layers,
+        )
+        .unwrap();
+        net.load_theta("big", &vec![0.0; 2048]);
+        net.load_theta("small", &vec![0.0; 2048]);
+        let g_big: Vec<f32> = (0..2048).map(|i| 100.0 + (i % 10) as f32).collect();
+        let g_small: Vec<f32> = (0..2048).map(|i| 0.001 * (1.0 + (i % 10) as f32 / 10.0)).collect();
+        net.write_gradients("big", &g_big);
+        net.write_gradients("small", &g_small);
+        net.step_all().unwrap();
+        // θ = −lr·g within each group's own quantization step.
+        let th_big = net.theta("big");
+        let th_small = net.theta("small");
+        let step_big = Q8Scale::for_max_abs(109.0).factor();
+        let step_small = Q8Scale::for_max_abs(0.002).factor();
+        for (t, g) in th_big.iter().zip(&g_big) {
+            assert!((t + 0.5 * g).abs() <= 0.5 * step_big / 2.0 + 1e-4, "{t} vs {g}");
+        }
+        for (t, g) in th_small.iter().zip(&g_small) {
+            assert!((t + 0.5 * g).abs() <= 0.5 * step_small / 2.0 + 1e-6, "{t} vs {g}");
+        }
+    }
+
+    #[test]
+    fn groups_are_isolated() {
+        // Stepping with zero gradients in one group must leave the other
+        // group's weights untouched (row stacking does not alias).
+        let layers = vec![("a".to_string(), 4096usize), ("b".to_string(), 4096)];
+        let mut net = NetworkPimMemory::new(
+            DramConfig::ddr4_2133(),
+            OptimizerKind::Sgd,
+            PrecisionMix::FULL_32,
+            HyperParams { lr: 0.25, weight_decay: 0.0, ..Default::default() },
+            &layers,
+        )
+        .unwrap();
+        let ta: Vec<f32> = (0..4096).map(|i| i as f32 * 0.001).collect();
+        let tb: Vec<f32> = (0..4096).map(|i| -(i as f32) * 0.002).collect();
+        net.load_theta("a", &ta);
+        net.load_theta("b", &tb);
+        net.write_gradients("a", &vec![1.0; 4096]);
+        net.write_gradients("b", &vec![0.0; 4096]);
+        net.step_all().unwrap();
+        assert_eq!(net.theta("b"), tb, "group b must be unchanged");
+        let a = net.theta("a");
+        for (x, x0) in a.iter().zip(&ta) {
+            assert!((x - (x0 - 0.25)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stacking_overflows_are_reported() {
+        let mut cfg = DramConfig::ddr4_2133();
+        cfg.rows = 8; // tiny device
+        let layers = vec![
+            ("l0".to_string(), 2048 * 16 * 4usize), // 4 rows of chunks
+            ("l1".to_string(), 2048 * 16 * 8),
+        ];
+        let err = NetworkPimMemory::new(
+            cfg,
+            OptimizerKind::Sgd,
+            PrecisionMix::MIXED_8_32,
+            HyperParams::default(),
+            &layers,
+        )
+        .unwrap_err();
+        assert!(matches!(err, GradPimError::Placement(_)), "{err}");
+    }
+}

@@ -1,0 +1,244 @@
+//! The GradPIM scaler: `±(2ⁿ ± 2ᵐ)` hyper-parameter approximation (§IV-B).
+//!
+//! "To simplify the scaler, we approximate the scaler values in 2ⁿ ± 2ᵐ and
+//! implement the scaler with shifters and adders. The values of n and m
+//! assigned to each opcode can be programmed with MRW."
+//!
+//! [`ScalerValue::approximate`] finds the best such approximation for an
+//! arbitrary hyper-parameter; [`ScalerBank`] models the four MRW-programmable
+//! slots a GradPIM unit pins.
+
+/// One shifter-adder-expressible constant: `sign × (2ⁿ ± 2ᵐ)`, or a pure
+/// power of two / zero.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalerValue {
+    /// Overall sign (+1 or −1).
+    pub sign: i8,
+    /// Exponent of the leading term.
+    pub n: i32,
+    /// Optional second term: (exponent, `true` = add, `false` = subtract).
+    pub m: Option<(i32, bool)>,
+    /// `true` for the exact-zero scaler.
+    pub zero: bool,
+}
+
+/// Exponent search range. ±38 covers every finite f32 hyper-parameter
+/// magnitude of practical interest (η, α, β all live in [1e-8, 10]).
+const EXP_RANGE: std::ops::RangeInclusive<i32> = -40..=40;
+
+impl ScalerValue {
+    /// The exact constant 1.0 (identity scale).
+    pub const ONE: ScalerValue = ScalerValue { sign: 1, n: 0, m: None, zero: false };
+
+    /// The exact constant 0.0.
+    pub const ZERO: ScalerValue = ScalerValue { sign: 1, n: 0, m: None, zero: true };
+
+    /// A pure power of two `sign × 2ⁿ`.
+    pub fn pow2(sign: i8, n: i32) -> Self {
+        Self { sign, n, m: None, zero: false }
+    }
+
+    /// The represented value.
+    pub fn value(&self) -> f64 {
+        if self.zero {
+            return 0.0;
+        }
+        let lead = 2f64.powi(self.n);
+        let v = match self.m {
+            None => lead,
+            Some((m, true)) => lead + 2f64.powi(m),
+            Some((m, false)) => lead - 2f64.powi(m),
+        };
+        self.sign as f64 * v
+    }
+
+    /// Finds the best `±(2ⁿ ± 2ᵐ)` approximation of `target`.
+    ///
+    /// Exact zeros map to [`ScalerValue::ZERO`]. The search minimizes
+    /// relative error; by construction the worst case is ≈ 9.1 % (midway
+    /// between 1.25·2ᵏ and 1.5·2ᵏ) and common hyper-parameters do far
+    /// better (η = 0.01 → 2⁻⁷ + 2⁻⁹, 2.4 % error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is not finite.
+    pub fn approximate(target: f64) -> Self {
+        assert!(target.is_finite(), "scaler target must be finite, got {target}");
+        if target == 0.0 {
+            return Self::ZERO;
+        }
+        let sign: i8 = if target > 0.0 { 1 } else { -1 };
+        let mag = target.abs();
+        let mut best = Self::pow2(sign, 0);
+        let mut best_err = f64::INFINITY;
+        let mut consider = |cand: ScalerValue| {
+            let v = cand.value().abs();
+            if v <= 0.0 {
+                return;
+            }
+            let err = (v - mag).abs() / mag;
+            if err < best_err {
+                best_err = err;
+                best = cand;
+            }
+        };
+        // The leading exponent must be within a factor of 2 of the target.
+        let n0 = mag.log2().floor() as i32;
+        for n in (n0 - 1)..=(n0 + 1) {
+            if !EXP_RANGE.contains(&n) {
+                continue;
+            }
+            consider(Self::pow2(sign, n));
+            for m in (n - 24)..n {
+                if !EXP_RANGE.contains(&m) {
+                    continue;
+                }
+                consider(Self { sign, n, m: Some((m, true)), zero: false });
+                consider(Self { sign, n, m: Some((m, false)), zero: false });
+            }
+        }
+        best
+    }
+
+    /// Relative approximation error against `target`.
+    pub fn rel_error(&self, target: f64) -> f64 {
+        if target == 0.0 {
+            return if self.zero { 0.0 } else { f64::INFINITY };
+        }
+        (self.value() - target).abs() / target.abs()
+    }
+}
+
+impl std::fmt::Display for ScalerValue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.zero {
+            return write!(f, "0");
+        }
+        let s = if self.sign < 0 { "-" } else { "" };
+        match self.m {
+            None => write!(f, "{s}2^{}", self.n),
+            Some((m, true)) => write!(f, "{s}(2^{} + 2^{})", self.n, m),
+            Some((m, false)) => write!(f, "{s}(2^{} - 2^{})", self.n, m),
+        }
+    }
+}
+
+/// The four MRW-programmable scaler slots of a GradPIM unit (§IV-B: "we pin
+/// four scaler values to an id").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalerBank {
+    slots: [ScalerValue; 4],
+}
+
+impl ScalerBank {
+    /// Programs the four slots from exact hyper-parameter targets,
+    /// approximating each.
+    pub fn program(targets: [f64; 4]) -> Self {
+        Self { slots: targets.map(ScalerValue::approximate) }
+    }
+
+    /// The slot values as `f32` constants for the DRAM mode registers.
+    pub fn to_mode_floats(&self) -> [f32; 4] {
+        [
+            self.slots[0].value() as f32,
+            self.slots[1].value() as f32,
+            self.slots[2].value() as f32,
+            self.slots[3].value() as f32,
+        ]
+    }
+
+    /// Slot `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 3`.
+    pub fn slot(&self, i: usize) -> ScalerValue {
+        self.slots[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_powers_of_two_are_exact() {
+        for e in [-10, -3, 0, 4, 12] {
+            let v = 2f64.powi(e);
+            for sign in [1.0, -1.0] {
+                let s = ScalerValue::approximate(sign * v);
+                assert_eq!(s.value(), sign * v);
+                assert_eq!(s.rel_error(sign * v), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_is_exact() {
+        let s = ScalerValue::approximate(0.0);
+        assert_eq!(s.value(), 0.0);
+        assert!(s.zero);
+    }
+
+    #[test]
+    fn learning_rate_001_within_three_percent() {
+        // The paper's example hyper-parameter η = 0.01 (§III-A).
+        let s = ScalerValue::approximate(0.01);
+        assert!(s.rel_error(0.01) < 0.03, "{} err {}", s, s.rel_error(0.01));
+    }
+
+    #[test]
+    fn momentum_09_uses_sub_form() {
+        // 0.9 ≈ 2⁰ − 2⁻³ = 0.875 (2.8 %).
+        let s = ScalerValue::approximate(0.9);
+        assert!(s.rel_error(0.9) < 0.03, "{} err {}", s, s.rel_error(0.9));
+    }
+
+    #[test]
+    fn sum_and_difference_forms_are_exact_when_representable() {
+        // 0.75 = 2⁻¹ + 2⁻², 1.75 = 2¹ − 2⁻², -0.625 = -(2⁻¹ + 2⁻³).
+        for target in [0.75, 1.75, -0.625, 3.0, -6.0, 0.046875] {
+            let s = ScalerValue::approximate(target);
+            assert_eq!(s.value(), target, "{target} → {s}");
+        }
+    }
+
+    #[test]
+    fn worst_case_error_bound() {
+        // Dense scan: the ±(2ⁿ ± 2ᵐ) lattice never exceeds ~9.1 % relative
+        // error.
+        let mut worst: f64 = 0.0;
+        for i in 1..20_000 {
+            let target = i as f64 * 1e-4;
+            let s = ScalerValue::approximate(target);
+            worst = worst.max(s.rel_error(target));
+        }
+        assert!(worst < 0.0910, "worst error {worst}");
+    }
+
+    #[test]
+    fn negative_targets_preserve_sign() {
+        let s = ScalerValue::approximate(-0.01);
+        assert!(s.value() < 0.0);
+        assert!(s.rel_error(-0.01) < 0.03);
+    }
+
+    #[test]
+    fn bank_programs_four_slots() {
+        // Momentum SGD slots: −η, α, −ηβ, +1.
+        let bank = ScalerBank::program([-0.01, 0.9, -1e-6, 1.0]);
+        let f = bank.to_mode_floats();
+        assert!(f[0] < 0.0 && (f[0] + 0.01).abs() < 0.01 * 0.1);
+        assert!((f[1] - 0.9).abs() < 0.9 * 0.05);
+        assert!(f[2] < 0.0);
+        assert_eq!(f[3], 1.0);
+        assert_eq!(bank.slot(3), ScalerValue::ONE);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ScalerValue::approximate(0.875).to_string(), "(2^0 - 2^-3)");
+        assert_eq!(ScalerValue::pow2(-1, -2).to_string(), "-2^-2");
+        assert_eq!(ScalerValue::ZERO.to_string(), "0");
+    }
+}

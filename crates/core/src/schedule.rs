@@ -1,0 +1,143 @@
+//! Learning-rate scheduling on GradPIM hardware (§VIII "Learning Rate
+//! Scheduling").
+//!
+//! The scaler is built from shifters and adders, so two scheduling
+//! strategies are natural:
+//!
+//! * **shift decay** — "scaling the values each time by 2 can be easily
+//!   implemented using a shifter": the learning rate halves every `period`
+//!   steps without any MRW traffic;
+//! * **lattice approximation** — "for more complicated scheduling such as
+//!   cosine … we may choose to approximate the decaying function": the host
+//!   computes the schedule and reprograms the scaler slot via MRW; every
+//!   value lands on the `±(2ⁿ ± 2ᵐ)` lattice, so the *effective* schedule is
+//!   a staircase within 9.1 % of the ideal curve.
+
+use crate::scaler::ScalerValue;
+
+/// A learning-rate schedule evaluated host-side and realized with scaler
+/// hardware.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate (the paper's default assumption).
+    Constant,
+    /// Halve the learning rate every `period` steps (pure shifts — no MRW
+    /// needed, the §VIII cheap path).
+    ShiftDecay {
+        /// Steps between halvings.
+        period: u64,
+    },
+    /// Cosine annealing from the base rate to `min_lr` over `total` steps
+    /// (SGDR-style, the paper's "more complicated" example), realized via
+    /// MRW reprogramming onto the scaler lattice.
+    Cosine {
+        /// Total steps of the annealing window.
+        total: u64,
+        /// Floor learning rate.
+        min_lr: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The *ideal* learning rate at step `t` (0-based).
+    pub fn ideal_lr(&self, base_lr: f32, t: u64) -> f32 {
+        match *self {
+            LrSchedule::Constant => base_lr,
+            LrSchedule::ShiftDecay { period } => {
+                let shifts = (t / period.max(1)).min(126);
+                base_lr / (1u128 << shifts.min(126)) as f32
+            }
+            LrSchedule::Cosine { total, min_lr } => {
+                let x = (t.min(total) as f32) / (total.max(1) as f32);
+                min_lr
+                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * x).cos())
+            }
+        }
+    }
+
+    /// The learning rate the *hardware* realizes at step `t`: the ideal
+    /// value snapped to the scaler lattice. For `ShiftDecay` this is exact
+    /// whenever the base rate is (the shifter path); for `Cosine` it is the
+    /// §VIII approximation.
+    pub fn hardware_lr(&self, base_lr: f32, t: u64) -> f32 {
+        let ideal = self.ideal_lr(base_lr, t);
+        ScalerValue::approximate(ideal as f64).value() as f32
+    }
+
+    /// Whether the step `t → t+1` transition needs an MRW reprogramming
+    /// (shift decay only reprograms on halving boundaries; cosine whenever
+    /// the lattice value changes).
+    pub fn needs_mrw(&self, base_lr: f32, t: u64) -> bool {
+        match *self {
+            LrSchedule::Constant => false,
+            LrSchedule::ShiftDecay { period } => t > 0 && t % period.max(1) == 0,
+            LrSchedule::Cosine { .. } => {
+                t == 0 || self.hardware_lr(base_lr, t) != self.hardware_lr(base_lr, t - 1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_never_reprograms() {
+        let s = LrSchedule::Constant;
+        for t in 0..100 {
+            assert_eq!(s.ideal_lr(0.01, t), 0.01);
+            assert!(!s.needs_mrw(0.01, t));
+        }
+    }
+
+    #[test]
+    fn shift_decay_halves_exactly() {
+        let s = LrSchedule::ShiftDecay { period: 10 };
+        assert_eq!(s.ideal_lr(0.5, 0), 0.5);
+        assert_eq!(s.ideal_lr(0.5, 9), 0.5);
+        assert_eq!(s.ideal_lr(0.5, 10), 0.25);
+        assert_eq!(s.ideal_lr(0.5, 35), 0.0625);
+        // Power-of-two base: the hardware value is exact at every step.
+        for t in 0..50 {
+            assert_eq!(s.hardware_lr(0.5, t), s.ideal_lr(0.5, t));
+        }
+        // MRW only on halving boundaries.
+        assert!(!s.needs_mrw(0.5, 9));
+        assert!(s.needs_mrw(0.5, 10));
+        assert!(!s.needs_mrw(0.5, 11));
+    }
+
+    #[test]
+    fn cosine_staircase_tracks_ideal_within_lattice_bound() {
+        let s = LrSchedule::Cosine { total: 1000, min_lr: 1e-4 };
+        let base = 0.1f32;
+        let mut last = f32::INFINITY;
+        for t in (0..=1000).step_by(25) {
+            let ideal = s.ideal_lr(base, t);
+            let hw = s.hardware_lr(base, t);
+            assert!(
+                ((hw - ideal) / ideal).abs() < 0.0911,
+                "t={t}: hw {hw} vs ideal {ideal}"
+            );
+            // The staircase is non-increasing along the anneal.
+            assert!(hw <= last + 1e-9, "t={t}");
+            last = hw;
+        }
+        // Ends at the floor.
+        assert!((s.ideal_lr(base, 1000) - 1e-4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_reprograms_sparsely() {
+        // The lattice staircase changes value far less often than every
+        // step — MRW overhead is negligible (the §VIII point).
+        let s = LrSchedule::Cosine { total: 1000, min_lr: 1e-4 };
+        let mrw_count = (1..1000).filter(|&t| s.needs_mrw(0.1, t)).count();
+        // The ±(2ⁿ ± 2ᵐ) lattice has ~7 values per octave; a 0.1 → 1e-4
+        // anneal (≈10 octaves) crosses ~10² lattice points, so the MRW
+        // traffic is ~1 per 9 steps — negligible next to an update kernel.
+        assert!(mrw_count < 150, "{mrw_count} reprogrammings for 1000 steps");
+        assert!(mrw_count > 5);
+    }
+}

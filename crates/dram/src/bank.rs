@@ -1,0 +1,65 @@
+//! Per-bank row state.
+
+/// The row-buffer state of one bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BankState {
+    open_row: Option<u32>,
+}
+
+impl BankState {
+    /// A freshly precharged bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The currently open row, if any.
+    pub fn open_row(&self) -> Option<u32> {
+        self.open_row
+    }
+
+    /// True if `row` is open in this bank (a row-buffer hit).
+    pub fn is_hit(&self, row: u32) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Records an activate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row is already open (the controller must precharge
+    /// first); this catches controller scheduling bugs in tests.
+    pub fn activate(&mut self, row: u32) {
+        assert!(self.open_row.is_none(), "activate while row {:?} open", self.open_row);
+        self.open_row = Some(row);
+    }
+
+    /// Records a precharge (idempotent, as PREA hits closed banks too).
+    pub fn precharge(&mut self) {
+        self.open_row = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_cycle() {
+        let mut b = BankState::new();
+        assert_eq!(b.open_row(), None);
+        b.activate(42);
+        assert!(b.is_hit(42));
+        assert!(!b.is_hit(7));
+        b.precharge();
+        assert_eq!(b.open_row(), None);
+        b.precharge(); // idempotent
+    }
+
+    #[test]
+    #[should_panic(expected = "activate while row")]
+    fn double_activate_panics() {
+        let mut b = BankState::new();
+        b.activate(1);
+        b.activate(2);
+    }
+}

@@ -1,0 +1,1011 @@
+//! The per-channel memory controller.
+//!
+//! A conventional FR-FCFS open-page controller (per-bank transaction queues,
+//! row-hit-first scheduling with a starvation cap, tREFI/tRFC refresh,
+//! write/read turnaround via the timing engine) extended with per-unit
+//! GradPIM queues. PIM command streams execute *in order per unit* — the
+//! fixed-function, deterministic-latency model requirement #1 of the paper —
+//! while still being interleaved with ordinary traffic on the shared command
+//! bus.
+//!
+//! In `CommandIssueMode::Direct` the controller issues at most one command
+//! per tCK for the whole channel (the Fig. 11 bottleneck). In
+//! `PerRankBuffered` each rank's buffer device issues up to one command per
+//! tCK (Fig. 8(b)).
+
+use std::collections::VecDeque;
+
+use crate::address::Address;
+use crate::bank::BankState;
+use crate::command::{BankAddr, Command, CommandKind, PimOp};
+use crate::config::{CommandIssueMode, DramConfig, PimPlacement};
+use crate::pim::{ModeRegisters, PimUnit};
+use crate::power::PowerModel;
+use crate::stats::Stats;
+use crate::storage::Storage;
+use crate::timing::TimingState;
+use crate::trace::TraceEntry;
+
+/// A retired transaction: its id, retire cycle, and (for functional reads)
+/// the data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// Transaction id assigned at enqueue.
+    pub id: u64,
+    /// Memory-clock cycle at which the transaction's effect is complete.
+    pub at_cycle: u64,
+    /// Burst data for functional reads.
+    pub data: Option<Vec<u8>>,
+}
+
+/// Why a transaction could not be accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueError {
+    /// The target queue is at capacity; tick and retry.
+    QueueFull,
+    /// The op needs the §VIII extended ALU but `DramConfig::extended_alu`
+    /// is off.
+    ExtendedAluDisabled,
+}
+
+impl std::fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnqueueError::QueueFull => write!(f, "transaction queue full"),
+            EnqueueError::ExtendedAluDisabled => {
+                write!(f, "extended-ALU op on a device without extended_alu")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
+
+#[derive(Debug)]
+struct ColReq {
+    id: u64,
+    row: u32,
+    col: u32,
+    write: bool,
+    data: Option<Vec<u8>>,
+}
+
+#[derive(Debug)]
+struct PimReq {
+    id: u64,
+    op: PimOp,
+}
+
+/// Per-rank power-down state (JEDEC precharge power-down with tXP exit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PdState {
+    /// Commands may issue.
+    Active,
+    /// Clocks gated; background drops to IDD2P.
+    Down,
+    /// Exiting power-down; active at the stored cycle.
+    Waking(u64),
+}
+
+/// Maximum queue entries inspected for row hits before falling back to the
+/// queue head (FR-FCFS window).
+const HIT_WINDOW: usize = 8;
+/// Consecutive row hits served before the head is prioritized (starvation
+/// cap).
+const MAX_STREAK: u32 = 16;
+
+/// One channel's memory controller, DRAM timing state, and (optionally)
+/// functional storage + PIM register files.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: DramConfig,
+    clock: u64,
+    timing: TimingState,
+    banks: Vec<BankState>,
+    bank_q: Vec<VecDeque<ColReq>>,
+    hit_streak: Vec<u32>,
+    pim_q: Vec<VecDeque<PimReq>>,
+    refresh_due: Vec<u64>,
+    refresh_pending: Vec<bool>,
+    rr_bank: usize,
+    rr_unit: usize,
+    pending: usize,
+    last_done: u64,
+    power: PowerModel,
+    stats: Stats,
+    storage: Option<Storage>,
+    units: Vec<PimUnit>,
+    mode: ModeRegisters,
+    completions: Vec<Completion>,
+    trace: Option<Vec<TraceEntry>>,
+    pd: Vec<PdState>,
+    idle: Vec<u64>,
+}
+
+impl Controller {
+    /// Creates a controller; `functional` enables byte-level storage and PIM
+    /// register execution.
+    pub fn new(cfg: &DramConfig, functional: bool) -> Self {
+        let nbanks = cfg.ranks * cfg.banks_per_rank();
+        let nunits = match cfg.pim_placement {
+            PimPlacement::PerBankGroup => cfg.ranks * cfg.bankgroups,
+            PimPlacement::PerBank => nbanks,
+        };
+        Self {
+            cfg: cfg.clone(),
+            clock: 0,
+            timing: TimingState::new(cfg),
+            banks: vec![BankState::new(); nbanks],
+            bank_q: (0..nbanks).map(|_| VecDeque::new()).collect(),
+            hit_streak: vec![0; nbanks],
+            pim_q: (0..cfg.ranks * cfg.bankgroups).map(|_| VecDeque::new()).collect(),
+            refresh_due: (0..cfg.ranks).map(|r| cfg.trefi + r as u64 * 32).collect(),
+            refresh_pending: vec![false; cfg.ranks],
+            rr_bank: 0,
+            rr_unit: 0,
+            pending: 0,
+            last_done: 0,
+            power: PowerModel::new(cfg),
+            stats: Stats::default(),
+            storage: functional.then(|| Storage::new(cfg.columns, cfg.burst_bytes)),
+            units: (0..nunits).map(|_| PimUnit::new(cfg.burst_bytes)).collect(),
+            mode: ModeRegisters::default(),
+            completions: Vec::new(),
+            trace: None,
+            pd: vec![PdState::Active; cfg.ranks],
+            idle: vec![0; cfg.ranks],
+        }
+    }
+
+    /// Starts recording every issued command (for
+    /// [`crate::trace::verify_trace`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Takes the recorded trace (empty if tracing was never enabled).
+    pub fn take_trace(&mut self) -> Vec<TraceEntry> {
+        self.trace.take().map(|t| {
+            self.trace = Some(Vec::new());
+            t
+        }).unwrap_or_default()
+    }
+
+    /// Current memory-clock cycle.
+    pub fn cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Transactions accepted but not yet retired.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// True when all queues are empty and all in-flight bursts have landed.
+    pub fn is_drained(&self) -> bool {
+        self.pending == 0 && self.clock >= self.last_done
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Programs the unit mode registers (MRW).
+    pub fn set_mode(&mut self, mode: ModeRegisters) {
+        self.mode = mode;
+    }
+
+    /// The current mode registers.
+    pub fn mode(&self) -> &ModeRegisters {
+        &self.mode
+    }
+
+    /// Functional storage backdoor (None in performance-only mode).
+    pub fn storage(&self) -> Option<&Storage> {
+        self.storage.as_ref()
+    }
+
+    /// Mutable functional storage backdoor.
+    pub fn storage_mut(&mut self) -> Option<&mut Storage> {
+        self.storage.as_mut()
+    }
+
+    /// Drains retired transactions.
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    fn flat_bank(&self, b: BankAddr) -> usize {
+        (b.rank as usize * self.cfg.bankgroups + b.bankgroup as usize) * self.cfg.banks_per_group
+            + b.bank as usize
+    }
+
+    fn flat_unit(&self, rank: u8, bankgroup: u8, bank: u8) -> usize {
+        match self.cfg.pim_placement {
+            PimPlacement::PerBankGroup => rank as usize * self.cfg.bankgroups + bankgroup as usize,
+            PimPlacement::PerBank => (rank as usize * self.cfg.bankgroups + bankgroup as usize)
+                * self.cfg.banks_per_group
+                + bank as usize,
+        }
+    }
+
+    /// Enqueues an external read for `addr` (within this channel).
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::QueueFull`] if the bank queue is at capacity.
+    pub fn enqueue_read(&mut self, id: u64, addr: Address) -> Result<(), EnqueueError> {
+        let fb = addr.flat_bank(&self.cfg);
+        if self.bank_q[fb].len() >= self.cfg.queue_depth {
+            return Err(EnqueueError::QueueFull);
+        }
+        self.bank_q[fb].push_back(ColReq {
+            id,
+            row: addr.row as u32,
+            col: addr.column as u32,
+            write: false,
+            data: None,
+        });
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Enqueues an external write for `addr`, optionally carrying burst data
+    /// for functional mode.
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::QueueFull`] if the bank queue is at capacity.
+    pub fn enqueue_write(
+        &mut self,
+        id: u64,
+        addr: Address,
+        data: Option<Vec<u8>>,
+    ) -> Result<(), EnqueueError> {
+        let fb = addr.flat_bank(&self.cfg);
+        if self.bank_q[fb].len() >= self.cfg.queue_depth {
+            return Err(EnqueueError::QueueFull);
+        }
+        self.bank_q[fb].push_back(ColReq {
+            id,
+            row: addr.row as u32,
+            col: addr.column as u32,
+            write: true,
+            data,
+        });
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// Enqueues one GradPIM micro-op for the unit at (`rank`, `bankgroup`).
+    /// Ops execute in order per bank group.
+    ///
+    /// # Errors
+    ///
+    /// [`EnqueueError::QueueFull`] if the PIM queue is at capacity.
+    pub fn enqueue_pim(&mut self, id: u64, rank: u8, bankgroup: u8, op: PimOp) -> Result<(), EnqueueError> {
+        if op.kind().is_extended() && !self.cfg.extended_alu {
+            return Err(EnqueueError::ExtendedAluDisabled);
+        }
+        let q = rank as usize * self.cfg.bankgroups + bankgroup as usize;
+        if self.pim_q[q].len() >= self.cfg.queue_depth * 4 {
+            return Err(EnqueueError::QueueFull);
+        }
+        self.pim_q[q].push_back(PimReq { id, op });
+        self.pending += 1;
+        Ok(())
+    }
+
+    /// True when rank `r` has queued or in-progress work (pending bank/PIM
+    /// requests, an open row, or a due refresh).
+    fn rank_has_work(&self, r: usize) -> bool {
+        if self.refresh_pending[r] {
+            return true;
+        }
+        let bank_base = r * self.cfg.banks_per_rank();
+        let busy_banks = (0..self.cfg.banks_per_rank()).any(|b| {
+            !self.bank_q[bank_base + b].is_empty()
+                || self.banks[bank_base + b].open_row().is_some()
+        });
+        if busy_banks {
+            return true;
+        }
+        let unit_base = r * self.cfg.bankgroups;
+        (0..self.cfg.bankgroups).any(|g| !self.pim_q[unit_base + g].is_empty())
+    }
+
+    /// Power-down bookkeeping for one rank (JEDEC precharge power-down:
+    /// enter after `powerdown_idle` idle cycles, exit over tXP).
+    fn update_powerdown(&mut self, r: usize) {
+        match self.pd[r] {
+            PdState::Active => {
+                if self.rank_has_work(r) {
+                    self.idle[r] = 0;
+                } else {
+                    self.idle[r] += 1;
+                    if self.idle[r] >= self.cfg.powerdown_idle {
+                        self.pd[r] = PdState::Down;
+                    }
+                }
+            }
+            PdState::Down => {
+                if self.rank_has_work(r) {
+                    self.pd[r] = PdState::Waking(self.clock + self.cfg.txp);
+                }
+            }
+            PdState::Waking(until) => {
+                if self.clock >= until {
+                    self.pd[r] = PdState::Active;
+                    self.idle[r] = 0;
+                }
+            }
+        }
+    }
+
+    fn rank_issuable(&self, r: usize) -> bool {
+        self.pd[r] == PdState::Active
+    }
+
+    /// Advances one memory-clock cycle: refresh bookkeeping, power-down
+    /// transitions, command issue, background energy.
+    pub fn tick(&mut self) {
+        for r in 0..self.cfg.ranks {
+            if self.clock >= self.refresh_due[r] {
+                self.refresh_pending[r] = true;
+            }
+            self.update_powerdown(r);
+        }
+        match self.cfg.issue_mode {
+            CommandIssueMode::Direct => {
+                self.try_issue(None);
+            }
+            CommandIssueMode::PerRankBuffered => {
+                for r in 0..self.cfg.ranks {
+                    self.try_issue(Some(r as u8));
+                }
+            }
+        }
+        // Background energy per rank-cycle.
+        for r in 0..self.cfg.ranks {
+            if self.pd[r] == PdState::Down {
+                self.stats.energy.background_pj += self.power.bg_powerdown_pj;
+                self.stats.powerdown_cycles += 1;
+                continue;
+            }
+            let base = r * self.cfg.banks_per_rank();
+            let any_open =
+                (0..self.cfg.banks_per_rank()).any(|b| self.banks[base + b].open_row().is_some());
+            self.stats.energy.background_pj += if any_open {
+                self.power.bg_active_pj
+            } else {
+                self.power.bg_precharged_pj
+            };
+        }
+        self.clock += 1;
+        self.stats.cycles = self.clock;
+    }
+
+    fn rank_matches(filter: Option<u8>, rank: u8) -> bool {
+        filter.map_or(true, |f| f == rank)
+    }
+
+    fn try_issue(&mut self, filter: Option<u8>) {
+        if self.try_refresh(filter) {
+            return;
+        }
+        if self.clock % 2 == 0 {
+            if self.try_pim(filter) {
+                return;
+            }
+            let _ = self.try_banks(filter);
+        } else {
+            if self.try_banks(filter) {
+                return;
+            }
+            let _ = self.try_pim(filter);
+        }
+    }
+
+    fn try_refresh(&mut self, filter: Option<u8>) -> bool {
+        for r in 0..self.cfg.ranks {
+            if !self.refresh_pending[r]
+                || !Self::rank_matches(filter, r as u8)
+                || !self.rank_issuable(r)
+            {
+                continue;
+            }
+            let base = r * self.cfg.banks_per_rank();
+            let all_closed =
+                (0..self.cfg.banks_per_rank()).all(|b| self.banks[base + b].open_row().is_none());
+            if all_closed {
+                let cmd = Command::Refresh { rank: r as u8 };
+                if self.timing.earliest(&cmd) <= self.clock {
+                    self.issue(cmd);
+                    self.refresh_pending[r] = false;
+                    self.refresh_due[r] += self.cfg.trefi;
+                    return true;
+                }
+            } else {
+                // Close one open bank; pick the first whose precharge timing
+                // is satisfied.
+                for b in 0..self.cfg.banks_per_rank() {
+                    if self.banks[base + b].open_row().is_some() {
+                        let bank = BankAddr {
+                            rank: r as u8,
+                            bankgroup: (b / self.cfg.banks_per_group) as u8,
+                            bank: (b % self.cfg.banks_per_group) as u8,
+                        };
+                        let cmd = Command::Precharge { bank };
+                        if self.timing.earliest(&cmd) <= self.clock {
+                            self.issue(cmd);
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn try_pim(&mut self, filter: Option<u8>) -> bool {
+        let nunits = self.pim_q.len();
+        for i in 0..nunits {
+            let u = (self.rr_unit + i) % nunits;
+            let rank = (u / self.cfg.bankgroups) as u8;
+            let bankgroup = (u % self.cfg.bankgroups) as u8;
+            if !Self::rank_matches(filter, rank)
+                || self.pim_q[u].is_empty()
+                || !self.rank_issuable(rank as usize)
+            {
+                continue;
+            }
+            let op = self.pim_q[u].front().expect("non-empty").op;
+            if let Some((bank, row)) = op.row_target() {
+                let addr = BankAddr { rank, bankgroup, bank };
+                let fb = self.flat_bank(addr);
+                match self.banks[fb].open_row() {
+                    None => {
+                        if self.refresh_pending[rank as usize] {
+                            continue;
+                        }
+                        let cmd = Command::Activate { bank: addr, row };
+                        if self.timing.earliest(&cmd) <= self.clock {
+                            self.issue(cmd);
+                            self.rr_unit = (u + 1) % nunits;
+                            return true;
+                        }
+                    }
+                    Some(open) if open != row => {
+                        let cmd = Command::Precharge { bank: addr };
+                        if self.timing.earliest(&cmd) <= self.clock {
+                            self.issue(cmd);
+                            self.rr_unit = (u + 1) % nunits;
+                            return true;
+                        }
+                    }
+                    Some(_) => {
+                        let cmd = op.to_command(rank, bankgroup);
+                        if self.timing.earliest(&cmd) <= self.clock {
+                            let req = self.pim_q[u].pop_front().expect("non-empty");
+                            self.issue(cmd);
+                            self.retire_pim(req, op);
+                            self.rr_unit = (u + 1) % nunits;
+                            return true;
+                        }
+                    }
+                }
+            } else {
+                let cmd = op.to_command(rank, bankgroup);
+                if self.timing.earliest(&cmd) <= self.clock {
+                    let req = self.pim_q[u].pop_front().expect("non-empty");
+                    self.issue(cmd);
+                    self.retire_pim(req, op);
+                    self.rr_unit = (u + 1) % nunits;
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    fn retire_pim(&mut self, req: PimReq, op: PimOp) {
+        let done = self.clock
+            + if op.kind().is_pim_alu() { self.cfg.tpim } else { self.cfg.tccd_l };
+        self.finish(req.id, done, None);
+    }
+
+    fn try_banks(&mut self, filter: Option<u8>) -> bool {
+        let nbanks = self.banks.len();
+        for i in 0..nbanks {
+            let fb = (self.rr_bank + i) % nbanks;
+            let rank = (fb / self.cfg.banks_per_rank()) as u8;
+            if !Self::rank_matches(filter, rank)
+                || self.bank_q[fb].is_empty()
+                || !self.rank_issuable(rank as usize)
+            {
+                continue;
+            }
+            let within = fb % self.cfg.banks_per_rank();
+            let addr = BankAddr {
+                rank,
+                bankgroup: (within / self.cfg.banks_per_group) as u8,
+                bank: (within % self.cfg.banks_per_group) as u8,
+            };
+            match self.banks[fb].open_row() {
+                None => {
+                    if self.refresh_pending[rank as usize] {
+                        continue;
+                    }
+                    let row = self.bank_q[fb].front().expect("non-empty").row;
+                    let cmd = Command::Activate { bank: addr, row };
+                    if self.timing.earliest(&cmd) <= self.clock {
+                        self.issue(cmd);
+                        self.hit_streak[fb] = 0;
+                        self.rr_bank = (fb + 1) % nbanks;
+                        return true;
+                    }
+                }
+                Some(open) => {
+                    // FR-FCFS: serve a row hit from the window unless the
+                    // streak cap forces head progress.
+                    let hit = if self.hit_streak[fb] < MAX_STREAK {
+                        self.bank_q[fb]
+                            .iter()
+                            .take(HIT_WINDOW)
+                            .position(|r| r.row == open)
+                    } else {
+                        // only the head counts once the cap is hit
+                        self.bank_q[fb].front().and_then(|r| (r.row == open).then_some(0))
+                    };
+                    if let Some(pos) = hit {
+                        let req = &self.bank_q[fb][pos];
+                        let cmd = if req.write {
+                            Command::Write { bank: addr, row: open, col: req.col }
+                        } else {
+                            Command::Read { bank: addr, row: open, col: req.col }
+                        };
+                        if self.timing.earliest(&cmd) <= self.clock {
+                            let req = self.bank_q[fb].remove(pos).expect("in range");
+                            self.issue_col(cmd, req);
+                            self.hit_streak[fb] = if pos == 0 && self.bank_q[fb].is_empty() {
+                                0
+                            } else {
+                                self.hit_streak[fb] + 1
+                            };
+                            self.rr_bank = (fb + 1) % nbanks;
+                            return true;
+                        }
+                    } else {
+                        let cmd = Command::Precharge { bank: addr };
+                        if self.timing.earliest(&cmd) <= self.clock {
+                            self.issue(cmd);
+                            self.hit_streak[fb] = 0;
+                            self.rr_bank = (fb + 1) % nbanks;
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn issue_col(&mut self, cmd: Command, req: ColReq) {
+        self.issue(cmd);
+        let fb = self.flat_bank(cmd.bank().expect("column command"));
+        if req.write {
+            if let (Some(storage), Some(data)) = (self.storage.as_mut(), req.data.as_ref()) {
+                storage.write_col(fb, req.row, req.col, data);
+            }
+            let done = self.clock + self.cfg.tcwl + self.cfg.tburst;
+            self.finish(req.id, done, None);
+        } else {
+            let data = self.storage.as_ref().map(|s| s.read_col(fb, req.row, req.col));
+            let done = self.clock + self.cfg.tcl + self.cfg.tburst;
+            self.finish(req.id, done, data);
+        }
+    }
+
+    fn finish(&mut self, id: u64, done: u64, data: Option<Vec<u8>>) {
+        self.pending -= 1;
+        self.last_done = self.last_done.max(done);
+        self.stats.completed += 1;
+        self.completions.push(Completion { id, at_cycle: done, data });
+    }
+
+    /// Issues `cmd` now: timing bookkeeping, bank state, stats, energy, and
+    /// functional PIM effects.
+    fn issue(&mut self, cmd: Command) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry { cycle: self.clock, cmd });
+        }
+        self.timing.issue(&cmd, self.clock);
+        let kind = cmd.kind();
+        self.stats.record(kind);
+        match kind {
+            CommandKind::Activate => {
+                if let Command::Activate { bank, row } = cmd {
+                    let fb = self.flat_bank(bank);
+                    self.banks[fb].activate(row);
+                }
+                self.stats.energy.act_pj += self.power.act_pre_pj;
+            }
+            CommandKind::Precharge => {
+                if let Command::Precharge { bank } = cmd {
+                    let fb = self.flat_bank(bank);
+                    self.banks[fb].precharge();
+                }
+            }
+            CommandKind::PrechargeAll => {
+                let rank = cmd.rank() as usize;
+                let base = rank * self.cfg.banks_per_rank();
+                for b in 0..self.cfg.banks_per_rank() {
+                    self.banks[base + b].precharge();
+                }
+            }
+            CommandKind::Read => {
+                self.stats.energy.rd_pj += self.power.rd_pj;
+                self.stats.energy.io_pj += self.power.io_pj;
+                self.stats.external_read_bytes += self.cfg.burst_bytes as u64;
+                self.stats.data_bus_busy += self.cfg.tburst;
+            }
+            CommandKind::Write => {
+                self.stats.energy.wr_pj += self.power.wr_pj;
+                self.stats.energy.io_pj += self.power.io_pj;
+                self.stats.external_write_bytes += self.cfg.burst_bytes as u64;
+                self.stats.data_bus_busy += self.cfg.tburst;
+            }
+            CommandKind::Refresh => {
+                self.stats.energy.refresh_pj += self.power.refresh_pj;
+            }
+            CommandKind::ScaledRead | CommandKind::QRegLoad => {
+                self.stats.energy.pim_pj += self.power.pim_xfer_pj;
+                if kind == CommandKind::ScaledRead {
+                    self.stats.energy.pim_pj += self.power.scaler_pj;
+                }
+                self.stats.internal_read_bytes += self.cfg.burst_bytes as u64;
+                self.exec_pim(cmd);
+            }
+            CommandKind::Writeback | CommandKind::QRegStore => {
+                self.stats.energy.pim_pj += self.power.pim_xfer_pj;
+                self.stats.internal_write_bytes += self.cfg.burst_bytes as u64;
+                self.exec_pim(cmd);
+            }
+            CommandKind::PimAdd
+            | CommandKind::PimSub
+            | CommandKind::Quant
+            | CommandKind::Dequant
+            | CommandKind::PimMul
+            | CommandKind::PimRsqrt => {
+                self.stats.energy.pim_pj += self.power.pim_alu_pj;
+                self.exec_pim(cmd);
+            }
+        }
+    }
+
+    /// Executes the functional semantics of a PIM command, when storage is
+    /// enabled.
+    fn exec_pim(&mut self, cmd: Command) {
+        if self.storage.is_none() {
+            return;
+        }
+        let mode = self.mode;
+        match cmd {
+            Command::ScaledRead { bank, row, col, scaler, dst } => {
+                let fb = self.flat_bank(bank);
+                let u = self.flat_unit(bank.rank, bank.bankgroup, bank.bank);
+                let storage = self.storage.as_ref().expect("checked");
+                // Split borrow: read column first, then mutate the unit.
+                let unit = &mut self.units[u];
+                unit.scaled_read(storage, &mode, fb, row, col, scaler, dst);
+            }
+            Command::Writeback { bank, row, col, src } => {
+                let fb = self.flat_bank(bank);
+                let u = self.flat_unit(bank.rank, bank.bankgroup, bank.bank);
+                let unit = &self.units[u];
+                // Clone the source register to end the immutable borrow.
+                let reg = unit.temp(src as usize & 1).to_vec();
+                let storage = self.storage.as_mut().expect("checked");
+                storage.write_col(fb, row, col, &reg);
+            }
+            Command::QRegLoad { bank, row, col } => {
+                let fb = self.flat_bank(bank);
+                let u = self.flat_unit(bank.rank, bank.bankgroup, bank.bank);
+                let storage = self.storage.as_ref().expect("checked");
+                self.units[u].qreg_load(storage, fb, row, col);
+            }
+            Command::QRegStore { bank, row, col } => {
+                let fb = self.flat_bank(bank);
+                let u = self.flat_unit(bank.rank, bank.bankgroup, bank.bank);
+                let reg = self.units[u].quant_reg().to_vec();
+                let storage = self.storage.as_mut().expect("checked");
+                storage.poke(fb, row, col, &reg);
+            }
+            Command::PimAdd { unit, dst } => {
+                let u = self.flat_unit(unit.rank, unit.bankgroup, unit.bank);
+                self.units[u].add(&mode, dst);
+            }
+            Command::PimSub { unit, dst } => {
+                let u = self.flat_unit(unit.rank, unit.bankgroup, unit.bank);
+                self.units[u].sub(&mode, dst);
+            }
+            Command::Quant { unit, pos, src } => {
+                let u = self.flat_unit(unit.rank, unit.bankgroup, unit.bank);
+                self.units[u].quant_op(&mode, pos, src);
+            }
+            Command::Dequant { unit, pos, dst } => {
+                let u = self.flat_unit(unit.rank, unit.bankgroup, unit.bank);
+                self.units[u].dequant_op(&mode, pos, dst);
+            }
+            Command::PimMul { unit, dst } => {
+                let u = self.flat_unit(unit.rank, unit.bankgroup, unit.bank);
+                self.units[u].mul(&mode, dst);
+            }
+            Command::PimRsqrt { unit, dst } => {
+                let u = self.flat_unit(unit.rank, unit.bankgroup, unit.bank);
+                self.units[u].rsqrt(&mode, dst);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(rank: usize, bg: usize, bank: usize, row: usize, col: usize) -> Address {
+        Address { channel: 0, rank, bankgroup: bg, bank, row, column: col }
+    }
+
+    fn drain(c: &mut Controller, limit: u64) -> u64 {
+        let start = c.cycles();
+        while !c.is_drained() {
+            c.tick();
+            assert!(c.cycles() - start < limit, "controller did not drain in {limit} cycles");
+        }
+        c.cycles() - start
+    }
+
+    #[test]
+    fn single_read_latency() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        c.enqueue_read(1, addr(0, 0, 0, 5, 3)).unwrap();
+        drain(&mut c, 1000);
+        let comps = c.take_completions();
+        assert_eq!(comps.len(), 1);
+        // ACT at ~0, RD at tRCD, data at +tCL+tBURST.
+        assert_eq!(comps[0].at_cycle, cfg.trcd + cfg.tcl + cfg.tburst);
+        assert_eq!(c.stats().count(CommandKind::Activate), 1);
+        assert_eq!(c.stats().count(CommandKind::Read), 1);
+    }
+
+    #[test]
+    fn row_hits_avoid_reactivation() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        for col in 0..8 {
+            c.enqueue_read(col as u64, addr(0, 0, 0, 7, col)).unwrap();
+        }
+        drain(&mut c, 5000);
+        assert_eq!(c.stats().count(CommandKind::Activate), 1);
+        assert_eq!(c.stats().count(CommandKind::Read), 8);
+    }
+
+    #[test]
+    fn row_conflict_precharges() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        c.enqueue_read(1, addr(0, 0, 0, 1, 0)).unwrap();
+        c.enqueue_read(2, addr(0, 0, 0, 2, 0)).unwrap();
+        drain(&mut c, 5000);
+        assert_eq!(c.stats().count(CommandKind::Activate), 2);
+        assert_eq!(c.stats().count(CommandKind::Precharge), 1);
+    }
+
+    #[test]
+    fn streaming_reads_hit_peak_bandwidth() {
+        // Reads striped across bank groups should sustain ~one burst per
+        // tCCD_S — the external bus ceiling.
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        let n = 256;
+        for i in 0..n {
+            c.enqueue_read(i as u64, addr(0, i % 4, 0, 0, i / 4)).unwrap();
+        }
+        drain(&mut c, 100_000);
+        let cycles = c.cycles();
+        let ideal = n as u64 * cfg.tccd_s;
+        assert!(
+            cycles < ideal + ideal / 4 + 100,
+            "streaming took {cycles} vs ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn functional_write_then_read() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, true);
+        let data: Vec<u8> = (0..64).collect();
+        c.enqueue_write(1, addr(0, 1, 2, 3, 4), Some(data.clone())).unwrap();
+        c.enqueue_read(2, addr(0, 1, 2, 3, 4)).unwrap();
+        drain(&mut c, 5000);
+        let comps = c.take_completions();
+        let read = comps.iter().find(|c| c.id == 2).expect("read completion");
+        assert_eq!(read.data.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn refresh_happens_on_schedule() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        // Idle for two tREFI windows: every rank refreshes twice.
+        for _ in 0..2 * cfg.trefi + cfg.trfc * 4 {
+            c.tick();
+        }
+        let refs = c.stats().count(CommandKind::Refresh);
+        assert_eq!(refs as usize, 2 * cfg.ranks, "refresh count {refs}");
+    }
+
+    #[test]
+    fn refresh_closes_open_rows_first() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        c.enqueue_read(1, addr(0, 0, 0, 5, 0)).unwrap();
+        drain(&mut c, 1000);
+        // Row 5 is open; run past tREFI and ensure a refresh still occurred.
+        for _ in 0..cfg.trefi + 10 * cfg.trfc {
+            c.tick();
+        }
+        assert!(c.stats().count(CommandKind::Refresh) >= 1);
+        assert!(c.stats().count(CommandKind::Precharge) >= 1);
+    }
+
+    #[test]
+    fn pim_kernel_executes_in_order_with_single_activation_set() {
+        // A miniature momentum-style kernel over 4 columns, three arrays in
+        // three banks of one bank group: rows are activated once (plus the
+        // cold ACT), never per column — the §IV-D "no unnecessary row
+        // activations" property.
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        let mut id = 0;
+        for col in 0..4u32 {
+            for (bank, scaler) in [(0u8, 0u8), (1, 1)] {
+                id += 1;
+                c.enqueue_pim(
+                    id,
+                    0,
+                    0,
+                    PimOp::ScaledRead { bank, row: 0, col, scaler, dst: (bank & 1), },
+                )
+                .unwrap();
+            }
+            id += 1;
+            c.enqueue_pim(id, 0, 0, PimOp::Add { bank: 0, dst: 1 }).unwrap();
+            id += 1;
+            c.enqueue_pim(id, 0, 0, PimOp::Writeback { bank: 2, row: 0, col, src: 1 }).unwrap();
+        }
+        drain(&mut c, 50_000);
+        assert_eq!(c.stats().count(CommandKind::Activate), 3, "one ACT per bank only");
+        assert_eq!(c.stats().count(CommandKind::ScaledRead), 8);
+        assert_eq!(c.stats().count(CommandKind::PimAdd), 4);
+        assert_eq!(c.stats().count(CommandKind::Writeback), 4);
+        // No external data moved at all.
+        assert_eq!(c.stats().external_bytes(), 0);
+        assert_eq!(c.stats().internal_bytes(), 12 * 64);
+    }
+
+    #[test]
+    fn pim_streams_in_different_bankgroups_overlap() {
+        // Two units working in parallel should take much less than 2× one
+        // unit's time (bank-group-level parallelism, §IV-A).
+        let cfg = DramConfig::ddr4_2133();
+        let run = |groups: &[u8]| {
+            let mut c = Controller::new(&cfg, false);
+            let mut id = 0;
+            for &bg in groups {
+                for col in 0..64u32 {
+                    id += 1;
+                    c.enqueue_pim(
+                        id,
+                        0,
+                        bg,
+                        PimOp::ScaledRead { bank: 0, row: 0, col, scaler: 0, dst: 0 },
+                    )
+                    .unwrap();
+                    id += 1;
+                    c.enqueue_pim(id, 0, bg, PimOp::Writeback { bank: 1, row: 0, col, src: 0 })
+                        .unwrap();
+                }
+            }
+            let mut cc = c;
+            drain(&mut cc, 500_000)
+        };
+        let one = run(&[0]);
+        let two = run(&[0, 1]);
+        assert!(
+            (two as f64) < one as f64 * 1.35,
+            "two groups took {two} vs one group {one}"
+        );
+    }
+
+    #[test]
+    fn idle_ranks_enter_powerdown_and_save_energy() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut pd = Controller::new(&cfg, false);
+        let mut no_pd_cfg = cfg.clone();
+        no_pd_cfg.powerdown_idle = u64::MAX;
+        let mut no_pd = Controller::new(&no_pd_cfg, false);
+        // Idle both for one refresh-free window.
+        for _ in 0..4000 {
+            pd.tick();
+            no_pd.tick();
+        }
+        assert!(pd.stats().powerdown_cycles > 3000 * cfg.ranks as u64 / 2);
+        assert_eq!(no_pd.stats().powerdown_cycles, 0);
+        assert!(
+            pd.stats().energy.background_pj < no_pd.stats().energy.background_pj * 0.85,
+            "pd {} vs no-pd {}",
+            pd.stats().energy.background_pj,
+            no_pd.stats().energy.background_pj
+        );
+    }
+
+    #[test]
+    fn powerdown_exit_costs_txp() {
+        let cfg = DramConfig::ddr4_2133();
+        // Fresh controller: read completes at tRCD + tCL + tBURST.
+        let mut fresh = Controller::new(&cfg, false);
+        fresh.enqueue_read(1, addr(0, 0, 0, 5, 3)).unwrap();
+        drain(&mut fresh, 1000);
+        let fresh_latency = fresh.take_completions()[0].at_cycle;
+
+        // Powered-down controller: same read pays the tXP wake.
+        let mut slept = Controller::new(&cfg, false);
+        let idle = cfg.powerdown_idle + 10;
+        for _ in 0..idle {
+            slept.tick();
+        }
+        assert!(slept.stats().powerdown_cycles > 0, "rank should be asleep");
+        let start = slept.cycles();
+        slept.enqueue_read(1, addr(0, 0, 0, 5, 3)).unwrap();
+        drain(&mut slept, 1000);
+        let slept_latency = slept.take_completions()[0].at_cycle - start;
+        assert!(
+            slept_latency >= fresh_latency + cfg.txp,
+            "slept {slept_latency} vs fresh {fresh_latency} + tXP {}",
+            cfg.txp
+        );
+    }
+
+    #[test]
+    fn refresh_wakes_powered_down_ranks() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        // Idle across a full refresh interval: ranks power down at ~64
+        // cycles, then must wake to refresh on schedule.
+        for _ in 0..cfg.trefi + 20 * cfg.trfc {
+            c.tick();
+        }
+        assert!(c.stats().count(CommandKind::Refresh) >= cfg.ranks as u64);
+        assert!(c.stats().powerdown_cycles > 0);
+    }
+
+    #[test]
+    fn queue_full_backpressure() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        let mut accepted = 0;
+        loop {
+            match c.enqueue_read(accepted, addr(0, 0, 0, 0, 0)) {
+                Ok(()) => accepted += 1,
+                Err(EnqueueError::QueueFull) => break,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(accepted as usize, cfg.queue_depth);
+    }
+}

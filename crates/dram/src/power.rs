@@ -1,0 +1,226 @@
+//! Energy model: Micron power-calculator formulas over the Table II IDD
+//! values, plus the Table III GradPIM-unit layout numbers.
+//!
+//! All per-event energies are in picojoules. The formulas follow the Micron
+//! DDR4 system-power calculator (the paper's §VI-A reference) as implemented
+//! by DRAMsim3:
+//!
+//! * one ACT/PRE pair: `(IDD0·tRC − (IDD3N·tRAS + IDD2N·(tRC−tRAS)))·tCK·VDD`
+//! * one read burst: `(IDD4R − IDD3N)·tBURST·tCK·VDD` (+ I/O energy)
+//! * one write burst: `(IDD4W − IDD3N)·tBURST·tCK·VDD` (+ I/O energy)
+//! * one PIM-internal column transfer: `(IDDpre − IDD3N)·tBURST·tCK·VDD`,
+//!   following the partial-activation model of O'Connor et al. that the
+//!   paper cites for IDDpre
+//! * background: `IDD3N·tCK·VDD` (any row open) or `IDD2N·tCK·VDD`
+//!   (all precharged) per rank-cycle.
+
+use crate::config::DramConfig;
+
+/// Per-event energies derived from a [`DramConfig`] (all pJ).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// One ACT+PRE pair.
+    pub act_pre_pj: f64,
+    /// One external read burst (array energy, excluding I/O).
+    pub rd_pj: f64,
+    /// One external write burst (array energy, excluding I/O).
+    pub wr_pj: f64,
+    /// One bank-group-internal column transfer (scaled read, writeback,
+    /// q-reg load/store).
+    pub pim_xfer_pj: f64,
+    /// Off-chip I/O + termination for one external burst.
+    pub io_pj: f64,
+    /// One all-bank refresh.
+    pub refresh_pj: f64,
+    /// Background, one rank-cycle with at least one open row.
+    pub bg_active_pj: f64,
+    /// Background, one rank-cycle fully precharged.
+    pub bg_precharged_pj: f64,
+    /// Background, one rank-cycle in precharge power-down (IDD2P).
+    pub bg_powerdown_pj: f64,
+    /// One GradPIM ALU operation (Table III logic power × tPIM).
+    pub pim_alu_pj: f64,
+    /// One pass through the scaler (applies to scaled reads).
+    pub scaler_pj: f64,
+}
+
+impl PowerModel {
+    /// Builds the per-event energy table for `cfg`.
+    pub fn new(cfg: &DramConfig) -> Self {
+        let tck = cfg.tck_ps as f64 / 1000.0; // ns
+        let v = cfg.vdd;
+        let act_pre_pj = (cfg.idd0 * cfg.trc as f64
+            - (cfg.idd3n * cfg.tras as f64 + cfg.idd2n * (cfg.trc - cfg.tras) as f64))
+            * tck
+            * v;
+        let rd_pj = (cfg.idd4r - cfg.idd3n) * cfg.tburst as f64 * tck * v;
+        let wr_pj = (cfg.idd4w - cfg.idd3n) * cfg.tburst as f64 * tck * v;
+        let pim_xfer_pj = (cfg.iddpre - cfg.idd3n) * cfg.tburst as f64 * tck * v;
+        let io_pj = cfg.io_pj_per_bit * cfg.burst_bytes as f64 * 8.0;
+        // Table II lacks IDD5; model an all-bank refresh as one ACT/PRE pair
+        // per bank of the rank, the canonical approximation.
+        let refresh_pj = act_pre_pj * cfg.banks_per_rank() as f64;
+        let bg_active_pj = cfg.idd3n * tck * v;
+        let bg_precharged_pj = cfg.idd2n * tck * v;
+        let bg_powerdown_pj = cfg.idd2p * tck * v;
+        let layout = PimLayout::paper();
+        let tpim_ns = cfg.tpim as f64 * tck;
+        let pim_alu_pj = layout.adder_power_mw * tpim_ns;
+        let scaler_pj = layout.scaler_power_mw * tpim_ns;
+        Self {
+            act_pre_pj,
+            rd_pj,
+            wr_pj,
+            pim_xfer_pj,
+            io_pj,
+            refresh_pj,
+            bg_active_pj,
+            bg_precharged_pj,
+            bg_powerdown_pj,
+            pim_alu_pj,
+            scaler_pj,
+        }
+    }
+}
+
+/// The Table III layout results: a GradPIM unit synthesized at 45 nm under
+/// DRAM-process constraints (3 metal layers, 70 % utilization) and scaled to
+/// 32 nm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimLayout {
+    /// Adder area (µm²).
+    pub adder_um2: f64,
+    /// Adder power (mW).
+    pub adder_power_mw: f64,
+    /// Quantize-unit area (µm²).
+    pub quantize_um2: f64,
+    /// Quantize-unit power (mW).
+    pub quantize_power_mw: f64,
+    /// Dequantize-unit area (µm²).
+    pub dequantize_um2: f64,
+    /// Dequantize-unit power (mW).
+    pub dequantize_power_mw: f64,
+    /// Scaler area (µm²).
+    pub scaler_um2: f64,
+    /// Scaler power (mW).
+    pub scaler_power_mw: f64,
+    /// Area of one register (µm²); each unit has three (two temporary + one
+    /// quantization).
+    pub register_um2: f64,
+    /// Power of one register (mW).
+    pub register_power_mw: f64,
+    /// Number of GradPIM units per device (one per bank group).
+    pub units: usize,
+}
+
+impl PimLayout {
+    /// The exact Table III values.
+    pub fn paper() -> Self {
+        Self {
+            adder_um2: 320.1,
+            adder_power_mw: 0.058,
+            quantize_um2: 275.4,
+            quantize_power_mw: 0.056,
+            dequantize_um2: 244.8,
+            dequantize_power_mw: 0.041,
+            scaler_um2: 606.1,
+            scaler_power_mw: 0.159,
+            register_um2: 206.7,
+            register_power_mw: 0.04,
+            units: 4,
+        }
+    }
+
+    /// Area of one GradPIM unit (µm²): all modules plus three registers.
+    pub fn unit_area_um2(&self) -> f64 {
+        self.adder_um2
+            + self.quantize_um2
+            + self.dequantize_um2
+            + self.scaler_um2
+            + 3.0 * self.register_um2
+    }
+
+    /// Total area of all units in one device (µm²). Table III reports
+    /// 8267.8 µm² for four units.
+    pub fn total_area_um2(&self) -> f64 {
+        self.unit_area_um2() * self.units as f64
+    }
+
+    /// Power of one unit when fully active (mW).
+    pub fn unit_power_mw(&self) -> f64 {
+        self.adder_power_mw
+            + self.quantize_power_mw
+            + self.dequantize_power_mw
+            + self.scaler_power_mw
+            + 3.0 * self.register_power_mw
+    }
+
+    /// Total power of all units (mW). Table III reports 1.74 mW.
+    pub fn total_power_mw(&self) -> f64 {
+        self.unit_power_mw() * self.units as f64
+    }
+
+    /// Area overhead relative to an 8 Gb DDR4 die (§VI-A reports 0.01 %,
+    /// "approximately the size of a 1 Mb DRAM cell [array]").
+    pub fn area_overhead(&self, die_area_mm2: f64) -> f64 {
+        self.total_area_um2() / (die_area_mm2 * 1e6)
+    }
+}
+
+/// Typical die area of an x8 8 Gb DDR4 device (mm²) used for the overhead
+/// check.
+pub const DDR4_8GB_DIE_MM2: f64 = 68.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_totals_reproduce() {
+        let l = PimLayout::paper();
+        // Table III: total 8267.8 µm², 1.74 mW (4 units × modules + 3 regs).
+        assert!((l.total_area_um2() - 8267.8).abs() < 10.0, "{}", l.total_area_um2());
+        assert!((l.total_power_mw() - 1.74).abs() < 0.01, "{}", l.total_power_mw());
+    }
+
+    #[test]
+    fn area_overhead_is_about_a_hundredth_percent() {
+        // §VI-A: "GradPIM only incurs 0.01% area overhead to the DRAM".
+        let l = PimLayout::paper();
+        let overhead = l.area_overhead(DDR4_8GB_DIE_MM2);
+        assert!(overhead < 2e-4, "overhead {overhead}");
+        assert!(overhead > 0.5e-4, "overhead {overhead}");
+    }
+
+    #[test]
+    fn internal_transfer_cheaper_than_external_read() {
+        let pm = PowerModel::new(&DramConfig::ddr4_2133());
+        assert!(pm.pim_xfer_pj < pm.rd_pj);
+        // IDDpre model: internal ≈ 30 % of an external array read.
+        let ratio = pm.pim_xfer_pj / pm.rd_pj;
+        assert!(ratio > 0.2 && ratio < 0.4, "ratio {ratio}");
+        // And external transfers additionally pay I/O energy.
+        assert!(pm.io_pj > 0.0);
+    }
+
+    #[test]
+    fn pim_logic_energy_is_negligible() {
+        // Fig. 10: the PIM slice is nearly invisible; logic energy per op
+        // must be well under 1 % of a row activation.
+        let pm = PowerModel::new(&DramConfig::ddr4_2133());
+        assert!(pm.pim_alu_pj < pm.act_pre_pj * 0.01);
+    }
+
+    #[test]
+    fn energies_positive_for_all_presets() {
+        for cfg in [DramConfig::ddr4_2133(), DramConfig::ddr4_3200(), DramConfig::hbm2_like()] {
+            let pm = PowerModel::new(&cfg);
+            assert!(pm.act_pre_pj > 0.0, "{}", cfg.name);
+            assert!(pm.rd_pj > 0.0);
+            assert!(pm.wr_pj > 0.0);
+            assert!(pm.pim_xfer_pj > 0.0);
+            assert!(pm.bg_active_pj > pm.bg_precharged_pj);
+            assert!(pm.bg_precharged_pj > pm.bg_powerdown_pj);
+        }
+    }
+}

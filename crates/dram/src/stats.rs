@@ -1,0 +1,224 @@
+//! Simulation statistics: command counts, bus occupancy, traffic and energy.
+
+use crate::command::CommandKind;
+use crate::config::DramConfig;
+
+/// Energy consumed so far, broken down as plotted in Fig. 10
+/// (ACT / RD / WR / PIM) plus the components the figure folds into the bars.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Row activate/precharge energy (pJ).
+    pub act_pj: f64,
+    /// External read bursts, array component (pJ).
+    pub rd_pj: f64,
+    /// External write bursts, array component (pJ).
+    pub wr_pj: f64,
+    /// Off-chip I/O and termination (pJ).
+    pub io_pj: f64,
+    /// PIM-internal column transfers + ALU/scaler logic (pJ).
+    pub pim_pj: f64,
+    /// Refresh (pJ).
+    pub refresh_pj: f64,
+    /// Standby background (pJ).
+    pub background_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (pJ).
+    pub fn total_pj(&self) -> f64 {
+        self.act_pj
+            + self.rd_pj
+            + self.wr_pj
+            + self.io_pj
+            + self.pim_pj
+            + self.refresh_pj
+            + self.background_pj
+    }
+
+    /// Element-wise accumulation.
+    pub fn merge(&mut self, o: &EnergyBreakdown) {
+        self.act_pj += o.act_pj;
+        self.rd_pj += o.rd_pj;
+        self.wr_pj += o.wr_pj;
+        self.io_pj += o.io_pj;
+        self.pim_pj += o.pim_pj;
+        self.refresh_pj += o.refresh_pj;
+        self.background_pj += o.background_pj;
+    }
+}
+
+/// Counters for one channel (or merged across channels).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Stats {
+    /// Elapsed memory-clock cycles.
+    pub cycles: u64,
+    /// Commands issued, by kind.
+    pub commands: [u64; CommandKind::COUNT],
+    /// Total command-bus slots consumed (= total commands issued).
+    pub cmd_slots: u64,
+    /// Cycles with the external data bus busy.
+    pub data_bus_busy: u64,
+    /// Bytes moved over the external bus by reads.
+    pub external_read_bytes: u64,
+    /// Bytes moved over the external bus by writes.
+    pub external_write_bytes: u64,
+    /// Bytes moved bank→register inside bank groups (scaled reads, q-reg
+    /// loads).
+    pub internal_read_bytes: u64,
+    /// Bytes moved register→bank inside bank groups (writebacks, q-reg
+    /// stores).
+    pub internal_write_bytes: u64,
+    /// Transactions retired.
+    pub completed: u64,
+    /// Rank-cycles spent in precharge power-down (IDD2P).
+    pub powerdown_cycles: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+}
+
+impl Stats {
+    /// Count of commands of `kind`.
+    pub fn count(&self, kind: CommandKind) -> u64 {
+        self.commands[kind.index()]
+    }
+
+    /// Records one issued command of `kind`.
+    pub fn record(&mut self, kind: CommandKind) {
+        self.commands[kind.index()] += 1;
+        self.cmd_slots += 1;
+    }
+
+    /// Element-wise accumulation (multi-channel merge). `cycles` takes the
+    /// max (channels tick in lockstep).
+    pub fn merge(&mut self, o: &Stats) {
+        self.cycles = self.cycles.max(o.cycles);
+        for i in 0..CommandKind::COUNT {
+            self.commands[i] += o.commands[i];
+        }
+        self.cmd_slots += o.cmd_slots;
+        self.data_bus_busy += o.data_bus_busy;
+        self.external_read_bytes += o.external_read_bytes;
+        self.external_write_bytes += o.external_write_bytes;
+        self.internal_read_bytes += o.internal_read_bytes;
+        self.internal_write_bytes += o.internal_write_bytes;
+        self.completed += o.completed;
+        self.powerdown_cycles += o.powerdown_cycles;
+        self.energy.merge(&o.energy);
+    }
+
+    /// Elapsed wall-clock time in nanoseconds.
+    pub fn elapsed_ns(&self, cfg: &DramConfig) -> f64 {
+        self.cycles as f64 * cfg.cycle_ns()
+    }
+
+    /// Total bytes moved over the external bus.
+    pub fn external_bytes(&self) -> u64 {
+        self.external_read_bytes + self.external_write_bytes
+    }
+
+    /// Total bytes moved inside bank groups by PIM column ops.
+    pub fn internal_bytes(&self) -> u64 {
+        self.internal_read_bytes + self.internal_write_bytes
+    }
+
+    /// Achieved external bandwidth in bytes/second.
+    pub fn external_bw(&self, cfg: &DramConfig) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.external_bytes() as f64 / (self.elapsed_ns(cfg) * 1e-9)
+    }
+
+    /// Achieved *DRAM-internal* bandwidth in bytes/second: every byte that
+    /// crossed a bank's column interface, whether it went off-chip or into a
+    /// PIM register. This is the Fig. 11 (bottom) metric.
+    pub fn internal_bw(&self, cfg: &DramConfig) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (self.external_bytes() + self.internal_bytes()) as f64 / (self.elapsed_ns(cfg) * 1e-9)
+    }
+
+    /// Command-bus utilization relative to a *single direct-attach bus*
+    /// (1 command/tCK): the Fig. 11 (top) metric. Buffered configurations
+    /// can exceed 1.0 because each rank's buffer device issues locally —
+    /// the paper's y-axis runs to 400 %.
+    pub fn command_bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.cmd_slots as f64 / self.cycles as f64
+    }
+
+    /// Data-bus utilization (0..=1).
+    pub fn data_bus_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.data_bus_busy as f64 / self.cycles as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let mut s = Stats::default();
+        s.record(CommandKind::Read);
+        s.record(CommandKind::Read);
+        s.record(CommandKind::Activate);
+        assert_eq!(s.count(CommandKind::Read), 2);
+        assert_eq!(s.count(CommandKind::Activate), 1);
+        assert_eq!(s.cmd_slots, 3);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Stats::default();
+        a.cycles = 100;
+        a.record(CommandKind::Read);
+        a.external_read_bytes = 64;
+        a.energy.rd_pj = 10.0;
+        let mut b = Stats::default();
+        b.cycles = 120;
+        b.record(CommandKind::Write);
+        b.external_write_bytes = 64;
+        b.energy.wr_pj = 12.0;
+        a.merge(&b);
+        assert_eq!(a.cycles, 120);
+        assert_eq!(a.cmd_slots, 2);
+        assert_eq!(a.external_bytes(), 128);
+        assert!((a.energy.total_pj() - 22.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bandwidth_math() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut s = Stats::default();
+        s.cycles = 1000;
+        s.external_read_bytes = 64 * 250; // one burst per 4 cycles = peak
+        let bw = s.external_bw(&cfg);
+        assert!((bw / cfg.peak_external_bw() - 1.0).abs() < 0.01, "bw {bw}");
+    }
+
+    #[test]
+    fn utilizations_bounded() {
+        let mut s = Stats::default();
+        s.cycles = 10;
+        s.cmd_slots = 25; // buffered mode can exceed 1×
+        assert!((s.command_bus_utilization() - 2.5).abs() < 1e-12);
+        s.data_bus_busy = 10;
+        assert!((s.data_bus_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let s = Stats::default();
+        let cfg = DramConfig::ddr4_2133();
+        assert_eq!(s.external_bw(&cfg), 0.0);
+        assert_eq!(s.internal_bw(&cfg), 0.0);
+        assert_eq!(s.command_bus_utilization(), 0.0);
+    }
+}

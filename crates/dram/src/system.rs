@@ -1,0 +1,368 @@
+//! The top-level memory system: address mapping + per-channel controllers.
+
+use crate::address::{Address, AddressMapping};
+use crate::command::PimOp;
+use crate::config::DramConfig;
+use crate::controller::{Completion, Controller, EnqueueError};
+use crate::pim::ModeRegisters;
+use crate::stats::Stats;
+
+/// Errors surfaced by [`MemorySystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// A transaction queue is full; tick and retry.
+    QueueFull,
+    /// An extended-ALU op was issued to a device without
+    /// `DramConfig::extended_alu` (§VIII).
+    ExtendedAluDisabled,
+    /// `drain` exceeded its cycle budget.
+    DrainTimeout {
+        /// Transactions still outstanding when the budget ran out.
+        pending: usize,
+    },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::QueueFull => write!(f, "transaction queue full"),
+            MemError::ExtendedAluDisabled => {
+                write!(f, "extended-ALU op on a device without extended_alu")
+            }
+            MemError::DrainTimeout { pending } => {
+                write!(f, "drain timed out with {pending} transactions pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+impl From<EnqueueError> for MemError {
+    fn from(e: EnqueueError) -> Self {
+        match e {
+            EnqueueError::QueueFull => MemError::QueueFull,
+            EnqueueError::ExtendedAluDisabled => MemError::ExtendedAluDisabled,
+        }
+    }
+}
+
+/// A complete DRAM memory system: one controller per channel, a shared
+/// address mapping, and a global transaction-id counter.
+///
+/// # Example
+///
+/// ```
+/// use gradpim_dram::{AddressMapping, DramConfig, MemorySystem};
+///
+/// let mut mem = MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+/// let id = mem.enqueue_read(0x1000).unwrap();
+/// let cycles = mem.drain(10_000).unwrap();
+/// assert!(cycles > 0);
+/// let done = mem.take_completions();
+/// assert_eq!(done[0].id, id);
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    cfg: DramConfig,
+    mapping: AddressMapping,
+    ctrls: Vec<Controller>,
+    next_id: u64,
+}
+
+impl MemorySystem {
+    /// Creates a performance-only memory system (no byte storage).
+    pub fn new(cfg: DramConfig, mapping: AddressMapping) -> Self {
+        Self::build(cfg, mapping, false)
+    }
+
+    /// Creates a functional memory system with byte-level storage and live
+    /// PIM register files.
+    pub fn with_storage(cfg: DramConfig, mapping: AddressMapping) -> Self {
+        Self::build(cfg, mapping, true)
+    }
+
+    fn build(cfg: DramConfig, mapping: AddressMapping, functional: bool) -> Self {
+        cfg.validate().expect("invalid DramConfig");
+        let ctrls = (0..cfg.channels).map(|_| Controller::new(&cfg, functional)).collect();
+        Self { cfg, mapping, ctrls, next_id: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// The address mapping in use.
+    pub fn mapping(&self) -> AddressMapping {
+        self.mapping
+    }
+
+    /// Current cycle count (channels tick in lockstep).
+    pub fn cycles(&self) -> u64 {
+        self.ctrls[0].cycles()
+    }
+
+    /// Elapsed simulated time in nanoseconds.
+    pub fn elapsed_ns(&self) -> f64 {
+        self.cycles() as f64 * self.cfg.cycle_ns()
+    }
+
+    /// Outstanding transactions across all channels.
+    pub fn pending(&self) -> usize {
+        self.ctrls.iter().map(|c| c.pending()).sum()
+    }
+
+    /// True when every channel has drained.
+    pub fn is_drained(&self) -> bool {
+        self.ctrls.iter().all(|c| c.is_drained())
+    }
+
+    fn alloc_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Enqueues an external burst read of `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::QueueFull`] when the target bank queue is full.
+    pub fn enqueue_read(&mut self, addr: u64) -> Result<u64, MemError> {
+        let loc = self.mapping.decode(addr, &self.cfg);
+        let id = self.alloc_id();
+        self.ctrls[loc.channel].enqueue_read(id, loc)?;
+        Ok(id)
+    }
+
+    /// Enqueues an external burst write of `addr`, optionally with data.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::QueueFull`] when the target bank queue is full.
+    pub fn enqueue_write(&mut self, addr: u64, data: Option<Vec<u8>>) -> Result<u64, MemError> {
+        let loc = self.mapping.decode(addr, &self.cfg);
+        let id = self.alloc_id();
+        self.ctrls[loc.channel].enqueue_write(id, loc, data)?;
+        Ok(id)
+    }
+
+    /// Enqueues one GradPIM micro-op for the unit at
+    /// (`channel`, `rank`, `bankgroup`).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::QueueFull`] when the unit's queue is full.
+    pub fn enqueue_pim(
+        &mut self,
+        channel: usize,
+        rank: u8,
+        bankgroup: u8,
+        op: PimOp,
+    ) -> Result<u64, MemError> {
+        let id = self.alloc_id();
+        self.ctrls[channel].enqueue_pim(id, rank, bankgroup, op)?;
+        Ok(id)
+    }
+
+    /// Advances all channels one memory-clock cycle.
+    pub fn tick(&mut self) {
+        for c in &mut self.ctrls {
+            c.tick();
+        }
+    }
+
+    /// Ticks until drained or `max_cycles` have elapsed.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::DrainTimeout`] if work remains after `max_cycles`.
+    pub fn drain(&mut self, max_cycles: u64) -> Result<u64, MemError> {
+        let start = self.cycles();
+        while !self.is_drained() {
+            if self.cycles() - start >= max_cycles {
+                return Err(MemError::DrainTimeout { pending: self.pending() });
+            }
+            self.tick();
+        }
+        Ok(self.cycles() - start)
+    }
+
+    /// Merged statistics across channels.
+    pub fn stats(&self) -> Stats {
+        let mut s = Stats::default();
+        for c in &self.ctrls {
+            s.merge(c.stats());
+        }
+        s
+    }
+
+    /// Drains completions from all channels (ids are globally unique).
+    pub fn take_completions(&mut self) -> Vec<Completion> {
+        let mut out = Vec::new();
+        for c in &mut self.ctrls {
+            out.extend(c.take_completions());
+        }
+        out
+    }
+
+    /// Starts recording issued commands on every channel (see
+    /// [`crate::trace::verify_trace`]).
+    pub fn enable_trace(&mut self) {
+        for c in &mut self.ctrls {
+            c.enable_trace();
+        }
+    }
+
+    /// Takes the per-channel command traces (channels have independent
+    /// buses, so verification is per channel).
+    pub fn take_traces(&mut self) -> Vec<Vec<crate::trace::TraceEntry>> {
+        self.ctrls.iter_mut().map(|c| c.take_trace()).collect()
+    }
+
+    /// Programs the PIM mode registers on every channel (MRW broadcast).
+    pub fn set_mode_registers(&mut self, mode: ModeRegisters) {
+        for c in &mut self.ctrls {
+            c.set_mode(mode);
+        }
+    }
+
+    /// Backdoor write: stores `data` at linear address `addr` through the
+    /// address mapping, bypassing timing. Functional mode only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if storage is disabled or `addr`/`data` are not burst-aligned.
+    pub fn poke(&mut self, addr: u64, data: &[u8]) {
+        let burst = self.cfg.burst_bytes;
+        assert_eq!(addr % burst as u64, 0, "poke address must be burst-aligned");
+        assert_eq!(data.len() % burst, 0, "poke data must be burst-aligned");
+        for (i, chunk) in data.chunks(burst).enumerate() {
+            let a = addr + (i * burst) as u64;
+            let loc = self.mapping.decode(a, &self.cfg);
+            let fb = loc.flat_bank(&self.cfg);
+            let st = self.ctrls[loc.channel]
+                .storage_mut()
+                .expect("poke requires functional storage (MemorySystem::with_storage)");
+            st.write_col(fb, loc.row as u32, loc.column as u32, chunk);
+        }
+    }
+
+    /// Backdoor read of `len` bytes from linear address `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if storage is disabled or `addr`/`len` are not burst-aligned.
+    pub fn peek(&self, addr: u64, len: usize) -> Vec<u8> {
+        let burst = self.cfg.burst_bytes;
+        assert_eq!(addr % burst as u64, 0, "peek address must be burst-aligned");
+        assert_eq!(len % burst, 0, "peek length must be burst-aligned");
+        let mut out = Vec::with_capacity(len);
+        for i in 0..len / burst {
+            let a = addr + (i * burst) as u64;
+            let loc = self.mapping.decode(a, &self.cfg);
+            let fb = loc.flat_bank(&self.cfg);
+            let st = self.ctrls[loc.channel]
+                .storage()
+                .expect("peek requires functional storage (MemorySystem::with_storage)");
+            out.extend_from_slice(&st.read_col(fb, loc.row as u32, loc.column as u32));
+        }
+        out
+    }
+
+    /// Decodes a linear address (convenience re-export of the mapping).
+    pub fn decode(&self, addr: u64) -> Address {
+        self.mapping.decode(addr, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::CommandKind;
+
+    #[test]
+    fn read_write_round_trip_through_timing() {
+        let mut mem = MemorySystem::with_storage(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        let data: Vec<u8> = (0..64).map(|i| i as u8 ^ 0x5a).collect();
+        mem.enqueue_write(4096, Some(data.clone())).unwrap();
+        let rid = mem.enqueue_read(4096).unwrap();
+        mem.drain(10_000).unwrap();
+        let comps = mem.take_completions();
+        let read = comps.iter().find(|c| c.id == rid).unwrap();
+        assert_eq!(read.data.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn poke_peek_round_trip() {
+        let mut mem = MemorySystem::with_storage(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        let data: Vec<u8> = (0..256).map(|i| i as u8).collect();
+        mem.poke(1 << 20, &data);
+        assert_eq!(mem.peek(1 << 20, 256), data);
+    }
+
+    #[test]
+    fn poke_then_timed_read_sees_data() {
+        let mut mem = MemorySystem::with_storage(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        let data = vec![7u8; 64];
+        mem.poke(0, &data);
+        let rid = mem.enqueue_read(0).unwrap();
+        mem.drain(10_000).unwrap();
+        let comps = mem.take_completions();
+        assert_eq!(comps.iter().find(|c| c.id == rid).unwrap().data.as_deref(), Some(&data[..]));
+    }
+
+    #[test]
+    fn streaming_bandwidth_approaches_peak() {
+        // 1 MiB of sequential reads should land near the 17.1 GB/s external
+        // ceiling (§VI-B's baseline observation, ~15 GB/s with refresh).
+        let cfg = DramConfig::ddr4_2133();
+        let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        let bursts = (1 << 20) / 64;
+        let mut enqueued = 0u64;
+        while enqueued < bursts {
+            match mem.enqueue_read(enqueued * 64) {
+                Ok(_) => enqueued += 1,
+                Err(MemError::QueueFull) => mem.tick(),
+                Err(e) => panic!("{e}"),
+            }
+        }
+        mem.drain(10_000_000).unwrap();
+        let st = mem.stats();
+        let bw = st.external_bw(&cfg) / 1e9;
+        assert!(bw > 13.0, "streaming read bandwidth {bw} GB/s");
+        assert!(bw <= cfg.peak_external_bw() / 1e9 + 0.1);
+    }
+
+    #[test]
+    fn drain_timeout_reports_pending() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        mem.enqueue_read(0).unwrap();
+        match mem.drain(1) {
+            Err(MemError::DrainTimeout { pending }) => assert_eq!(pending, 1),
+            other => panic!("expected timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pim_ops_route_to_correct_channel_unit() {
+        let mut mem = MemorySystem::with_storage(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        // Write f32 data via backdoor into (rank 0, bg 2, bank 0, row 0).
+        let vals: Vec<u8> = (0..16).flat_map(|i| (i as f32).to_le_bytes()).collect();
+        let loc = Address { channel: 0, rank: 0, bankgroup: 2, bank: 0, row: 0, column: 0 };
+        let addr = AddressMapping::GradPim.encode(loc, mem.config());
+        mem.poke(addr, &vals);
+        // scaled-read → writeback into bank 1 same group.
+        mem.enqueue_pim(0, 0, 2, PimOp::ScaledRead { bank: 0, row: 0, col: 0, scaler: 0, dst: 0 })
+            .unwrap();
+        mem.enqueue_pim(0, 0, 2, PimOp::Writeback { bank: 1, row: 0, col: 0, src: 0 }).unwrap();
+        mem.drain(10_000).unwrap();
+        let dst = Address { channel: 0, rank: 0, bankgroup: 2, bank: 1, row: 0, column: 0 };
+        let dst_addr = AddressMapping::GradPim.encode(dst, mem.config());
+        assert_eq!(mem.peek(dst_addr, 64), vals);
+        let st = mem.stats();
+        assert_eq!(st.count(CommandKind::ScaledRead), 1);
+        assert_eq!(st.count(CommandKind::Writeback), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Chunk-based accumulation (§V-A).
+//!
+//! "When using low-precision values, [sequential systolic addition] often
+//! leads to numerical stability problems due to swamping. A popular way of
+//! solving this issue for low-precision training is chunk-based additions,
+//! which gradually adds up the elements in chunks so that there is less
+//! divergence between the exponents of the partial sums."
+//!
+//! This module provides a functional reference for both behaviours so the
+//! NPU's adder-tree organization (which realizes chunked addition
+//! structurally) can be validated numerically.
+
+use gradpim_optim::quant::f16_round_trip;
+
+/// Sums `xs` sequentially with the running sum rounded to binary16 after
+/// every addition — the swamping-prone behaviour of a naive low-precision
+/// accumulator.
+pub fn naive_f16_sum(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &x in xs {
+        acc = f16_round_trip(acc + x);
+    }
+    acc
+}
+
+/// Sums `xs` in chunks of `chunk`: each chunk accumulates in binary16, and
+/// the per-chunk partials are combined pairwise (tree reduction), keeping
+/// partial-sum exponents close — the §V-A chunk-based addition.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn chunked_f16_sum(xs: &[f32], chunk: usize) -> f32 {
+    assert!(chunk > 0, "chunk width must be non-zero");
+    let mut partials: Vec<f32> = xs.chunks(chunk).map(naive_f16_sum).collect();
+    // Pairwise tree reduction over the partials, still in f16.
+    while partials.len() > 1 {
+        partials = partials
+            .chunks(2)
+            .map(|p| {
+                if p.len() == 2 {
+                    f16_round_trip(p[0] + p[1])
+                } else {
+                    p[0]
+                }
+            })
+            .collect();
+    }
+    partials.first().copied().unwrap_or(0.0)
+}
+
+/// Exact (f64) reference sum.
+pub fn exact_sum(xs: &[f32]) -> f64 {
+    xs.iter().map(|&x| x as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(chunked_f16_sum(&[], 64), 0.0);
+        assert_eq!(chunked_f16_sum(&[1.5], 64), 1.5);
+        assert_eq!(naive_f16_sum(&[]), 0.0);
+    }
+
+    #[test]
+    fn chunked_matches_naive_for_small_inputs() {
+        let xs: Vec<f32> = (0..16).map(|i| i as f32 * 0.25).collect();
+        assert_eq!(naive_f16_sum(&xs), chunked_f16_sum(&xs, 64));
+    }
+
+    #[test]
+    fn swamping_demonstrated_and_fixed() {
+        // 4096 values of 1.0: the naive f16 accumulator saturates once the
+        // running sum reaches 2048 (adding 1.0 to 2048 in f16 is a no-op —
+        // swamping). Chunked accumulation survives.
+        let xs = vec![1.0f32; 4096];
+        let exact = exact_sum(&xs);
+        let naive = naive_f16_sum(&xs) as f64;
+        let chunked = chunked_f16_sum(&xs, 64) as f64;
+        assert!(naive < exact * 0.51, "naive {naive} should swamp");
+        assert!((chunked - exact).abs() / exact < 0.01, "chunked {chunked}");
+    }
+
+    #[test]
+    fn chunked_error_beats_naive_on_random_data() {
+        // Deterministic pseudo-random positive data.
+        let xs: Vec<f32> =
+            (0..8192).map(|i| ((i * 2654435761u64 as usize) % 1000) as f32 / 999.0).collect();
+        let exact = exact_sum(&xs);
+        let naive_err = (naive_f16_sum(&xs) as f64 - exact).abs();
+        let chunk_err = (chunked_f16_sum(&xs, 64) as f64 - exact).abs();
+        assert!(
+            chunk_err < naive_err,
+            "chunked err {chunk_err} vs naive err {naive_err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk width")]
+    fn zero_chunk_panics() {
+        chunked_f16_sum(&[1.0], 0);
+    }
+}

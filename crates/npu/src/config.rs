@@ -1,0 +1,76 @@
+//! NPU configuration (§V-A, Fig. 6).
+
+/// Configuration of the Diannao-like NPU: a T×T array of multiplier-adder
+/// trees (each tree takes T input pairs per cycle and produces one output),
+/// double-buffered T×T local buffers, an im2col/col2im front-end, and a
+/// global buffer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NpuConfig {
+    /// MAC-array dimension T (the paper synthesizes 256; Fig. 12a sweeps
+    /// 64–512).
+    pub mac_dim: usize,
+    /// Core clock in GHz (the paper's NPU closes timing at 1 GHz on
+    /// Nangate 45 nm).
+    pub clock_ghz: f64,
+    /// Global-buffer capacity in bytes (feeds the reuse model).
+    pub global_buffer_bytes: usize,
+    /// Chunk width for chunk-based accumulation (§V-A's swamping
+    /// countermeasure).
+    pub chunk_width: usize,
+}
+
+impl NpuConfig {
+    /// The paper's synthesized configuration: 256×256 trees at 1 GHz.
+    pub fn paper_default() -> Self {
+        Self { mac_dim: 256, clock_ghz: 1.0, global_buffer_bytes: 2 << 20, chunk_width: 64 }
+    }
+
+    /// A variant with a different MAC-array dimension (Fig. 12a sweep).
+    pub fn with_mac_dim(mac_dim: usize) -> Self {
+        Self { mac_dim, ..Self::paper_default() }
+    }
+
+    /// Peak multiply-accumulates per second.
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        (self.mac_dim * self.mac_dim) as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Cycle time in nanoseconds.
+    pub fn cycle_ns(&self) -> f64 {
+        1.0 / self.clock_ghz
+    }
+
+    /// The operations/bandwidth ratio of Fig. 12a (ops per byte of memory
+    /// bandwidth): `2 × peak MACs / bytes-per-second`.
+    pub fn ops_per_byte(&self, mem_bw_bytes_per_sec: f64) -> f64 {
+        2.0 * self.peak_macs_per_sec() / mem_bw_bytes_per_sec
+    }
+}
+
+impl Default for NpuConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let c = NpuConfig::paper_default();
+        assert_eq!(c.mac_dim, 256);
+        assert_eq!(c.clock_ghz, 1.0);
+        // 256×256 MACs at 1 GHz = 65.5 TMAC/s.
+        assert!((c.peak_macs_per_sec() - 65.536e12).abs() / 65.536e12 < 1e-9);
+    }
+
+    #[test]
+    fn ops_per_byte_scales_with_array() {
+        let small = NpuConfig::with_mac_dim(64);
+        let big = NpuConfig::with_mac_dim(512);
+        let bw = 17.06e9;
+        assert!((big.ops_per_byte(bw) / small.ops_per_byte(bw) - 64.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! The im2col/col2im front-end (§V-A).
+//!
+//! Lowering convolutions to GEMM replicates every input pixel k² times
+//! ("Toeplitz" expansion). Streaming the expanded matrix through DRAM would
+//! multiply activation traffic by that factor, so the NPU places a
+//! dedicated im2col module between the global buffer and the local buffers:
+//! expansion happens on-chip and DRAM sees only image-format activations.
+//! This module quantifies the savings.
+
+use gradpim_workloads::{Layer, LayerKind};
+
+/// The traffic expansion factor a DRAM-streamed im2col would incur for this
+/// layer: elements of the lowered input matrix / elements of the image
+/// input. 1.0 for layers that need no lowering.
+pub fn expansion_factor(layer: &Layer) -> f64 {
+    match layer.kind {
+        LayerKind::Conv2d { k, stride, .. } | LayerKind::DwConv2d { k, stride, .. } => {
+            let (oh, ow) = layer.out_dims();
+            let lowered = (k * k * oh * ow) as f64;
+            let image = (layer.in_h * layer.in_w) as f64;
+            (lowered / image).max(1.0) * (stride as f64 * 0.0 + 1.0)
+        }
+        _ => 1.0,
+    }
+}
+
+/// DRAM bytes saved per sample by performing im2col on-chip rather than
+/// streaming the lowered matrix (input activations only).
+pub fn bytes_saved_per_sample(layer: &Layer, elem_bytes: usize) -> u64 {
+    let image = layer.input_acts() as u64 * elem_bytes as u64;
+    let factor = expansion_factor(layer);
+    ((factor - 1.0) * image as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradpim_workloads::models;
+
+    #[test]
+    fn unit_stride_3x3_expands_about_9x() {
+        let net = models::resnet18();
+        let l = net.layers.iter().find(|l| l.name == "conv2m_0").unwrap();
+        let f = expansion_factor(l);
+        assert!((8.0..=9.2).contains(&f), "factor {f}");
+    }
+
+    #[test]
+    fn strided_conv_expands_less() {
+        let net = models::resnet18();
+        let stem = net.layers.iter().find(|l| l.name == "conv0").unwrap();
+        // 7×7 stride 2: 49/4 ≈ 12.3×.
+        let f = expansion_factor(stem);
+        assert!((10.0..=13.0).contains(&f), "factor {f}");
+    }
+
+    #[test]
+    fn pointwise_conv_needs_no_expansion() {
+        let net = models::resnet50();
+        let l = net.layers.iter().find(|l| l.name.ends_with("_1x1a")).unwrap();
+        assert_eq!(expansion_factor(l), 1.0);
+        assert_eq!(bytes_saved_per_sample(l, 1), 0);
+    }
+
+    #[test]
+    fn linear_layers_unaffected() {
+        let net = models::mlp();
+        assert_eq!(expansion_factor(&net.layers[0]), 1.0);
+    }
+
+    #[test]
+    fn savings_are_large_for_early_convs() {
+        let net = models::resnet18();
+        let l = net.layers.iter().find(|l| l.name == "conv2m_0").unwrap();
+        // ~200 KB image input → ~1.6 MB saved per sample at 1 B/elem.
+        let saved = bytes_saved_per_sample(l, 1);
+        assert!(saved > 1_000_000, "saved {saved}");
+    }
+}

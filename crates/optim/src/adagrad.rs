@@ -1,0 +1,94 @@
+//! AdaGrad (Duchi et al.) — cited by §VIII as an algorithm with a "decaying
+//! factor" needing extra per-parameter state.
+
+use crate::optimizer::{Optimizer, OptimizerKind};
+
+/// AdaGrad: per-parameter learning-rate adaptation by accumulated squared
+/// gradients.
+///
+/// ```text
+/// h_t = h_{t-1} + g_t²
+/// θ_{t+1} = θ_t − η·g_t / (√h_t + ε)
+/// ```
+#[derive(Debug, Clone)]
+pub struct AdaGrad {
+    lr: f32,
+    eps: f32,
+    accum: Vec<f32>,
+    steps: u64,
+}
+
+impl AdaGrad {
+    /// Creates an AdaGrad optimizer for `len` parameters.
+    pub fn new(lr: f32, eps: f32, len: usize) -> Self {
+        Self { lr, eps, accum: vec![0.0; len], steps: 0 }
+    }
+
+    /// Accumulated squared-gradient array h.
+    pub fn accumulator(&self) -> &[f32] {
+        &self.accum
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn kind(&self) -> OptimizerKind {
+        OptimizerKind::AdaGrad
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        assert_eq!(params.len(), self.accum.len(), "params/state length mismatch");
+        for ((p, &g), h) in params.iter_mut().zip(grads).zip(&mut self.accum) {
+            *h += g * g;
+            *p -= self.lr * g / (h.sqrt() + self.eps);
+        }
+        self.steps += 1;
+    }
+
+    fn state(&self, i: usize) -> Option<&[f32]> {
+        (i == 0).then_some(self.accum.as_slice())
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        let mut opt = AdaGrad::new(0.1, 0.0, 1);
+        let mut p = vec![0.0_f32];
+        opt.step(&mut p, &[5.0]);
+        // g/√(g²) = 1 ⇒ step = lr.
+        assert!((p[0] + 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn step_sizes_decay_over_time() {
+        let mut opt = AdaGrad::new(0.1, 0.0, 1);
+        let mut p = vec![0.0_f32];
+        let mut last = f32::MAX;
+        for _ in 0..10 {
+            let before = p[0];
+            opt.step(&mut p, &[1.0]);
+            let delta = (p[0] - before).abs();
+            assert!(delta < last);
+            last = delta;
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = AdaGrad::new(0.5, 1e-8, 2);
+        let mut p = vec![2.0_f32, -3.0];
+        for _ in 0..2000 {
+            let g: Vec<f32> = p.iter().map(|&x| 2.0 * x).collect();
+            opt.step(&mut p, &g);
+        }
+        assert!(p.iter().all(|x| x.abs() < 5e-2), "{p:?}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Adam (Kingma & Ba) — the paper's §VIII example of an algorithm needing a
+//! second-order momentum array and a multi-pass GradPIM schedule.
+
+use crate::optimizer::{Optimizer, OptimizerKind};
+
+/// The Adam optimizer with bias correction:
+///
+/// ```text
+/// m_t = β₁·m_{t-1} + (1−β₁)·g_t
+/// u_t = β₂·u_{t-1} + (1−β₂)·g_t²
+/// θ_{t+1} = θ_t − η · m̂_t / (√û_t + ε)
+/// ```
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    m: Vec<f32>,
+    u: Vec<f32>,
+    steps: u64,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for `len` parameters with the given
+    /// hyper-parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32, len: usize) -> Self {
+        Self { lr, beta1, beta2, eps, m: vec![0.0; len], u: vec![0.0; len], steps: 0 }
+    }
+
+    /// Creates an Adam optimizer with the customary defaults
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    pub fn with_defaults(lr: f32, len: usize) -> Self {
+        Self::new(lr, 0.9, 0.999, 1e-8, len)
+    }
+
+    /// First-moment array m.
+    pub fn first_moment(&self) -> &[f32] {
+        &self.m
+    }
+
+    /// Second-moment array u.
+    pub fn second_moment(&self) -> &[f32] {
+        &self.u
+    }
+}
+
+impl Optimizer for Adam {
+    fn kind(&self) -> OptimizerKind {
+        OptimizerKind::Adam
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        assert_eq!(params.len(), self.m.len(), "params/state length mismatch");
+        self.steps += 1;
+        let t = self.steps as i32;
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for (i, (p, &g)) in params.iter_mut().zip(grads).enumerate() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
+            self.u[i] = self.beta2 * self.u[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = self.m[i] / bc1;
+            let u_hat = self.u[i] / bc2;
+            *p -= self.lr * m_hat / (u_hat.sqrt() + self.eps);
+        }
+    }
+
+    fn state(&self, i: usize) -> Option<&[f32]> {
+        match i {
+            0 => Some(&self.m),
+            1 => Some(&self.u),
+            _ => None,
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_lr_sized() {
+        // With bias correction, the very first Adam step has magnitude ≈ lr
+        // regardless of gradient scale.
+        for g in [1e-4_f32, 1.0, 1e4] {
+            let mut opt = Adam::with_defaults(0.01, 1);
+            let mut p = vec![0.0_f32];
+            opt.step(&mut p, &[g]);
+            assert!((p[0].abs() - 0.01).abs() < 1e-4, "g={g} step={}", p[0]);
+        }
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Adam::with_defaults(0.05, 2);
+        let mut p = vec![2.0_f32, -1.5];
+        for _ in 0..500 {
+            let g: Vec<f32> = p.iter().map(|&x| 2.0 * x).collect();
+            opt.step(&mut p, &g);
+        }
+        assert!(p.iter().all(|x| x.abs() < 1e-2), "{p:?}");
+    }
+
+    #[test]
+    fn two_state_arrays() {
+        let opt = Adam::with_defaults(0.01, 3);
+        assert_eq!(opt.state(0).unwrap().len(), 3);
+        assert_eq!(opt.state(1).unwrap().len(), 3);
+        assert!(opt.state(2).is_none());
+    }
+
+    #[test]
+    fn moments_track_gradient_statistics() {
+        let mut opt = Adam::new(0.01, 0.9, 0.999, 1e-8, 1);
+        let mut p = vec![0.0_f32];
+        // β₂ = 0.999 has a time constant of ~1000 steps; run 10k so the
+        // second moment settles within tolerance.
+        for _ in 0..10_000 {
+            opt.step(&mut p, &[2.0]);
+        }
+        // m → E[g] = 2, u → E[g²] = 4 for a constant gradient.
+        assert!((opt.first_moment()[0] - 2.0).abs() < 0.05);
+        assert!((opt.second_moment()[0] - 4.0).abs() < 0.05);
+    }
+}

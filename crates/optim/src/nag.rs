@@ -1,0 +1,92 @@
+//! Nesterov accelerated gradient (§VIII: "algorithms such as NAG can be
+//! supported with GradPIM naturally in the same way" as momentum).
+
+use crate::optimizer::{Optimizer, OptimizerKind};
+
+/// Nesterov accelerated gradient in the common "momentum look-ahead" form:
+///
+/// ```text
+/// v_t     = α·v_{t-1} − η·g_t
+/// θ_{t+1} = θ_t + α·v_t − η·g_t
+/// ```
+///
+/// which applies the velocity *after* the gradient correction — the same
+/// primitive mix (scaled reads + adds) as momentum SGD, so it maps onto
+/// GradPIM with one extra scaled read per column.
+#[derive(Debug, Clone)]
+pub struct Nag {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<f32>,
+    steps: u64,
+}
+
+impl Nag {
+    /// Creates a NAG optimizer for `len` parameters.
+    pub fn new(lr: f32, momentum: f32, len: usize) -> Self {
+        Self { lr, momentum, velocity: vec![0.0; len], steps: 0 }
+    }
+
+    /// The current velocity array.
+    pub fn velocity(&self) -> &[f32] {
+        &self.velocity
+    }
+}
+
+impl Optimizer for Nag {
+    fn kind(&self) -> OptimizerKind {
+        OptimizerKind::Nag
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        assert_eq!(params.len(), self.velocity.len(), "params/state length mismatch");
+        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
+            *v = self.momentum * *v - self.lr * g;
+            *p += self.momentum * *v - self.lr * g;
+        }
+        self.steps += 1;
+    }
+
+    fn state(&self, i: usize) -> Option<&[f32]> {
+        (i == 0).then_some(self.velocity.as_slice())
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_matches_formula() {
+        let mut opt = Nag::new(0.1, 0.9, 1);
+        let mut p = vec![1.0_f32];
+        opt.step(&mut p, &[0.5]);
+        // v = -0.05; θ = 1 + 0.9*(-0.05) - 0.05 = 0.905
+        assert!((opt.velocity()[0] + 0.05).abs() < 1e-7);
+        assert!((p[0] - 0.905).abs() < 1e-6);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = Nag::new(0.02, 0.9, 2);
+        let mut p = vec![3.0_f32, -4.0];
+        for _ in 0..300 {
+            let g: Vec<f32> = p.iter().map(|&x| 2.0 * x).collect();
+            opt.step(&mut p, &g);
+        }
+        assert!(p.iter().all(|x| x.abs() < 1e-3), "{p:?}");
+    }
+
+    #[test]
+    fn reduces_to_gradient_step_without_momentum() {
+        let mut opt = Nag::new(0.1, 0.0, 1);
+        let mut p = vec![1.0_f32];
+        opt.step(&mut p, &[1.0]);
+        assert!((p[0] - 0.9).abs() < 1e-7);
+    }
+}

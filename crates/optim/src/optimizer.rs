@@ -1,0 +1,172 @@
+//! The [`Optimizer`] trait and shared hyper-parameter plumbing.
+
+use std::fmt;
+
+/// Which parameter-update algorithm (§III-A, §VIII of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizerKind {
+    /// Plain stochastic gradient descent (Eq. 1).
+    Sgd,
+    /// SGD with momentum (Eq. 2–3), optionally with weight decay (Eq. 4).
+    MomentumSgd,
+    /// Nesterov accelerated gradient — supported "naturally in the same way"
+    /// as momentum (§VIII).
+    Nag,
+    /// Adam — needs a second-order momentum array and a multi-pass GradPIM
+    /// schedule (§VIII).
+    Adam,
+    /// AdaGrad — accumulates squared gradients (§VIII "decaying factor").
+    AdaGrad,
+    /// RMSprop — exponentially decayed squared-gradient average.
+    RmsProp,
+}
+
+impl OptimizerKind {
+    /// Number of *per-parameter state arrays* the algorithm keeps in DRAM in
+    /// addition to the master weights. This is what determines how many
+    /// concurrently-open rows (banks within a bank group) the GradPIM update
+    /// procedure needs (§IV-D2, §VIII): weights + gradients + state arrays
+    /// must all sit in distinct banks of the same bank group.
+    ///
+    /// ```
+    /// use gradpim_optim::OptimizerKind;
+    /// assert_eq!(OptimizerKind::Sgd.state_arrays(), 0);
+    /// assert_eq!(OptimizerKind::MomentumSgd.state_arrays(), 1);
+    /// assert_eq!(OptimizerKind::Adam.state_arrays(), 2);
+    /// ```
+    pub const fn state_arrays(self) -> usize {
+        match self {
+            OptimizerKind::Sgd => 0,
+            OptimizerKind::MomentumSgd | OptimizerKind::Nag => 1,
+            OptimizerKind::AdaGrad | OptimizerKind::RmsProp => 1,
+            OptimizerKind::Adam => 2,
+        }
+    }
+
+    /// Whether the update rule is expressible with GradPIM's add/sub +
+    /// scaled-read primitive set in a single pass over the data (§VIII):
+    /// algorithms needing element-wise squares, square roots or divisions
+    /// require multiple passes with intermediate arrays.
+    pub const fn single_pass(self) -> bool {
+        matches!(self, OptimizerKind::Sgd | OptimizerKind::MomentumSgd | OptimizerKind::Nag)
+    }
+
+    /// All algorithms implemented in this workspace.
+    pub const ALL: [OptimizerKind; 6] = [
+        OptimizerKind::Sgd,
+        OptimizerKind::MomentumSgd,
+        OptimizerKind::Nag,
+        OptimizerKind::Adam,
+        OptimizerKind::AdaGrad,
+        OptimizerKind::RmsProp,
+    ];
+}
+
+impl fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OptimizerKind::Sgd => "SGD",
+            OptimizerKind::MomentumSgd => "momentum-SGD",
+            OptimizerKind::Nag => "NAG",
+            OptimizerKind::Adam => "Adam",
+            OptimizerKind::AdaGrad => "AdaGrad",
+            OptimizerKind::RmsProp => "RMSprop",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Hyper-parameters for all update rules, with the paper's defaults.
+///
+/// Only the fields relevant to a given [`OptimizerKind`] are read by it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperParams {
+    /// Learning rate η (paper example: 0.01).
+    pub lr: f32,
+    /// Momentum decay factor α.
+    pub momentum: f32,
+    /// Weight-decay term β (Eq. 4).
+    pub weight_decay: f32,
+    /// Adam β₁.
+    pub beta1: f32,
+    /// Adam β₂ / RMSprop decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon for Adam/AdaGrad/RMSprop.
+    pub eps: f32,
+}
+
+impl Default for HyperParams {
+    fn default() -> Self {
+        Self {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+}
+
+/// A parameter-update algorithm operating on flat `f32` arrays.
+///
+/// Implementations own their per-parameter state (momentum vectors etc.) and
+/// expose it through [`Optimizer::state`] so in-memory executions can be
+/// checked array-for-array against the reference.
+pub trait Optimizer: fmt::Debug {
+    /// The algorithm this optimizer implements.
+    fn kind(&self) -> OptimizerKind;
+
+    /// Applies one update step: consumes `grads` and mutates `params`
+    /// in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()` or if the length differs from
+    /// the length this optimizer was constructed for.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// Read access to the i-th per-parameter state array (e.g. momentum).
+    ///
+    /// Returns `None` when `i >= kind().state_arrays()`.
+    fn state(&self, i: usize) -> Option<&[f32]>;
+
+    /// Number of update steps applied so far.
+    fn steps(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_array_counts() {
+        assert_eq!(OptimizerKind::Sgd.state_arrays(), 0);
+        assert_eq!(OptimizerKind::MomentumSgd.state_arrays(), 1);
+        assert_eq!(OptimizerKind::Nag.state_arrays(), 1);
+        assert_eq!(OptimizerKind::Adam.state_arrays(), 2);
+        assert_eq!(OptimizerKind::AdaGrad.state_arrays(), 1);
+        assert_eq!(OptimizerKind::RmsProp.state_arrays(), 1);
+    }
+
+    #[test]
+    fn single_pass_classification() {
+        // §VIII: momentum-family maps directly; adaptive methods need more.
+        assert!(OptimizerKind::Sgd.single_pass());
+        assert!(OptimizerKind::MomentumSgd.single_pass());
+        assert!(OptimizerKind::Nag.single_pass());
+        assert!(!OptimizerKind::Adam.single_pass());
+        assert!(!OptimizerKind::AdaGrad.single_pass());
+        assert!(!OptimizerKind::RmsProp.single_pass());
+    }
+
+    #[test]
+    fn fit_in_one_bank_group() {
+        // §IV-D2: four banks per bank group cover θ, g and the state arrays
+        // "in most of the SGD-based parameter update algorithms".
+        for kind in OptimizerKind::ALL {
+            let arrays_needed = 2 + kind.state_arrays(); // θ + g + state
+            assert!(arrays_needed <= 4, "{kind} exceeds one bank group");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Numeric precision vocabulary shared across the workspace.
+//!
+//! The paper evaluates *mixed-precision* training (§II, Fig. 12c/d): the NPU
+//! computes forward/backward in a low precision while the update phase works
+//! on high-precision master copies of the weights. A [`PrecisionMix`] names
+//! one (low, high) pair; [`Precision`] names a single storage format.
+
+use std::fmt;
+
+/// A single numeric storage format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Precision {
+    /// 8-bit integer with a power-of-two per-tensor scale ([`crate::quant`]).
+    Int8,
+    /// IEEE-754 binary16 (half precision).
+    Fp16,
+    /// IEEE-754 binary32 (single precision).
+    Fp32,
+}
+
+impl Precision {
+    /// Storage size of one element, in bytes.
+    ///
+    /// ```
+    /// use gradpim_optim::Precision;
+    /// assert_eq!(Precision::Int8.bytes(), 1);
+    /// assert_eq!(Precision::Fp16.bytes(), 2);
+    /// assert_eq!(Precision::Fp32.bytes(), 4);
+    /// ```
+    pub const fn bytes(self) -> usize {
+        match self {
+            Precision::Int8 => 1,
+            Precision::Fp16 => 2,
+            Precision::Fp32 => 4,
+        }
+    }
+
+    /// Storage size of one element, in bits.
+    pub const fn bits(self) -> usize {
+        self.bytes() * 8
+    }
+}
+
+impl fmt::Display for Precision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Precision::Int8 => write!(f, "8b"),
+            Precision::Fp16 => write!(f, "16b"),
+            Precision::Fp32 => write!(f, "32b"),
+        }
+    }
+}
+
+/// A mixed-precision training configuration: the low precision used by the
+/// NPU for forward/backward tensors and the high precision used for master
+/// weights and optimizer state.
+///
+/// The paper's default is 8/32 (`PrecisionMix::MIXED_8_32`); Fig. 12c/d sweep
+/// the other three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PrecisionMix {
+    /// Precision of activations, low-precision weights and gradients as seen
+    /// by the NPU.
+    pub low: Precision,
+    /// Precision of master weights and optimizer state in DRAM.
+    pub high: Precision,
+}
+
+impl PrecisionMix {
+    /// The paper's default setting: 8-bit gradients / 32-bit master weights.
+    pub const MIXED_8_32: Self = Self { low: Precision::Int8, high: Precision::Fp32 };
+    /// 16-bit / 32-bit mixed precision (the dominant industrial setting).
+    pub const MIXED_16_32: Self = Self { low: Precision::Fp16, high: Precision::Fp32 };
+    /// 8-bit / 16-bit mixed precision.
+    pub const MIXED_8_16: Self = Self { low: Precision::Int8, high: Precision::Fp16 };
+    /// Full precision (32/32): quantization/dequantization are omitted
+    /// (§IV-D).
+    pub const FULL_32: Self = Self { low: Precision::Fp32, high: Precision::Fp32 };
+
+    /// All four settings evaluated in Fig. 12c/d, in the paper's order.
+    pub const ALL: [Self; 4] =
+        [Self::MIXED_8_32, Self::MIXED_16_32, Self::MIXED_8_16, Self::FULL_32];
+
+    /// Whether quantization/dequantization steps are required around the
+    /// update phase (true whenever low != high).
+    pub const fn is_mixed(self) -> bool {
+        !matches!(
+            (self.low, self.high),
+            (Precision::Fp32, Precision::Fp32)
+                | (Precision::Fp16, Precision::Fp16)
+                | (Precision::Int8, Precision::Int8)
+        )
+    }
+
+    /// Quantization ratio `high.bits() / low.bits()` — how many quantized
+    /// elements fit in the space of one master element. This is the "four
+    /// times for 8-bit quantization" factor of §IV-B that sizes the
+    /// quantization register reuse.
+    pub fn quant_ratio(self) -> usize {
+        self.high.bytes() / self.low.bytes()
+    }
+}
+
+impl fmt::Display for PrecisionMix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_mixed() {
+            write!(f, "{}/{}", self.low, self.high)
+        } else {
+            write!(f, "{}/{} (full)", self.low, self.high)
+        }
+    }
+}
+
+impl Default for PrecisionMix {
+    fn default() -> Self {
+        Self::MIXED_8_32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_and_bits() {
+        assert_eq!(Precision::Int8.bits(), 8);
+        assert_eq!(Precision::Fp16.bits(), 16);
+        assert_eq!(Precision::Fp32.bits(), 32);
+    }
+
+    #[test]
+    fn mixedness() {
+        assert!(PrecisionMix::MIXED_8_32.is_mixed());
+        assert!(PrecisionMix::MIXED_16_32.is_mixed());
+        assert!(PrecisionMix::MIXED_8_16.is_mixed());
+        assert!(!PrecisionMix::FULL_32.is_mixed());
+    }
+
+    #[test]
+    fn quant_ratios_match_paper() {
+        // §IV-B: "four times for 8bit quantization" (8/32).
+        assert_eq!(PrecisionMix::MIXED_8_32.quant_ratio(), 4);
+        assert_eq!(PrecisionMix::MIXED_16_32.quant_ratio(), 2);
+        assert_eq!(PrecisionMix::MIXED_8_16.quant_ratio(), 2);
+        assert_eq!(PrecisionMix::FULL_32.quant_ratio(), 1);
+    }
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(PrecisionMix::MIXED_8_32.to_string(), "8b/32b");
+        assert_eq!(PrecisionMix::FULL_32.to_string(), "32b/32b (full)");
+    }
+
+    #[test]
+    fn default_is_8_32() {
+        assert_eq!(PrecisionMix::default(), PrecisionMix::MIXED_8_32);
+    }
+}

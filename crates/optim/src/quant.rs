@@ -1,0 +1,269 @@
+//! Quantization numerics: int8 with power-of-two scales, and binary16.
+//!
+//! The paper does not pin one 8-bit training format (it cites integer [33]
+//! and FP8 [98], [102] lines of work); we use *symmetric int8 linear
+//! quantization with a power-of-two per-tensor scale*. Power-of-two scales
+//! match GradPIM's hardware budget exactly: the in-DRAM scaler is built from
+//! shifters and adders (§IV-B), so scaling by `2^e` is a pure shift and
+//! the quantization step itself needs no multiplier.
+//!
+//! 16-bit tensors use IEEE-754 binary16, converted by the hand-rolled
+//! [`f32_to_f16`]/[`f16_to_f32`] pair (round-to-nearest-even, subnormals,
+//! infinities and NaN handled) so the workspace needs no external `half`
+//! dependency.
+
+/// A power-of-two quantization scale: a quantized tensor stores
+/// `q_i ∈ [-127, 127]` and represents `q_i * 2^exponent`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Q8Scale {
+    /// Binary exponent of the scale factor.
+    pub exponent: i32,
+}
+
+impl Q8Scale {
+    /// Chooses the smallest power-of-two scale that covers `max_abs`
+    /// without clipping, i.e. the minimal `e` such that
+    /// `max_abs <= 127 * 2^e`.
+    ///
+    /// A `max_abs` of zero (all-zero tensor) yields the scale `2^-20`
+    /// so dequantization stays exact for zeros.
+    ///
+    /// ```
+    /// use gradpim_optim::Q8Scale;
+    /// let s = Q8Scale::for_max_abs(1.0);
+    /// assert!(127.0 * s.factor() >= 1.0);
+    /// assert!(127.0 * (s.factor() / 2.0) < 1.0);
+    /// ```
+    pub fn for_max_abs(max_abs: f32) -> Self {
+        if !(max_abs > 0.0) || !max_abs.is_finite() {
+            return Self { exponent: -20 };
+        }
+        // smallest e with 127 * 2^e >= max_abs  =>  e = ceil(log2(max_abs/127))
+        let e = (max_abs / 127.0).log2().ceil() as i32;
+        Self { exponent: e }
+    }
+
+    /// Chooses a scale for a whole tensor.
+    pub fn for_tensor(data: &[f32]) -> Self {
+        let max_abs = data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()));
+        Self::for_max_abs(max_abs)
+    }
+
+    /// The multiplicative scale factor `2^exponent`.
+    pub fn factor(self) -> f32 {
+        (self.exponent as f32).exp2()
+    }
+}
+
+/// Quantizes one value to int8 under `scale` (round half away from zero,
+/// clamp to `[-127, 127]`).
+pub fn quantize_i8(x: f32, scale: Q8Scale) -> i8 {
+    let q = (x / scale.factor()).round();
+    q.clamp(-127.0, 127.0) as i8
+}
+
+/// Dequantizes one int8 value under `scale`.
+pub fn dequantize_i8(q: i8, scale: Q8Scale) -> f32 {
+    q as f32 * scale.factor()
+}
+
+/// Quantizes a slice, returning the chosen scale and the quantized bytes.
+pub fn quantize_slice_i8(data: &[f32]) -> (Q8Scale, Vec<i8>) {
+    let scale = Q8Scale::for_tensor(data);
+    (scale, data.iter().map(|&x| quantize_i8(x, scale)).collect())
+}
+
+/// Dequantizes a slice of int8 values.
+pub fn dequantize_slice_i8(q: &[i8], scale: Q8Scale) -> Vec<f32> {
+    q.iter().map(|&v| dequantize_i8(v, scale)).collect()
+}
+
+/// Converts an `f32` to IEEE-754 binary16 bits with round-to-nearest-even.
+///
+/// Handles normals, subnormals, overflow to infinity, and NaN (preserving a
+/// quiet payload bit).
+pub fn f32_to_f16(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+
+    if exp == 0xff {
+        // Inf or NaN.
+        return if mant == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00 | ((mant >> 13) as u16 & 0x03ff) | 0x0200
+        };
+    }
+
+    // Re-bias: f32 exponent bias 127, f16 bias 15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        // Overflow -> infinity.
+        return sign | 0x7c00;
+    }
+    if unbiased >= -14 {
+        // Normal f16. 23-bit mantissa -> 10-bit with RNE on the dropped 13.
+        let exp16 = (unbiased + 15) as u32;
+        let mant16 = mant >> 13;
+        let rem = mant & 0x1fff;
+        let halfway = 0x1000;
+        let mut out = ((exp16 << 10) | mant16) as u16;
+        if rem > halfway || (rem == halfway && (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent; that is correct RNE
+        }
+        return sign | out;
+    }
+    if unbiased >= -25 {
+        // Subnormal f16: implicit leading 1 becomes explicit, shifted right.
+        let shift = (-14 - unbiased) as u32; // 1..=11
+        let full = mant | 0x0080_0000; // 24-bit significand
+        let total_shift = 13 + shift;
+        let mant16 = full >> total_shift;
+        let rem = full & ((1 << total_shift) - 1);
+        let halfway = 1u32 << (total_shift - 1);
+        let mut out = mant16 as u16;
+        if rem > halfway || (rem == halfway && (mant16 & 1) == 1) {
+            out += 1;
+        }
+        return sign | out;
+    }
+    // Underflow to signed zero.
+    sign
+}
+
+/// Converts IEEE-754 binary16 bits to `f32` (exact).
+pub fn f16_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let mant = (h & 0x03ff) as u32;
+
+    let bits = match (exp, mant) {
+        (0, 0) => sign,
+        (0, m) => {
+            // Subnormal: normalize. The value is m·2⁻²⁴; after k left
+            // shifts bit 10 holds the leading 1 and the exponent is
+            // 2^(−14−k), i.e. biased 113−k.
+            let mut e = 113u32;
+            let mut m = m;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                e -= 1;
+            }
+            m &= 0x03ff;
+            sign | (e << 23) | (m << 13)
+        }
+        (0x1f, 0) => sign | 0x7f80_0000,
+        (0x1f, m) => sign | 0x7f80_0000 | (m << 13) | 0x0040_0000,
+        (e, m) => {
+            let exp32 = e + 127 - 15;
+            sign | (exp32 << 23) | (m << 13)
+        }
+    };
+    f32::from_bits(bits)
+}
+
+/// Round-trips an `f32` through binary16 (the precision loss a 16-bit tensor
+/// experiences in DRAM).
+pub fn f16_round_trip(x: f32) -> f32 {
+    f16_to_f32(f32_to_f16(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q8_scale_covers_range() {
+        for max in [1e-6_f32, 0.01, 0.5, 1.0, 3.7, 100.0, 1e6] {
+            let s = Q8Scale::for_max_abs(max);
+            assert!(
+                127.0 * s.factor() >= max,
+                "scale 2^{} does not cover {max}",
+                s.exponent
+            );
+        }
+    }
+
+    #[test]
+    fn q8_zero_tensor() {
+        let (s, q) = quantize_slice_i8(&[0.0, 0.0]);
+        assert_eq!(q, vec![0, 0]);
+        assert_eq!(dequantize_slice_i8(&q, s), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn q8_round_trip_error_bound() {
+        let data: Vec<f32> = (-100..=100).map(|i| i as f32 * 0.013).collect();
+        let (s, q) = quantize_slice_i8(&data);
+        let back = dequantize_slice_i8(&q, s);
+        for (x, y) in data.iter().zip(&back) {
+            assert!(
+                (x - y).abs() <= s.factor() / 2.0 + 1e-9,
+                "|{x} - {y}| > half step {}",
+                s.factor() / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn q8_clamps() {
+        let s = Q8Scale { exponent: 0 };
+        assert_eq!(quantize_i8(1e9, s), 127);
+        assert_eq!(quantize_i8(-1e9, s), -127);
+    }
+
+    #[test]
+    fn f16_known_values() {
+        assert_eq!(f32_to_f16(0.0), 0x0000);
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f32_to_f16(1.0), 0x3c00);
+        assert_eq!(f32_to_f16(-2.0), 0xc000);
+        assert_eq!(f32_to_f16(65504.0), 0x7bff); // f16::MAX
+        assert_eq!(f32_to_f16(65536.0), 0x7c00); // overflow -> inf
+        assert_eq!(f32_to_f16(f32::INFINITY), 0x7c00);
+        assert_eq!(f32_to_f16(f32::NEG_INFINITY), 0xfc00);
+        assert!(f16_to_f32(f32_to_f16(f32::NAN)).is_nan());
+        // Smallest positive subnormal: 2^-24.
+        assert_eq!(f32_to_f16(2.0_f32.powi(-24)), 0x0001);
+        assert_eq!(f16_to_f32(0x0001), 2.0_f32.powi(-24));
+        // Smallest normal: 2^-14.
+        assert_eq!(f32_to_f16(2.0_f32.powi(-14)), 0x0400);
+    }
+
+    #[test]
+    fn f16_round_trip_exact_for_representable() {
+        // All f16 bit patterns except NaN round-trip exactly.
+        for h in 0..=u16::MAX {
+            let exp = (h >> 10) & 0x1f;
+            let mant = h & 0x03ff;
+            if exp == 0x1f && mant != 0 {
+                continue; // NaN payloads not bit-preserved
+            }
+            let x = f16_to_f32(h);
+            assert_eq!(f32_to_f16(x), h, "h={h:#06x} x={x}");
+        }
+    }
+
+    #[test]
+    fn f16_rne_ties() {
+        // 1.0 + 2^-11 is exactly halfway between 1.0 and 1.0+2^-10: ties to
+        // even (mantissa 0 -> stays at 1.0).
+        let x = 1.0 + 2.0_f32.powi(-11);
+        assert_eq!(f32_to_f16(x), 0x3c00);
+        // 1.0 + 3*2^-11 is halfway between odd and even mantissa: rounds up
+        // to even (mantissa 2).
+        let y = 1.0 + 3.0 * 2.0_f32.powi(-11);
+        assert_eq!(f32_to_f16(y), 0x3c02);
+    }
+
+    #[test]
+    fn f16_relative_error_bound() {
+        for i in 1..1000 {
+            let x = i as f32 * 0.37;
+            let r = f16_round_trip(x);
+            assert!(((x - r) / x).abs() <= 2.0_f32.powi(-11) + 1e-9, "x={x} r={r}");
+        }
+    }
+}

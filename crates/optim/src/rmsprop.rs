@@ -1,0 +1,97 @@
+//! RMSprop (Tieleman & Hinton) — cited by §VIII alongside AdaGrad.
+
+use crate::optimizer::{Optimizer, OptimizerKind};
+
+/// RMSprop: exponentially decayed average of squared gradients.
+///
+/// ```text
+/// s_t = ρ·s_{t-1} + (1−ρ)·g_t²
+/// θ_{t+1} = θ_t − η·g_t / (√s_t + ε)
+/// ```
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    rho: f32,
+    eps: f32,
+    sq_avg: Vec<f32>,
+    steps: u64,
+}
+
+impl RmsProp {
+    /// Creates an RMSprop optimizer for `len` parameters with decay `rho`.
+    pub fn new(lr: f32, rho: f32, eps: f32, len: usize) -> Self {
+        Self { lr, rho, eps, sq_avg: vec![0.0; len], steps: 0 }
+    }
+
+    /// Decayed squared-gradient average s.
+    pub fn square_average(&self) -> &[f32] {
+        &self.sq_avg
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn kind(&self) -> OptimizerKind {
+        OptimizerKind::RmsProp
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        assert_eq!(params.len(), self.sq_avg.len(), "params/state length mismatch");
+        for ((p, &g), s) in params.iter_mut().zip(grads).zip(&mut self.sq_avg) {
+            *s = self.rho * *s + (1.0 - self.rho) * g * g;
+            *p -= self.lr * g / (s.sqrt() + self.eps);
+        }
+        self.steps += 1;
+    }
+
+    fn state(&self, i: usize) -> Option<&[f32]> {
+        (i == 0).then_some(self.sq_avg.as_slice())
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_average_tracks_constant_gradient() {
+        let mut opt = RmsProp::new(0.01, 0.9, 1e-8, 1);
+        let mut p = vec![0.0_f32];
+        for _ in 0..300 {
+            opt.step(&mut p, &[3.0]);
+        }
+        assert!((opt.square_average()[0] - 9.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn converges_on_quadratic() {
+        let mut opt = RmsProp::new(0.01, 0.9, 1e-8, 2);
+        let mut p = vec![1.0_f32, -2.0];
+        for _ in 0..3000 {
+            let g: Vec<f32> = p.iter().map(|&x| 2.0 * x).collect();
+            opt.step(&mut p, &g);
+        }
+        assert!(p.iter().all(|x| x.abs() < 5e-2), "{p:?}");
+    }
+
+    #[test]
+    fn adapts_to_gradient_scale() {
+        // Same relative progress for very different gradient magnitudes.
+        let run = |scale: f32| {
+            let mut opt = RmsProp::new(0.01, 0.9, 1e-8, 1);
+            let mut p = vec![1.0_f32];
+            for _ in 0..50 {
+                let g = vec![2.0 * p[0] * scale];
+                opt.step(&mut p, &g);
+            }
+            p[0]
+        };
+        let a = run(1.0);
+        let b = run(1000.0);
+        assert!((a - b).abs() < 0.05, "a={a} b={b}");
+    }
+}

@@ -1,0 +1,101 @@
+//! Plain stochastic gradient descent (Eq. 1 of the paper).
+
+use crate::optimizer::{Optimizer, OptimizerKind};
+
+/// Plain SGD: `θ_{t+1} = θ_t − η·g_t`, optionally with weight decay folded
+/// into the gradient (`g ← g + β·θ`).
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    weight_decay: f32,
+    steps: u64,
+}
+
+impl Sgd {
+    /// Creates a plain-SGD optimizer with learning rate `lr` and weight
+    /// decay `weight_decay` (pass `0.0` for none).
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Self { lr, weight_decay, steps: 0 }
+    }
+
+    /// The learning rate η.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (the §VIII learning-rate-scheduling hook).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+impl Optimizer for Sgd {
+    fn kind(&self) -> OptimizerKind {
+        OptimizerKind::Sgd
+    }
+
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
+        for (p, &g) in params.iter_mut().zip(grads) {
+            let g = g + self.weight_decay * *p;
+            *p -= self.lr * g;
+        }
+        self.steps += 1;
+    }
+
+    fn state(&self, _i: usize) -> Option<&[f32]> {
+        None
+    }
+
+    fn steps(&self) -> u64 {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descends_quadratic_bowl() {
+        // f(x) = x², grad = 2x.
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut p = vec![5.0_f32, -3.0];
+        for _ in 0..200 {
+            let g: Vec<f32> = p.iter().map(|&x| 2.0 * x).collect();
+            opt.step(&mut p, &g);
+        }
+        assert!(p.iter().all(|x| x.abs() < 1e-4), "{p:?}");
+        assert_eq!(opt.steps(), 200);
+    }
+
+    #[test]
+    fn single_step_matches_formula() {
+        let mut opt = Sgd::new(0.5, 0.0);
+        let mut p = vec![1.0_f32];
+        opt.step(&mut p, &[0.2]);
+        assert!((p[0] - (1.0 - 0.5 * 0.2)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut opt = Sgd::new(0.1, 0.5);
+        let mut p = vec![1.0_f32];
+        opt.step(&mut p, &[0.0]);
+        assert!((p[0] - (1.0 - 0.1 * 0.5)).abs() < 1e-7);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut p = vec![1.0_f32; 3];
+        opt.step(&mut p, &[0.0; 2]);
+    }
+
+    #[test]
+    fn no_state_arrays() {
+        let opt = Sgd::new(0.1, 0.0);
+        assert!(opt.state(0).is_none());
+    }
+}

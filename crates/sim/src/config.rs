@@ -1,0 +1,237 @@
+//! System-level configuration: which design, which memory, which NPU.
+
+use gradpim_dram::{CommandIssueMode, DataBusScope, DramConfig, PimPlacement};
+use gradpim_npu::NpuConfig;
+use gradpim_optim::{HyperParams, OptimizerKind, PrecisionMix};
+
+/// The six system designs compared in Fig. 9/10/11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Design {
+    /// No PIM: the NPU's dedicated 32-bit update modules stream everything
+    /// over the off-chip bus.
+    Baseline,
+    /// GradPIM with direct-attach memory (Fig. 8(a)) — command-bus limited.
+    GradPimDirect,
+    /// GradPIM behind per-rank buffer devices (Fig. 8(b)).
+    GradPimBuffered,
+    /// TensorDIMM-style near-memory processing in the buffer chips:
+    /// rank-level internal bandwidth only, no bank-group parallelism.
+    TensorDimm,
+    /// Array-of-structures placement on top of GradPIM-Buffered: update
+    /// bandwidth preserved, forward/backward bursts carry 1/ratio useful
+    /// bytes.
+    Aos,
+    /// AoS with one GradPIM unit per bank: higher update parallelism, same
+    /// forward/backward burst inefficiency.
+    AosPerBank,
+}
+
+impl Design {
+    /// All designs in the paper's Fig. 9 legend order.
+    pub const ALL: [Design; 6] = [
+        Design::Baseline,
+        Design::GradPimDirect,
+        Design::TensorDimm,
+        Design::GradPimBuffered,
+        Design::Aos,
+        Design::AosPerBank,
+    ];
+
+    /// The Fig. 9 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Design::Baseline => "Baseline",
+            Design::GradPimDirect => "GradPIM-DR",
+            Design::GradPimBuffered => "GradPIM-BD",
+            Design::TensorDimm => "TensorDIMM",
+            Design::Aos => "AOS",
+            Design::AosPerBank => "AOS_PB",
+        }
+    }
+
+    /// Whether the update phase executes inside the DRAM (GradPIM variants)
+    /// rather than on the NPU/buffer chip.
+    pub fn uses_pim_update(self) -> bool {
+        matches!(
+            self,
+            Design::GradPimDirect | Design::GradPimBuffered | Design::Aos | Design::AosPerBank
+        )
+    }
+
+    /// Forward/backward burst inflation factor for array-of-structures
+    /// placements (§VI-B: "it reduces the effective bandwidth of Fwd/Bwd to
+    /// 1/4, because unnecessary to-be-discarded data will be mixed inside
+    /// every DRAM burst").
+    pub fn fwdbwd_inflation(self, mix: PrecisionMix) -> f64 {
+        match self {
+            Design::Aos | Design::AosPerBank => mix.quant_ratio() as f64,
+            _ => 1.0,
+        }
+    }
+}
+
+impl std::fmt::Display for Design {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full system configuration for one simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Which of the six designs.
+    pub design: Design,
+    /// Base DRAM device/system (issue mode etc. are overridden per design —
+    /// see [`SystemConfig::dram`]).
+    pub base_dram: DramConfig,
+    /// NPU configuration.
+    pub npu: NpuConfig,
+    /// Precision mix.
+    pub mix: PrecisionMix,
+    /// Update algorithm.
+    pub optimizer: OptimizerKind,
+    /// Hyper-parameters (drive the scaler bank).
+    pub hyper: HyperParams,
+    /// Minibatch size override (`None` = the network's paper default).
+    pub batch: Option<usize>,
+    /// On-chip buffer for the traffic reuse filter.
+    pub on_chip_bytes: usize,
+    /// Traffic-scaling cap: maximum bursts simulated per streaming phase
+    /// (results are linearly extrapolated; streaming phases are regular, so
+    /// extrapolation is accurate — see `phase`).
+    pub max_sim_bursts: u64,
+    /// Traffic-scaling cap for update phases, in parameters.
+    pub max_sim_params: usize,
+}
+
+impl SystemConfig {
+    /// The paper's default configuration for `design`: DDR4-2133 (Table II),
+    /// 256×256 NPU, 8/32 mixed precision, momentum SGD.
+    pub fn new(design: Design) -> Self {
+        Self {
+            design,
+            base_dram: DramConfig::ddr4_2133(),
+            npu: NpuConfig::paper_default(),
+            mix: PrecisionMix::MIXED_8_32,
+            optimizer: OptimizerKind::MomentumSgd,
+            hyper: HyperParams::default(),
+            batch: None,
+            on_chip_bytes: 2 << 20,
+            max_sim_bursts: default_burst_cap(),
+            max_sim_params: default_param_cap(),
+        }
+    }
+
+    /// The DRAM configuration with the design's interface model applied.
+    pub fn dram(&self) -> DramConfig {
+        let mut c = self.base_dram.clone();
+        match self.design {
+            Design::Baseline | Design::GradPimDirect => {
+                c.issue_mode = CommandIssueMode::Direct;
+                c.data_bus = DataBusScope::Channel;
+                c.pim_placement = PimPlacement::PerBankGroup;
+            }
+            Design::GradPimBuffered | Design::Aos => {
+                c.issue_mode = CommandIssueMode::PerRankBuffered;
+                c.data_bus = DataBusScope::Channel;
+                c.pim_placement = PimPlacement::PerBankGroup;
+            }
+            Design::TensorDimm => {
+                c.issue_mode = CommandIssueMode::PerRankBuffered;
+                c.data_bus = DataBusScope::PerRank;
+                c.pim_placement = PimPlacement::PerBankGroup;
+            }
+            Design::AosPerBank => {
+                c.issue_mode = CommandIssueMode::PerRankBuffered;
+                c.data_bus = DataBusScope::Channel;
+                c.pim_placement = PimPlacement::PerBank;
+            }
+        }
+        c
+    }
+
+    /// The DRAM configuration seen by *forward/backward* traffic. This
+    /// differs from [`SystemConfig::dram`] only for buffered designs with
+    /// rank-local data paths (TensorDIMM): NPU-visible traffic still
+    /// crosses the host serial link, whose bandwidth the paper pins to the
+    /// direct-attach bus "for a fair comparison" (§VI-A) — so the data bus
+    /// is channel-scoped regardless of what the buffer chips can do
+    /// rank-locally.
+    pub fn fwdbwd_dram(&self) -> DramConfig {
+        let mut c = self.dram();
+        c.data_bus = DataBusScope::Channel;
+        c
+    }
+
+    /// The traffic-model configuration corresponding to this system.
+    pub fn traffic(&self, batch: usize) -> gradpim_workloads::TrafficConfig {
+        gradpim_workloads::TrafficConfig {
+            mix: self.mix,
+            state_arrays: self.optimizer.state_arrays(),
+            batch,
+            on_chip_bytes: self.on_chip_bytes,
+            reuse: true,
+        }
+    }
+}
+
+/// Default streaming cap: honour `GRADPIM_FULL=1` for full-fidelity runs.
+fn default_burst_cap() -> u64 {
+    if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+        u64::MAX
+    } else {
+        48 * 1024
+    }
+}
+
+/// Default update-phase cap in parameters.
+fn default_param_cap() -> usize {
+    if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+        usize::MAX
+    } else {
+        256 * 1024
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn design_interface_models() {
+        let direct = SystemConfig::new(Design::GradPimDirect).dram();
+        assert_eq!(direct.issue_mode, CommandIssueMode::Direct);
+        let buffered = SystemConfig::new(Design::GradPimBuffered).dram();
+        assert_eq!(buffered.issue_mode, CommandIssueMode::PerRankBuffered);
+        let td = SystemConfig::new(Design::TensorDimm).dram();
+        assert_eq!(td.data_bus, DataBusScope::PerRank);
+        let pb = SystemConfig::new(Design::AosPerBank).dram();
+        assert_eq!(pb.pim_placement, PimPlacement::PerBank);
+    }
+
+    #[test]
+    fn aos_inflates_fwdbwd_by_quant_ratio() {
+        assert_eq!(Design::Aos.fwdbwd_inflation(PrecisionMix::MIXED_8_32), 4.0);
+        assert_eq!(Design::Aos.fwdbwd_inflation(PrecisionMix::MIXED_16_32), 2.0);
+        assert_eq!(Design::Baseline.fwdbwd_inflation(PrecisionMix::MIXED_8_32), 1.0);
+        // Full precision AoS costs nothing extra (1 struct field).
+        assert_eq!(Design::Aos.fwdbwd_inflation(PrecisionMix::FULL_32), 1.0);
+    }
+
+    #[test]
+    fn pim_update_classification() {
+        assert!(!Design::Baseline.uses_pim_update());
+        assert!(!Design::TensorDimm.uses_pim_update());
+        assert!(Design::GradPimDirect.uses_pim_update());
+        assert!(Design::AosPerBank.uses_pim_update());
+    }
+
+    #[test]
+    fn labels_match_fig9_legend() {
+        let labels: Vec<_> = Design::ALL.iter().map(|d| d.label()).collect();
+        assert_eq!(
+            labels,
+            vec!["Baseline", "GradPIM-DR", "TensorDIMM", "GradPIM-BD", "AOS", "AOS_PB"]
+        );
+    }
+}

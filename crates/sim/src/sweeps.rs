@@ -1,0 +1,225 @@
+//! Parameter sweeps for the sensitivity studies (Fig. 12a–d, Fig. 13).
+
+use gradpim_dram::DramConfig;
+use gradpim_npu::NpuConfig;
+use gradpim_optim::PrecisionMix;
+use gradpim_workloads::{Layer, Network};
+
+use crate::config::{Design, SystemConfig};
+use crate::train::TrainingSim;
+
+/// One point of the Fig. 12a ops/bandwidth sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpsBwPoint {
+    /// Memory preset name (DDR4-2133 / DDR4-3200 / HBM2).
+    pub memory: String,
+    /// MAC-array dimension.
+    pub mac_dim: usize,
+    /// Ops per byte of memory bandwidth (x-axis, log scale).
+    pub ops_per_byte: f64,
+    /// GradPIM-BD speedup over baseline, in percent (y-axis; 100 = parity).
+    pub speedup_pct: f64,
+}
+
+/// Fig. 12a: speedup sensitivity to the operations/bandwidth ratio,
+/// sweeping MAC-array sizes over memory presets (the paper uses
+/// AlphaGoZero).
+pub fn ops_bandwidth_sweep(net: &Network, quick: Option<(u64, usize)>) -> Vec<OpsBwPoint> {
+    let mut out = Vec::new();
+    for dram in [DramConfig::ddr4_2133(), DramConfig::ddr4_3200(), DramConfig::hbm2_like()] {
+        for mac_dim in [64usize, 128, 256, 512] {
+            let mut base = SystemConfig::new(Design::Baseline);
+            let mut pim = SystemConfig::new(Design::GradPimBuffered);
+            for c in [&mut base, &mut pim] {
+                c.base_dram = dram.clone();
+                c.npu = NpuConfig::with_mac_dim(mac_dim);
+                if let Some((bursts, params)) = quick {
+                    c.max_sim_bursts = bursts;
+                    c.max_sim_params = params;
+                }
+            }
+            let tb = TrainingSim::new(base.clone()).run(net);
+            let tp = TrainingSim::new(pim).run(net);
+            out.push(OpsBwPoint {
+                memory: dram.name.clone(),
+                mac_dim,
+                ops_per_byte: base.npu.ops_per_byte(dram.peak_external_bw()),
+                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+            });
+        }
+    }
+    out
+}
+
+/// One row of the Fig. 12b minibatch sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchPoint {
+    /// Network name.
+    pub network: String,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Speedup over baseline, percent.
+    pub speedup_pct: f64,
+}
+
+/// Fig. 12b: speedup vs minibatch size (16/32/64).
+pub fn batch_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<BatchPoint> {
+    let mut out = Vec::new();
+    for net in nets {
+        for batch in [16usize, 32, 64] {
+            let mut base = SystemConfig::new(Design::Baseline);
+            let mut pim = SystemConfig::new(Design::GradPimBuffered);
+            for c in [&mut base, &mut pim] {
+                c.batch = Some(batch);
+                if let Some((bursts, params)) = quick {
+                    c.max_sim_bursts = bursts;
+                    c.max_sim_params = params;
+                }
+            }
+            let tb = TrainingSim::new(base).run(net);
+            let tp = TrainingSim::new(pim).run(net);
+            out.push(BatchPoint {
+                network: net.name.clone(),
+                batch,
+                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+            });
+        }
+    }
+    out
+}
+
+/// One row of the Fig. 12c/d precision sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecisionPoint {
+    /// Network name.
+    pub network: String,
+    /// Precision mix.
+    pub mix: PrecisionMix,
+    /// Speedup over the same-precision baseline, percent.
+    pub speedup_pct: f64,
+    /// Memory energy relative to the same-precision baseline, percent.
+    pub energy_pct: f64,
+}
+
+/// Fig. 12c/d: speedup and energy vs precision mix, each relative to the
+/// no-PIM baseline *at the same precision* (the paper's definition).
+pub fn precision_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<PrecisionPoint> {
+    let mut out = Vec::new();
+    for net in nets {
+        for mix in PrecisionMix::ALL {
+            let mut base = SystemConfig::new(Design::Baseline);
+            let mut pim = SystemConfig::new(Design::GradPimBuffered);
+            for c in [&mut base, &mut pim] {
+                c.mix = mix;
+                if let Some((bursts, params)) = quick {
+                    c.max_sim_bursts = bursts;
+                    c.max_sim_params = params;
+                }
+            }
+            let tb = TrainingSim::new(base).run(net);
+            let tp = TrainingSim::new(pim).run(net);
+            out.push(PrecisionPoint {
+                network: net.name.clone(),
+                mix,
+                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+                energy_pct: tp.energy().total_pj() / tb.energy().total_pj() * 100.0,
+            });
+        }
+    }
+    out
+}
+
+/// One point of the Fig. 13 layer-characterization scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPoint {
+    /// Network name.
+    pub network: String,
+    /// Layer name.
+    pub layer: String,
+    /// Weight/activation ratio (x-axis, log scale).
+    pub ratio: f64,
+    /// Per-layer speedup over baseline, percent.
+    pub speedup_pct: f64,
+}
+
+/// Fig. 13: per-layer speedup vs weight/activation ratio. Each layer is
+/// simulated as its own single-layer "network".
+pub fn layer_scatter(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<LayerPoint> {
+    let mut out = Vec::new();
+    for net in nets {
+        for layer in &net.layers {
+            if !layer.has_params() {
+                continue;
+            }
+            let single = Network {
+                name: format!("{}:{}", net.name, layer.name),
+                layers: vec![Layer::clone(layer)],
+                default_batch: net.default_batch,
+            };
+            let mut base = SystemConfig::new(Design::Baseline);
+            let mut pim = SystemConfig::new(Design::GradPimBuffered);
+            for c in [&mut base, &mut pim] {
+                if let Some((bursts, params)) = quick {
+                    c.max_sim_bursts = bursts;
+                    c.max_sim_params = params;
+                }
+            }
+            let tb = TrainingSim::new(base).run(&single);
+            let tp = TrainingSim::new(pim).run(&single);
+            out.push(LayerPoint {
+                network: net.name.clone(),
+                layer: layer.name.clone(),
+                ratio: layer.weight_activation_ratio(),
+                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradpim_workloads::models;
+
+    const QUICK: Option<(u64, usize)> = Some((1500, 20_000));
+
+    #[test]
+    fn batch_sweep_smaller_batches_gain_more() {
+        // Fig. 12b: "smaller batch size leads to higher speedup".
+        let nets = [models::resnet18()];
+        let pts = batch_sweep(&nets, QUICK);
+        let s16 = pts.iter().find(|p| p.batch == 16).unwrap().speedup_pct;
+        let s64 = pts.iter().find(|p| p.batch == 64).unwrap().speedup_pct;
+        assert!(s16 > s64, "batch16 {s16} vs batch64 {s64}");
+    }
+
+    #[test]
+    fn precision_sweep_all_mixes_gain() {
+        // Fig. 12c: 8/16, 16/32, 32/32 still provide meaningful speedups.
+        let nets = [models::mlp()];
+        let pts = precision_sweep(&nets, QUICK);
+        assert_eq!(pts.len(), 4);
+        for p in &pts {
+            assert!(p.speedup_pct > 110.0, "{} gains only {}", p.mix, p.speedup_pct);
+            assert!(p.energy_pct < 100.0, "{} energy {}", p.mix, p.energy_pct);
+        }
+        // The default 8/32 gains the most (largest update share).
+        let s832 = pts.iter().find(|p| p.mix == PrecisionMix::MIXED_8_32).unwrap();
+        let sfull = pts.iter().find(|p| p.mix == PrecisionMix::FULL_32).unwrap();
+        assert!(s832.speedup_pct > sfull.speedup_pct);
+    }
+
+    #[test]
+    fn layer_scatter_correlates_ratio_with_speedup() {
+        // Fig. 13: "a clear correlation between the weight/activation ratio
+        // and the speedup".
+        let nets = [models::resnet18()];
+        let pts = layer_scatter(&nets, QUICK);
+        let lo: Vec<&LayerPoint> = pts.iter().filter(|p| p.ratio < 1.0).collect();
+        let hi: Vec<&LayerPoint> = pts.iter().filter(|p| p.ratio > 10.0).collect();
+        assert!(!lo.is_empty() && !hi.is_empty());
+        let avg = |v: &[&LayerPoint]| v.iter().map(|p| p.speedup_pct).sum::<f64>() / v.len() as f64;
+        assert!(avg(&hi) > avg(&lo) + 20.0, "hi {} lo {}", avg(&hi), avg(&lo));
+    }
+}

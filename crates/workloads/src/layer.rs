@@ -1,0 +1,277 @@
+//! Layer descriptors and shape arithmetic for the evaluation networks.
+
+/// The operator type of one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LayerKind {
+    /// Standard 2-D convolution.
+    Conv2d {
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels.
+        out_ch: usize,
+        /// Kernel height/width (square kernels).
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Symmetric zero padding.
+        pad: usize,
+    },
+    /// Depthwise 2-D convolution (MobileNet).
+    DwConv2d {
+        /// Channels (input = output).
+        ch: usize,
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+    /// Fully-connected layer.
+    Linear {
+        /// Input features.
+        in_f: usize,
+        /// Output features.
+        out_f: usize,
+    },
+    /// Batch normalization (fused away under BNFF for traffic purposes).
+    BatchNorm {
+        /// Channels.
+        ch: usize,
+    },
+    /// Max/average pooling.
+    Pool {
+        /// Kernel size.
+        k: usize,
+        /// Stride.
+        stride: usize,
+        /// Padding.
+        pad: usize,
+    },
+}
+
+/// One layer instance: operator + input spatial dimensions + the Fig. 9
+/// block it belongs to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    /// Layer name (Fig. 2-style, e.g. "conv2m").
+    pub name: String,
+    /// Fig. 9 block label (e.g. "Block2").
+    pub block: String,
+    /// Operator.
+    pub kind: LayerKind,
+    /// Input height.
+    pub in_h: usize,
+    /// Input width.
+    pub in_w: usize,
+}
+
+impl Layer {
+    /// Output spatial dimensions.
+    pub fn out_dims(&self) -> (usize, usize) {
+        match self.kind {
+            LayerKind::Conv2d { k, stride, pad, .. }
+            | LayerKind::DwConv2d { k, stride, pad, .. }
+            | LayerKind::Pool { k, stride, pad } => (
+                (self.in_h + 2 * pad - k) / stride + 1,
+                (self.in_w + 2 * pad - k) / stride + 1,
+            ),
+            LayerKind::Linear { .. } => (1, 1),
+            LayerKind::BatchNorm { .. } => (self.in_h, self.in_w),
+        }
+    }
+
+    /// Trainable parameter count (weights; biases folded in, BN params
+    /// counted).
+    pub fn params(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv2d { in_ch, out_ch, k, .. } => in_ch * out_ch * k * k,
+            LayerKind::DwConv2d { ch, k, .. } => ch * k * k,
+            LayerKind::Linear { in_f, out_f } => in_f * out_f,
+            LayerKind::BatchNorm { ch } => 2 * ch,
+            LayerKind::Pool { .. } => 0,
+        }
+    }
+
+    /// Input activation element count for one sample.
+    pub fn input_acts(&self) -> usize {
+        let ch = match self.kind {
+            LayerKind::Conv2d { in_ch, .. } => in_ch,
+            LayerKind::DwConv2d { ch, .. } | LayerKind::BatchNorm { ch } => ch,
+            LayerKind::Linear { in_f, .. } => return in_f,
+            LayerKind::Pool { .. } => 0, // filled by caller via channels()
+        };
+        ch * self.in_h * self.in_w
+    }
+
+    /// Output activation element count for one sample.
+    pub fn output_acts(&self) -> usize {
+        let (oh, ow) = self.out_dims();
+        match self.kind {
+            LayerKind::Conv2d { out_ch, .. } => out_ch * oh * ow,
+            LayerKind::DwConv2d { ch, .. } | LayerKind::BatchNorm { ch } => ch * oh * ow,
+            LayerKind::Linear { out_f, .. } => out_f,
+            LayerKind::Pool { .. } => 0,
+        }
+    }
+
+    /// Multiply-accumulate count for one sample's forward pass.
+    pub fn macs(&self) -> usize {
+        let (oh, ow) = self.out_dims();
+        match self.kind {
+            LayerKind::Conv2d { in_ch, out_ch, k, .. } => in_ch * out_ch * k * k * oh * ow,
+            LayerKind::DwConv2d { ch, k, .. } => ch * k * k * oh * ow,
+            LayerKind::Linear { in_f, out_f } => in_f * out_f,
+            LayerKind::BatchNorm { ch } => ch * self.in_h * self.in_w,
+            LayerKind::Pool { .. } => 0,
+        }
+    }
+
+    /// The weight/activation ratio of Fig. 13: parameters per
+    /// (input + output) activation element of one sample.
+    pub fn weight_activation_ratio(&self) -> f64 {
+        let acts = self.input_acts() + self.output_acts();
+        if acts == 0 {
+            return 0.0;
+        }
+        self.params() as f64 / acts as f64
+    }
+
+    /// True for layers with trainable parameters (the update phase only
+    /// exists for these).
+    pub fn has_params(&self) -> bool {
+        self.params() > 0
+    }
+
+    /// The GEMM dimensions of this layer's forward pass under im2col:
+    /// `(M, N, K)` = (out_ch, out_pixels × batch, in_ch × k²).
+    pub fn gemm_dims(&self, batch: usize) -> (usize, usize, usize) {
+        let (oh, ow) = self.out_dims();
+        match self.kind {
+            LayerKind::Conv2d { in_ch, out_ch, k, .. } => {
+                (out_ch, oh * ow * batch, in_ch * k * k)
+            }
+            LayerKind::DwConv2d { ch, k, .. } => (ch, oh * ow * batch, k * k),
+            LayerKind::Linear { in_f, out_f } => (out_f, batch, in_f),
+            LayerKind::BatchNorm { ch } => (ch, self.in_h * self.in_w * batch, 1),
+            LayerKind::Pool { .. } => (0, 0, 0),
+        }
+    }
+}
+
+/// A whole network: ordered layers plus metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    /// Network name as shown in the paper's figures.
+    pub name: String,
+    /// Layers in forward order.
+    pub layers: Vec<Layer>,
+    /// Default minibatch size used by the paper for this network.
+    pub default_batch: usize,
+}
+
+impl Network {
+    /// Total trainable parameters.
+    pub fn total_params(&self) -> usize {
+        self.layers.iter().map(Layer::params).sum()
+    }
+
+    /// Total forward MACs for one sample.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+
+    /// The ordered list of distinct block labels (Fig. 9 x-axis).
+    pub fn blocks(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for l in &self.layers {
+            if out.last() != Some(&l.block) && !out.contains(&l.block) {
+                out.push(l.block.clone());
+            }
+        }
+        out
+    }
+
+    /// All layers belonging to `block`.
+    pub fn block_layers(&self, block: &str) -> Vec<&Layer> {
+        self.layers.iter().filter(|l| l.block == block).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn conv(in_ch: usize, out_ch: usize, k: usize, stride: usize, pad: usize, hw: usize) -> Layer {
+        Layer {
+            name: "t".into(),
+            block: "B".into(),
+            kind: LayerKind::Conv2d { in_ch, out_ch, k, stride, pad },
+            in_h: hw,
+            in_w: hw,
+        }
+    }
+
+    #[test]
+    fn conv_shape_math() {
+        // ResNet stem: 7×7/2 pad 3 on 224 → 112.
+        let l = conv(3, 64, 7, 2, 3, 224);
+        assert_eq!(l.out_dims(), (112, 112));
+        assert_eq!(l.params(), 3 * 64 * 49);
+        assert_eq!(l.macs(), 3 * 64 * 49 * 112 * 112);
+    }
+
+    #[test]
+    fn same_conv_preserves_dims() {
+        let l = conv(64, 64, 3, 1, 1, 56);
+        assert_eq!(l.out_dims(), (56, 56));
+    }
+
+    #[test]
+    fn linear_layer() {
+        let l = Layer {
+            name: "fc".into(),
+            block: "FC".into(),
+            kind: LayerKind::Linear { in_f: 512, out_f: 1000 },
+            in_h: 1,
+            in_w: 1,
+        };
+        assert_eq!(l.params(), 512_000);
+        assert_eq!(l.macs(), 512_000);
+        assert_eq!(l.gemm_dims(32), (1000, 32, 512));
+        // FC layers have very high weight/activation ratios (Fig. 13 right).
+        assert!(l.weight_activation_ratio() > 100.0);
+    }
+
+    #[test]
+    fn early_conv_has_low_ratio_late_conv_high() {
+        let early = conv(64, 64, 3, 1, 1, 56);
+        let late = conv(512, 512, 3, 1, 1, 7);
+        assert!(early.weight_activation_ratio() < 0.1);
+        assert!(late.weight_activation_ratio() > 40.0);
+        assert!(late.weight_activation_ratio() > early.weight_activation_ratio() * 100.0);
+    }
+
+    #[test]
+    fn pool_has_no_params() {
+        let l = Layer {
+            name: "maxpool".into(),
+            block: "B0".into(),
+            kind: LayerKind::Pool { k: 3, stride: 2, pad: 1 },
+            in_h: 112,
+            in_w: 112,
+        };
+        assert_eq!(l.params(), 0);
+        assert!(!l.has_params());
+        assert_eq!(l.out_dims(), (56, 56));
+    }
+
+    #[test]
+    fn gemm_dims_for_conv() {
+        let l = conv(64, 128, 3, 2, 1, 56);
+        let (m, n, k) = l.gemm_dims(32);
+        assert_eq!(m, 128);
+        assert_eq!(n, 28 * 28 * 32);
+        assert_eq!(k, 64 * 9);
+    }
+}

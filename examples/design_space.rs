@@ -1,0 +1,54 @@
+//! Design-space exploration: compare the six Fig. 9 systems on any of the
+//! paper's five workloads.
+//!
+//! Run with `cargo run --release --example design_space [network]` where
+//! `network` is one of `resnet18`, `resnet50`, `mobilenet`, `mlp`,
+//! `alphago` (default: `resnet18`).
+
+use gradpim::sim::{Design, SystemConfig, TrainingSim};
+use gradpim::workloads::models;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "resnet18".into());
+    let net = match which.as_str() {
+        "resnet18" => models::resnet18(),
+        "resnet50" => models::resnet50(),
+        "mobilenet" => models::mobilenet_v2(),
+        "mlp" => models::mlp(),
+        "alphago" => models::alphago_zero(),
+        other => {
+            eprintln!("unknown network '{other}'; use resnet18|resnet50|mobilenet|mlp|alphago");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "{}: {:.1}M parameters, {:.2} GMACs/sample, batch {}",
+        net.name,
+        net.total_params() as f64 / 1e6,
+        net.total_macs() as f64 / 1e9,
+        net.default_batch
+    );
+    println!(
+        "\n{:<12} {:>12} {:>12} {:>12} {:>9} {:>10} {:>12}",
+        "design", "fwd/bwd ms", "update ms", "total ms", "speedup", "energy mJ", "int. GB/s"
+    );
+    let mut base_total = None;
+    for design in Design::ALL {
+        let mut cfg = SystemConfig::new(design);
+        cfg.max_sim_bursts = 16_000;
+        cfg.max_sim_params = 100_000;
+        let r = TrainingSim::new(cfg).run(&net);
+        let total = r.total_time_ns();
+        let base = *base_total.get_or_insert(total);
+        println!(
+            "{:<12} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x {:>10.3} {:>12.1}",
+            design.label(),
+            r.fwdbwd_ns() / 1e6,
+            r.update_ns() / 1e6,
+            total / 1e6,
+            base / total,
+            r.energy().total_pj() / 1e9,
+            r.update_internal_bw() / 1e9,
+        );
+    }
+}

@@ -1,0 +1,228 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use gradpim::core::{GradPimFunc, RfuBits, ScalerValue};
+use gradpim::dram::{Address, AddressMapping, DramConfig};
+use gradpim::optim::quant::{
+    dequantize_slice_i8, f16_round_trip, f16_to_f32, f32_to_f16, quantize_slice_i8, Q8Scale,
+};
+use proptest::prelude::*;
+
+proptest! {
+    /// Address decode/encode is a bijection for every mapping over the
+    /// whole address space.
+    #[test]
+    fn address_mapping_round_trip(addr in 0u64..(32u64 << 30)) {
+        let cfg = DramConfig::ddr4_2133();
+        let aligned = addr & !(cfg.burst_bytes as u64 - 1);
+        for mapping in [AddressMapping::GradPim, AddressMapping::RowInterleaved] {
+            let loc = mapping.decode(aligned, &cfg);
+            prop_assert!(loc.rank < cfg.ranks);
+            prop_assert!(loc.bankgroup < cfg.bankgroups);
+            prop_assert!(loc.bank < cfg.banks_per_group);
+            prop_assert!(loc.row < cfg.rows);
+            prop_assert!(loc.column < cfg.columns);
+            prop_assert_eq!(mapping.encode(loc, &cfg), aligned);
+        }
+    }
+
+    /// Encoding any in-range location and decoding it returns the location.
+    #[test]
+    fn address_encode_decode_inverse(
+        rank in 0usize..4, bg in 0usize..4, bank in 0usize..4,
+        row in 0usize..65536, col in 0usize..128,
+    ) {
+        let cfg = DramConfig::ddr4_2133();
+        let loc = Address { channel: 0, rank, bankgroup: bg, bank, row, column: col };
+        let addr = AddressMapping::GradPim.encode(loc, &cfg);
+        prop_assert_eq!(AddressMapping::GradPim.decode(addr, &cfg), loc);
+    }
+
+    /// int8 quantization round-trip error never exceeds half a step, for
+    /// any finite tensor.
+    #[test]
+    fn q8_round_trip_bounded(data in prop::collection::vec(-1e6f32..1e6, 1..200)) {
+        let (scale, q) = quantize_slice_i8(&data);
+        let back = dequantize_slice_i8(&q, scale);
+        for (x, y) in data.iter().zip(&back) {
+            prop_assert!((x - y).abs() <= scale.factor() / 2.0 + 1e-6);
+        }
+    }
+
+    /// Q8 scales always cover the data (no clipping).
+    #[test]
+    fn q8_scale_covers(data in prop::collection::vec(-1e9f32..1e9, 1..100)) {
+        let s = Q8Scale::for_tensor(&data);
+        let max = data.iter().fold(0f32, |m, v| m.max(v.abs()));
+        prop_assert!(127.0 * s.factor() >= max * 0.999);
+    }
+
+    /// binary16 round trip is monotone and bounded for normal-range floats.
+    #[test]
+    fn f16_round_trip_relative_error(x in -60000f32..60000f32) {
+        let r = f16_round_trip(x);
+        if x.abs() > 1e-4 {
+            prop_assert!(((x - r) / x).abs() <= 1e-3, "x={x} r={r}");
+        }
+    }
+
+    /// f16→f32 of every bit pattern is total (never panics) and
+    /// f32→f16∘f16→f32 is the identity away from NaN.
+    #[test]
+    fn f16_bit_patterns_total(h in 0u16..=u16::MAX) {
+        let x = f16_to_f32(h);
+        if !x.is_nan() {
+            prop_assert_eq!(f32_to_f16(x), h);
+        }
+    }
+
+    /// The scaler approximation always lands within the lattice bound
+    /// (≈9.1 % worst case) for positive magnitudes across 12 octaves.
+    #[test]
+    fn scaler_error_bounded(mantissa in 1.0f64..2.0, exp in -20i32..20) {
+        let target = mantissa * 2f64.powi(exp);
+        let s = ScalerValue::approximate(target);
+        prop_assert!(s.rel_error(target) < 0.0911, "{target} -> {s} err {}", s.rel_error(target));
+    }
+
+    /// ISA: every 5-bit RFU pattern decodes to a function that re-encodes
+    /// to the same bits (total, bijective decode).
+    #[test]
+    fn isa_decode_total_bijection(v in 0u8..32) {
+        let f = GradPimFunc::decode(RfuBits::unpack(v)).unwrap();
+        prop_assert_eq!(f.encode().pack(), v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Streaming any mix of reads/writes through the simulator drains,
+    /// retires every transaction exactly once, and never exceeds the
+    /// external bandwidth ceiling.
+    #[test]
+    fn dram_streams_drain_and_respect_peak(
+        reads in 1usize..300,
+        writes in 0usize..300,
+        seed in 0u64..1000,
+    ) {
+        use gradpim::dram::{MemError, MemorySystem};
+        let cfg = DramConfig::ddr4_2133();
+        let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state
+        };
+        let total = reads + writes;
+        for i in 0..total {
+            let addr = (next() % (1 << 28)) & !63;
+            loop {
+                let r = if i < reads {
+                    mem.enqueue_read(addr).map(drop)
+                } else {
+                    mem.enqueue_write(addr, None).map(drop)
+                };
+                match r {
+                    Ok(()) => break,
+                    Err(MemError::QueueFull) => mem.tick(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        mem.drain(10_000_000).unwrap();
+        let st = mem.stats();
+        prop_assert_eq!(st.completed, total as u64);
+        prop_assert_eq!(st.external_bytes(), total as u64 * 64);
+        let bw = st.external_bw(&cfg);
+        prop_assert!(bw <= cfg.peak_external_bw() * 1.001, "bw {bw}");
+    }
+
+    /// Functional storage honours arbitrary poke/peek round trips through
+    /// the address mapping.
+    #[test]
+    fn storage_poke_peek_round_trip(
+        addr in 0u64..(1u64 << 30),
+        len_bursts in 1usize..16,
+        fill in 0u8..=255,
+    ) {
+        use gradpim::dram::MemorySystem;
+        let cfg = DramConfig::ddr4_2133();
+        let mut mem = MemorySystem::with_storage(cfg.clone(), AddressMapping::GradPim);
+        let aligned = addr & !(cfg.burst_bytes as u64 - 1);
+        let data: Vec<u8> = (0..len_bursts * cfg.burst_bytes)
+            .map(|i| fill.wrapping_add(i as u8))
+            .collect();
+        mem.poke(aligned, &data);
+        prop_assert_eq!(mem.peek(aligned, data.len()), data);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The controller's issued command stream is protocol-legal under
+    /// independent replay verification, for random mixes of external
+    /// traffic and PIM kernels (including refresh windows).
+    #[test]
+    fn controller_traces_verify(
+        reads in 1usize..150,
+        pim_cols in 1u32..100,
+        seed in 0u64..500,
+    ) {
+        use gradpim::dram::{verify_trace, MemError, MemorySystem, PimOp};
+        let cfg = DramConfig::ddr4_2133();
+        let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        mem.enable_trace();
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(7);
+        let mut next = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state
+        };
+        // Interleave reads with a PIM kernel stream on bank group 1.
+        for i in 0..reads.max(pim_cols as usize) {
+            if i < reads {
+                let addr = (next() % (1 << 26)) & !63;
+                loop {
+                    match mem.enqueue_read(addr) {
+                        Ok(_) => break,
+                        Err(MemError::QueueFull) => mem.tick(),
+                        Err(e) => panic!("{e}"),
+                    }
+                }
+            }
+            if (i as u32) < pim_cols {
+                let col = i as u32 % cfg.columns as u32;
+                for op in [
+                    PimOp::ScaledRead { bank: 0, row: 3, col, scaler: 0, dst: 0 },
+                    PimOp::ScaledRead { bank: 1, row: 3, col, scaler: 1, dst: 1 },
+                    PimOp::Add { bank: 0, dst: 1 },
+                    PimOp::Writeback { bank: 2, row: 3, col, src: 1 },
+                ] {
+                    loop {
+                        match mem.enqueue_pim(0, 0, 1, op) {
+                            Ok(_) => break,
+                            Err(MemError::QueueFull) => mem.tick(),
+                            Err(e) => panic!("{e}"),
+                        }
+                    }
+                }
+            }
+        }
+        mem.drain(10_000_000).unwrap();
+        // Run past a refresh window too.
+        for _ in 0..cfg.trefi + 2 * cfg.trfc {
+            mem.tick();
+        }
+        for trace in mem.take_traces() {
+            prop_assert!(!trace.is_empty());
+            if let Err(v) = verify_trace(&cfg, &trace) {
+                return Err(proptest::test_runner::TestCaseError::fail(format!("{v}")));
+            }
+        }
+    }
+}
