@@ -65,8 +65,5 @@ fn main() {
     println!("  GradPIM mapping (same BG, different banks): {:>10.1} us", gradpim_ns / 1e3);
     println!("  row-interleaved (same bank, row conflicts): {:>10.1} us", conventional_ns / 1e3);
     println!("  conflict penalty: {:.2}x", conventional_ns / gradpim_ns);
-    assert!(
-        conventional_ns > gradpim_ns,
-        "mapping ablation must show a conflict penalty"
-    );
+    assert!(conventional_ns > gradpim_ns, "mapping ablation must show a conflict penalty");
 }

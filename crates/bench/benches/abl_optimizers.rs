@@ -21,8 +21,8 @@ fn main() {
         "optimizer", "SR", "WB", "ALU", "QReg", "Q/DQ", "cmds/col", "update (us)"
     );
     for opt in OptimizerKind::ALL {
-        let placement = Placement::for_optimizer(opt, PrecisionMix::MIXED_8_32, n, &cfg)
-            .expect("placement");
+        let placement =
+            Placement::for_optimizer(opt, PrecisionMix::MIXED_8_32, n, &cfg).expect("placement");
         match compile_step(&placement, &hyper, &cfg) {
             Ok(plan) => {
                 let cols = (n / placement.elems_per_col()) as f64;

@@ -34,14 +34,8 @@ fn main() {
     // Functional: in-DRAM Adam vs the reference optimizer on a quadratic.
     let n = 512;
     let hyper = HyperParams { lr: 0.05, beta1: 0.5, beta2: 0.75, eps: 1e-8, ..Default::default() };
-    let mut pim = GradPimMemory::new(
-        cfg,
-        OptimizerKind::Adam,
-        PrecisionMix::FULL_32,
-        hyper,
-        n,
-    )
-    .expect("memory");
+    let mut pim = GradPimMemory::new(cfg, OptimizerKind::Adam, PrecisionMix::FULL_32, hyper, n)
+        .expect("memory");
     let theta0: Vec<f32> = (0..n).map(|i| (i as f32 / 64.0).sin() * 2.0).collect();
     pim.load_theta(&theta0);
     let mut reference = Adam::new(0.05, 0.5, 0.75, 1e-8, n);

@@ -24,8 +24,7 @@ fn bench_streaming(c: &mut Criterion) {
         g.throughput(Throughput::Elements(bursts));
         g.bench_with_input(BenchmarkId::new("reads", bursts), &bursts, |b, &n| {
             b.iter(|| {
-                let mut mem =
-                    MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+                let mut mem = MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
                 stream_reads(&mut mem, n);
                 mem.cycles()
             })

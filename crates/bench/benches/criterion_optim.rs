@@ -2,8 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gradpim_optim::{
+    f16_to_f32, f32_to_f16,
     quant::{dequantize_slice_i8, quantize_slice_i8},
-    f16_to_f32, f32_to_f16, Adam, MomentumSgd, Optimizer,
+    Adam, MomentumSgd, Optimizer,
 };
 
 const N: usize = 1 << 16;

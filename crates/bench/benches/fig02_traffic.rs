@@ -6,15 +6,18 @@
 //! for the conv5m block).
 
 use gradpim_bench::{banner, pct};
+use gradpim_workloads::models;
 use gradpim_workloads::traffic::{
     block_traffic, network_traffic, total_traffic, update_share, TrafficConfig,
 };
-use gradpim_workloads::models;
 
 fn print_chart(title: &str, cfg: &TrafficConfig) {
     let net = models::resnet18();
     println!("\n--- {title} (batch {}) ---", cfg.batch);
-    println!("{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}", "layer", "Fwd", "Bact", "Bwgt", "Wup", "total");
+    println!(
+        "{:<12} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "layer", "Fwd", "Bact", "Bwgt", "Wup", "total"
+    );
     for (name, t) in network_traffic(&net, cfg) {
         if t.total() == 0 {
             continue;
@@ -31,17 +34,10 @@ fn print_chart(title: &str, cfg: &TrafficConfig) {
     }
     let total = total_traffic(&net, cfg);
     let share = update_share(&net, cfg);
-    println!(
-        "TOTAL: {:.1} MB, update share {}",
-        total.total() as f64 / 1e6,
-        pct(share)
-    );
+    println!("TOTAL: {:.1} MB, update share {}", total.total() as f64 / 1e6, pct(share));
     let blocks = block_traffic(&net, cfg);
     let (_, b4) = blocks.iter().find(|(n, _)| n == "Block4").expect("Block4");
-    println!(
-        "conv5 block (Block4) update share: {}",
-        pct(b4.wup as f64 / b4.total() as f64)
-    );
+    println!("conv5 block (Block4) update share: {}", pct(b4.wup as f64 / b4.total() as f64));
 }
 
 fn main() {

@@ -15,29 +15,18 @@ use gradpim_sim::{Design, TrainingSim};
 
 fn main() {
     banner("Fig. 9", "Normalized execution time per block (update + fwd/bwd), six designs");
-    let mut gmean_acc: Vec<(Design, f64, u32)> =
-        Design::ALL.iter().map(|d| (*d, 0.0, 0)).collect();
+    let mut gmean_acc: Vec<(Design, f64, u32)> = Design::ALL.iter().map(|d| (*d, 0.0, 0)).collect();
 
     for net in networks() {
         println!("\n=== {} ===", net.name);
-        let reports: Vec<_> = Design::ALL
-            .iter()
-            .map(|d| TrainingSim::new(bench_config(*d)).run(&net))
-            .collect();
+        let reports: Vec<_> =
+            Design::ALL.iter().map(|d| TrainingSim::new(bench_config(*d)).run(&net)).collect();
         let baseline = &reports[0];
         // Normalize blocks to the baseline's slowest block.
-        let norm_block = baseline
-            .blocks
-            .iter()
-            .map(|b| b.total_ns())
-            .fold(0.0f64, f64::max);
+        let norm_block = baseline.blocks.iter().map(|b| b.total_ns()).fold(0.0f64, f64::max);
         let norm_total = baseline.total_time_ns();
 
-        println!(
-            "{:<12} {}",
-            "block",
-            Design::ALL.map(|d| format!("{:>20}", d.label())).join("")
-        );
+        println!("{:<12} {}", "block", Design::ALL.map(|d| format!("{:>20}", d.label())).join(""));
         for (bi, block) in baseline.blocks.iter().enumerate() {
             let cells: Vec<String> = reports
                 .iter()
@@ -54,7 +43,13 @@ fn main() {
         }
         let totals: Vec<String> = reports
             .iter()
-            .map(|r| format!("{:>9.3}({:>6.3}u)", r.total_time_ns() / norm_total, r.update_ns() / norm_total))
+            .map(|r| {
+                format!(
+                    "{:>9.3}({:>6.3}u)",
+                    r.total_time_ns() / norm_total,
+                    r.update_ns() / norm_total
+                )
+            })
             .collect();
         println!("{:<12} {}", "Total", totals.join(" "));
 

@@ -11,21 +11,15 @@ use gradpim_sim::{Design, TrainingSim};
 
 fn main() {
     banner("Fig. 11", "Update-phase command-bus utilization (top) and internal bandwidth (bottom)");
-    let designs = [
-        Design::Baseline,
-        Design::GradPimDirect,
-        Design::TensorDimm,
-        Design::GradPimBuffered,
-    ];
+    let designs =
+        [Design::Baseline, Design::GradPimDirect, Design::TensorDimm, Design::GradPimBuffered];
     let peak = bench_config(Design::GradPimBuffered).dram().peak_internal_bw() / 1e9;
     println!("peak internal bandwidth: {peak:.2} GB/s (paper: 181.28 GB/s)\n");
 
-    println!("--- command-bus utilization (% of one direct bus; buffered designs may exceed 100%) ---");
     println!(
-        "{:<14} {}",
-        "network",
-        designs.map(|d| format!("{:>12}", d.label())).join("")
+        "--- command-bus utilization (% of one direct bus; buffered designs may exceed 100%) ---"
     );
+    println!("{:<14} {}", "network", designs.map(|d| format!("{:>12}", d.label())).join(""));
     let mut bw_rows = Vec::new();
     for net in networks() {
         let mut util_cells = Vec::new();
@@ -40,11 +34,7 @@ fn main() {
     }
 
     println!("\n--- internal memory bandwidth during the update phase ---");
-    println!(
-        "{:<14} {}",
-        "network",
-        designs.map(|d| format!("{:>13}", d.label())).join("")
-    );
+    println!("{:<14} {}", "network", designs.map(|d| format!("{:>13}", d.label())).join(""));
     for (name, cells) in bw_rows {
         println!("{:<14} {}", name, cells.join(""));
     }

@@ -18,10 +18,7 @@ fn main() {
         Some((12 * 1024u64, 96 * 1024usize))
     };
     let pts = ops_bandwidth_sweep(&models::alphago_zero(), quick);
-    println!(
-        "{:<12} {:>8} {:>16} {:>12}",
-        "memory", "MAC dim", "ops/byte", "speedup %"
-    );
+    println!("{:<12} {:>8} {:>16} {:>12}", "memory", "MAC dim", "ops/byte", "speedup %");
     for p in &pts {
         println!(
             "{:<12} {:>8} {:>16.1} {:>12.1}",

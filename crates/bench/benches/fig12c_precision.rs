@@ -8,7 +8,10 @@ use gradpim_optim::PrecisionMix;
 use gradpim_sim::sweeps::precision_sweep;
 
 fn main() {
-    banner("Fig. 12c", "Speedup (%) vs precision mix (paper gmeans: 8/16 139%, 16/32 143%, 32/32 126%)");
+    banner(
+        "Fig. 12c",
+        "Speedup (%) vs precision mix (paper gmeans: 8/16 139%, 16/32 143%, 32/32 126%)",
+    );
     let quick = if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
         None
     } else {
@@ -37,12 +40,9 @@ fn main() {
         );
     }
     for mix in PrecisionMix::ALL {
-        let g: f64 = pts
-            .iter()
-            .filter(|p| p.mix == mix)
-            .map(|p| (p.speedup_pct / 100.0).ln())
-            .sum::<f64>()
-            / nets.len() as f64;
+        let g: f64 =
+            pts.iter().filter(|p| p.mix == mix).map(|p| (p.speedup_pct / 100.0).ln()).sum::<f64>()
+                / nets.len() as f64;
         println!("gmean {mix}: {:.0}%", g.exp() * 100.0);
     }
 }

@@ -20,10 +20,7 @@ fn main() {
     pts.sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
     println!("{:<14} {:<16} {:>14} {:>12}", "network", "layer", "W/A ratio", "speedup %");
     for p in &pts {
-        println!(
-            "{:<14} {:<16} {:>14.4} {:>12.1}",
-            p.network, p.layer, p.ratio, p.speedup_pct
-        );
+        println!("{:<14} {:<16} {:>14.4} {:>12.1}", p.network, p.layer, p.ratio, p.speedup_pct);
     }
     // Correlation summary (rank correlation over the scatter).
     let n = pts.len() as f64;

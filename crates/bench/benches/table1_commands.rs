@@ -6,9 +6,13 @@ use gradpim_core::GradPimFunc;
 
 fn main() {
     banner("Table I", "Truth table for GradPIM commands (Op0 Op1 Param0 Param1 Src/Dst)");
-    println!("{:<14} {:<12} {}", "Func.", "Signals", "notes");
+    println!("{:<14} {:<12} notes", "Func.", "Signals");
     let rows: Vec<(&str, GradPimFunc, &str)> = vec![
-        ("Scaled Read", GradPimFunc::ScaledRead { scale: 0, dst: 0 }, "Param = scale id (2b), SD = dst"),
+        (
+            "Scaled Read",
+            GradPimFunc::ScaledRead { scale: 0, dst: 0 },
+            "Param = scale id (2b), SD = dst",
+        ),
         ("DeQuant", GradPimFunc::Dequant { pos: 0, dst: 0 }, "Param = src position (2b), SD = dst"),
         ("Quant", GradPimFunc::Quant { pos: 0, src: 0 }, "Param = dst position (2b), SD = src"),
         ("Writeback", GradPimFunc::Writeback { src: 0 }, "SD = src"),

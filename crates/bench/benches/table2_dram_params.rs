@@ -25,11 +25,11 @@ fn main() {
     }
     println!("\nderived ceilings:");
     println!("  peak external bandwidth : {:>7.2} GB/s (paper: 17.1)", c.peak_external_bw() / 1e9);
-    println!("  peak internal bandwidth : {:>7.2} GB/s (paper: 181.28)", c.peak_internal_bw() / 1e9);
     println!(
-        "  command issue (direct)  : {:>7.2} Gcmd/s",
-        c.command_issue_capacity() / 1e9
+        "  peak internal bandwidth : {:>7.2} GB/s (paper: 181.28)",
+        c.peak_internal_bw() / 1e9
     );
+    println!("  command issue (direct)  : {:>7.2} Gcmd/s", c.command_issue_capacity() / 1e9);
     for preset in [DramConfig::ddr4_3200(), DramConfig::hbm2_like()] {
         println!(
             "\n{}: tCK {:.3} ns, ext {:.1} GB/s, int {:.1} GB/s",

@@ -2,7 +2,7 @@
 //! the §VI-A area-overhead claim.
 
 use gradpim_bench::banner;
-use gradpim_dram::{PimLayout, PowerModel, DramConfig, DDR4_8GB_DIE_MM2};
+use gradpim_dram::{DramConfig, PimLayout, PowerModel, DDR4_8GB_DIE_MM2};
 
 fn main() {
     banner("Table III", "Layout results (45 nm DRAM process, scaled to 32 nm)");

@@ -207,11 +207,8 @@ impl NetworkPimMemory {
         // Per-group re-quantization with refreshed θ scales.
         if mixed {
             for gi in 0..self.groups.len() {
-                let theta = self.groups[gi].placement.read_master(
-                    &self.mem,
-                    ArrayName::Theta,
-                    &self.mode,
-                );
+                let theta =
+                    self.groups[gi].placement.read_master(&self.mem, ArrayName::Theta, &self.mode);
                 let max = theta.iter().fold(0f32, |m, v| m.max(v.abs()));
                 self.groups[gi].theta_exponent = Q8Scale::for_max_abs(max * 1.25).exponent;
                 let plan = compile_step_parts(

@@ -156,27 +156,15 @@ impl GradPimFunc {
                 param1: false,
                 srcdst: src & 1 != 0,
             },
-            GradPimFunc::QReg { write } => RfuBits {
-                op0: false,
-                op1: true,
-                param0: true,
-                param1: false,
-                srcdst: write,
-            },
-            GradPimFunc::Add { dst } => RfuBits {
-                op0: false,
-                op1: true,
-                param0: true,
-                param1: true,
-                srcdst: dst & 1 != 0,
-            },
-            GradPimFunc::Sub { dst } => RfuBits {
-                op0: false,
-                op1: true,
-                param0: false,
-                param1: true,
-                srcdst: dst & 1 != 0,
-            },
+            GradPimFunc::QReg { write } => {
+                RfuBits { op0: false, op1: true, param0: true, param1: false, srcdst: write }
+            }
+            GradPimFunc::Add { dst } => {
+                RfuBits { op0: false, op1: true, param0: true, param1: true, srcdst: dst & 1 != 0 }
+            }
+            GradPimFunc::Sub { dst } => {
+                RfuBits { op0: false, op1: true, param0: false, param1: true, srcdst: dst & 1 != 0 }
+            }
         }
     }
 
@@ -194,14 +182,12 @@ impl GradPimFunc {
                 scale: two(bits.param0, bits.param1),
                 dst: bits.srcdst as u8,
             },
-            (true, false) => GradPimFunc::Dequant {
-                pos: two(bits.param0, bits.param1),
-                dst: bits.srcdst as u8,
-            },
-            (true, true) => GradPimFunc::Quant {
-                pos: two(bits.param0, bits.param1),
-                src: bits.srcdst as u8,
-            },
+            (true, false) => {
+                GradPimFunc::Dequant { pos: two(bits.param0, bits.param1), dst: bits.srcdst as u8 }
+            }
+            (true, true) => {
+                GradPimFunc::Quant { pos: two(bits.param0, bits.param1), src: bits.srcdst as u8 }
+            }
             (false, true) => match (bits.param0, bits.param1) {
                 (false, false) => GradPimFunc::Writeback { src: bits.srcdst as u8 },
                 (true, false) => GradPimFunc::QReg { write: bits.srcdst },
@@ -219,9 +205,7 @@ impl GradPimFunc {
     /// command combinations") and have no encoding in the base table.
     pub fn from_pim_op(op: PimOp) -> Option<Self> {
         Some(match op {
-            PimOp::ScaledRead { scaler, dst, .. } => {
-                GradPimFunc::ScaledRead { scale: scaler, dst }
-            }
+            PimOp::ScaledRead { scaler, dst, .. } => GradPimFunc::ScaledRead { scale: scaler, dst },
             PimOp::Writeback { src, .. } => GradPimFunc::Writeback { src },
             PimOp::QRegLoad { .. } => GradPimFunc::QReg { write: false },
             PimOp::QRegStore { .. } => GradPimFunc::QReg { write: true },

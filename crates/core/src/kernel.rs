@@ -489,8 +489,7 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        let mut hyper = HyperParams::default();
-        hyper.weight_decay = 0.0;
+        let hyper = HyperParams { weight_decay: 0.0, ..Default::default() };
         let p = compile_step(&placement, &hyper, &cfg).unwrap();
         assert_eq!(p.counts.scaled_reads, 128 * 4); // 3 update + 1 quant
         assert_eq!(p.counts.alu_ops, 128 * 2);
@@ -529,7 +528,8 @@ mod tests {
 
     #[test]
     fn scaler_bank_encodes_hyperparams() {
-        let hyper = HyperParams { lr: 0.01, momentum: 0.9, weight_decay: 1e-4, ..Default::default() };
+        let hyper =
+            HyperParams { lr: 0.01, momentum: 0.9, weight_decay: 1e-4, ..Default::default() };
         let bank = scaler_bank_for(OptimizerKind::MomentumSgd, &hyper).unwrap();
         let f = bank.to_mode_floats();
         assert!(f[0] < 0.0 && (f[0] + 0.01).abs() / 0.01 < 0.05);
@@ -564,8 +564,7 @@ mod tests {
         let cfg = DramConfig::ddr4_2133();
         let placement =
             Placement::for_optimizer(OptimizerKind::Sgd, PrecisionMix::FULL_32, 16, &cfg).unwrap();
-        let mut hyper = HyperParams::default();
-        hyper.weight_decay = 0.0;
+        let hyper = HyperParams { weight_decay: 0.0, ..Default::default() };
         let p = compile_step(&placement, &hyper, &cfg).unwrap();
         // 16 f32 = 1 column: SR g, SR θ, Add, WB θ.
         assert_eq!(

@@ -139,15 +139,7 @@ impl GradPimMemory {
             eps: hyper.eps,
         };
         mem.set_mode_registers(mode);
-        Ok(Self {
-            mem,
-            placement,
-            hyper,
-            mode,
-            grad_exponent: -7,
-            theta_exponent: -7,
-            steps: 0,
-        })
+        Ok(Self { mem, placement, hyper, mode, grad_exponent: -7, theta_exponent: -7, steps: 0 })
     }
 
     /// The placement in use.
@@ -282,12 +274,7 @@ impl GradPimMemory {
 
         self.steps += 1;
         let stats = self.mem.stats();
-        Ok(StepReport {
-            dequant_cycles: c1 - c0,
-            update_cycles: c2 - c1,
-            commands,
-            stats,
-        })
+        Ok(StepReport { dequant_cycles: c1 - c0, update_cycles: c2 - c1, commands, stats })
     }
 
     /// The §VIII two-pass Adam step on the extended ALU: dequantize, pass 1
@@ -341,12 +328,7 @@ impl GradPimMemory {
 
         self.steps += 1;
         let stats = self.mem.stats();
-        Ok(StepReport {
-            dequant_cycles: c1 - c0,
-            update_cycles: c2 - c1,
-            commands,
-            stats,
-        })
+        Ok(StepReport { dequant_cycles: c1 - c0, update_cycles: c2 - c1, commands, stats })
     }
 
     /// Update steps applied so far.
@@ -445,14 +427,9 @@ mod tests {
     fn full_precision_sgd_matches_reference_exactly_modulo_scaler() {
         let n = 256;
         let hyper = HyperParams { lr: 0.25, weight_decay: 0.0, ..Default::default() };
-        let mut gpm = GradPimMemory::new(
-            small_cfg(),
-            OptimizerKind::Sgd,
-            PrecisionMix::FULL_32,
-            hyper,
-            n,
-        )
-        .unwrap();
+        let mut gpm =
+            GradPimMemory::new(small_cfg(), OptimizerKind::Sgd, PrecisionMix::FULL_32, hyper, n)
+                .unwrap();
         let theta0: Vec<f32> = (0..n).map(|i| (i as f32 - 128.0) / 64.0).collect();
         let grads: Vec<f32> = (0..n).map(|i| ((i * 7 % 13) as f32 - 6.0) / 8.0).collect();
         gpm.load_theta(&theta0);
@@ -471,12 +448,8 @@ mod tests {
     fn momentum_step_matches_reference_with_exact_scalers() {
         let n = 512;
         // All power-of-two hyper-parameters: exact scalers, exact f32 math.
-        let hyper = HyperParams {
-            lr: 0.125,
-            momentum: 0.5,
-            weight_decay: 0.0,
-            ..Default::default()
-        };
+        let hyper =
+            HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.0, ..Default::default() };
         let mut gpm = GradPimMemory::new(
             small_cfg(),
             OptimizerKind::MomentumSgd,
@@ -491,8 +464,7 @@ mod tests {
         let mut reference = MomentumSgd::new(0.125, 0.5, 0.0, n);
         let mut expect = theta0.clone();
         for step in 0..3 {
-            let grads: Vec<f32> =
-                (0..n).map(|i| ((i + step * 31) as f32).cos() * 0.5).collect();
+            let grads: Vec<f32> = (0..n).map(|i| ((i + step * 31) as f32).cos() * 0.5).collect();
             gpm.write_gradients(&grads);
             gpm.step().unwrap();
             reference.step(&mut expect, &grads);
@@ -508,12 +480,8 @@ mod tests {
     #[test]
     fn mixed_precision_step_tracks_reference_within_quant_error() {
         let n = 2048;
-        let hyper = HyperParams {
-            lr: 0.125,
-            momentum: 0.5,
-            weight_decay: 0.0,
-            ..Default::default()
-        };
+        let hyper =
+            HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.0, ..Default::default() };
         let mut gpm = GradPimMemory::new(
             small_cfg(),
             OptimizerKind::MomentumSgd,

@@ -73,7 +73,10 @@ impl std::fmt::Display for PlacementError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PlacementError::TooManyArrays { needed, banks } => {
-                write!(f, "optimizer needs {needed} concurrent arrays but bank groups have {banks} banks")
+                write!(
+                    f,
+                    "optimizer needs {needed} concurrent arrays but bank groups have {banks} banks"
+                )
             }
             PlacementError::CapacityExceeded { rows_needed, rows } => {
                 write!(f, "placement needs {rows_needed} rows/bank but device has {rows}")
@@ -239,15 +242,7 @@ impl Placement {
                 rows: cfg.rows,
             });
         }
-        Ok(Self {
-            mix,
-            optimizer,
-            n_params,
-            arrays,
-            elems_per_col,
-            elems_per_chunk,
-            rows_span,
-        })
+        Ok(Self { mix, optimizer, n_params, arrays, elems_per_col, elems_per_chunk, rows_span })
     }
 
     /// The precision mix this placement serves.
@@ -544,13 +539,9 @@ mod tests {
 
     #[test]
     fn update_phase_arrays_in_distinct_banks() {
-        let p = Placement::for_optimizer(
-            OptimizerKind::Adam,
-            PrecisionMix::MIXED_8_32,
-            10_000,
-            &cfg(),
-        )
-        .unwrap();
+        let p =
+            Placement::for_optimizer(OptimizerKind::Adam, PrecisionMix::MIXED_8_32, 10_000, &cfg())
+                .unwrap();
         let banks = [
             p.array(ArrayName::Theta).bank,
             p.array(ArrayName::Grad).bank,
@@ -607,13 +598,9 @@ mod tests {
     #[test]
     fn partial_last_chunk() {
         let c = cfg();
-        let p = Placement::for_optimizer(
-            OptimizerKind::Sgd,
-            PrecisionMix::MIXED_8_32,
-            2048 + 100,
-            &c,
-        )
-        .unwrap();
+        let p =
+            Placement::for_optimizer(OptimizerKind::Sgd, PrecisionMix::MIXED_8_32, 2048 + 100, &c)
+                .unwrap();
         let chunks = p.chunks(&c);
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[0].cols, 128);
@@ -623,9 +610,13 @@ mod tests {
     #[test]
     fn master_array_round_trip_through_memory() {
         let c = cfg();
-        let p =
-            Placement::for_optimizer(OptimizerKind::MomentumSgd, PrecisionMix::MIXED_8_32, 5000, &c)
-                .unwrap();
+        let p = Placement::for_optimizer(
+            OptimizerKind::MomentumSgd,
+            PrecisionMix::MIXED_8_32,
+            5000,
+            &c,
+        )
+        .unwrap();
         let mut mem = MemorySystem::with_storage(c, AddressMapping::GradPim);
         let mode = ModeRegisters::default();
         let data: Vec<f32> = (0..5000).map(|i| i as f32 * 0.5 - 100.0).collect();
@@ -636,12 +627,15 @@ mod tests {
     #[test]
     fn quantized_array_round_trip() {
         let c = cfg();
-        let p =
-            Placement::for_optimizer(OptimizerKind::MomentumSgd, PrecisionMix::MIXED_8_32, 3000, &c)
-                .unwrap();
+        let p = Placement::for_optimizer(
+            OptimizerKind::MomentumSgd,
+            PrecisionMix::MIXED_8_32,
+            3000,
+            &c,
+        )
+        .unwrap();
         let mut mem = MemorySystem::with_storage(c, AddressMapping::GradPim);
-        let mut mode = ModeRegisters::default();
-        mode.q8_exponent = -6;
+        let mode = ModeRegisters { q8_exponent: -6, ..Default::default() };
         let data: Vec<f32> = (0..3000).map(|i| ((i % 127) as f32 - 63.0) / 64.0).collect();
         p.write_quantized(&mut mem, ArrayName::QGrad, &mode, &data);
         let back = p.read_quantized(&mem, ArrayName::QGrad, &mode);

@@ -49,8 +49,7 @@ impl LrSchedule {
             }
             LrSchedule::Cosine { total, min_lr } => {
                 let x = (t.min(total) as f32) / (total.max(1) as f32);
-                min_lr
-                    + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * x).cos())
+                min_lr + 0.5 * (base_lr - min_lr) * (1.0 + (std::f32::consts::PI * x).cos())
             }
         }
     }
@@ -70,7 +69,7 @@ impl LrSchedule {
     pub fn needs_mrw(&self, base_lr: f32, t: u64) -> bool {
         match *self {
             LrSchedule::Constant => false,
-            LrSchedule::ShiftDecay { period } => t > 0 && t % period.max(1) == 0,
+            LrSchedule::ShiftDecay { period } => t > 0 && t.is_multiple_of(period.max(1)),
             LrSchedule::Cosine { .. } => {
                 t == 0 || self.hardware_lr(base_lr, t) != self.hardware_lr(base_lr, t - 1)
             }
@@ -116,10 +115,7 @@ mod tests {
         for t in (0..=1000).step_by(25) {
             let ideal = s.ideal_lr(base, t);
             let hw = s.hardware_lr(base, t);
-            assert!(
-                ((hw - ideal) / ideal).abs() < 0.0911,
-                "t={t}: hw {hw} vs ideal {ideal}"
-            );
+            assert!(((hw - ideal) / ideal).abs() < 0.0911, "t={t}: hw {hw} vs ideal {ideal}");
             // The staircase is non-increasing along the anneal.
             assert!(hw <= last + 1e-9, "t={t}");
             last = hw;

@@ -220,8 +220,8 @@ mod tests {
     #[test]
     fn op_counts_are_seventeen_per_column() {
         let c = cfg_ext();
-        let p = Placement::for_optimizer(OptimizerKind::Adam, PrecisionMix::FULL_32, 2048, &c)
-            .unwrap();
+        let p =
+            Placement::for_optimizer(OptimizerKind::Adam, PrecisionMix::FULL_32, 2048, &c).unwrap();
         let plan = compile_adam(&p, &hyper(), 1, &c).unwrap();
         let cols = 128u64;
         assert_eq!(plan.counts.scaled_reads, cols * 8);
@@ -257,13 +257,8 @@ mod tests {
     #[test]
     fn streams_cover_all_units() {
         let c = cfg_ext();
-        let p = Placement::for_optimizer(
-            OptimizerKind::Adam,
-            PrecisionMix::FULL_32,
-            2048 * 16,
-            &c,
-        )
-        .unwrap();
+        let p = Placement::for_optimizer(OptimizerKind::Adam, PrecisionMix::FULL_32, 2048 * 16, &c)
+            .unwrap();
         let plan = compile_adam(&p, &hyper(), 3, &c).unwrap();
         assert_eq!(plan.pass1.len(), 16);
         assert_eq!(plan.pass2.len(), 16);

@@ -50,10 +50,11 @@ impl Address {
 }
 
 /// An address-bit interleaving scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AddressMapping {
     /// The paper's Fig. 7 GradPIM mapping: bank bits at the MSB, bank-group
     /// interleaving right above the column bits.
+    #[default]
     GradPim,
     /// A conventional baseline mapping (row ‖ rank ‖ bank ‖ bank group ‖
     /// column ‖ byte): consecutive arrays do *not* stay bank-aligned, so
@@ -149,12 +150,6 @@ impl AddressMapping {
     pub fn bank_region_bytes(self, cfg: &DramConfig) -> u64 {
         assert_eq!(self, AddressMapping::GradPim, "bank regions only exist under GradPim mapping");
         self.capacity_bytes(cfg) / cfg.banks_per_group as u64
-    }
-}
-
-impl Default for AddressMapping {
-    fn default() -> Self {
-        AddressMapping::GradPim
     }
 }
 

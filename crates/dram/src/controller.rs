@@ -165,10 +165,12 @@ impl Controller {
 
     /// Takes the recorded trace (empty if tracing was never enabled).
     pub fn take_trace(&mut self) -> Vec<TraceEntry> {
-        self.trace.take().map(|t| {
-            self.trace = Some(Vec::new());
-            t
-        }).unwrap_or_default()
+        self.trace
+            .take()
+            .inspect(|_| {
+                self.trace = Some(Vec::new());
+            })
+            .unwrap_or_default()
     }
 
     /// Current memory-clock cycle.
@@ -224,9 +226,11 @@ impl Controller {
     fn flat_unit(&self, rank: u8, bankgroup: u8, bank: u8) -> usize {
         match self.cfg.pim_placement {
             PimPlacement::PerBankGroup => rank as usize * self.cfg.bankgroups + bankgroup as usize,
-            PimPlacement::PerBank => (rank as usize * self.cfg.bankgroups + bankgroup as usize)
-                * self.cfg.banks_per_group
-                + bank as usize,
+            PimPlacement::PerBank => {
+                (rank as usize * self.cfg.bankgroups + bankgroup as usize)
+                    * self.cfg.banks_per_group
+                    + bank as usize
+            }
         }
     }
 
@@ -284,7 +288,13 @@ impl Controller {
     /// # Errors
     ///
     /// [`EnqueueError::QueueFull`] if the PIM queue is at capacity.
-    pub fn enqueue_pim(&mut self, id: u64, rank: u8, bankgroup: u8, op: PimOp) -> Result<(), EnqueueError> {
+    pub fn enqueue_pim(
+        &mut self,
+        id: u64,
+        rank: u8,
+        bankgroup: u8,
+        op: PimOp,
+    ) -> Result<(), EnqueueError> {
         if op.kind().is_extended() && !self.cfg.extended_alu {
             return Err(EnqueueError::ExtendedAluDisabled);
         }
@@ -305,8 +315,7 @@ impl Controller {
         }
         let bank_base = r * self.cfg.banks_per_rank();
         let busy_banks = (0..self.cfg.banks_per_rank()).any(|b| {
-            !self.bank_q[bank_base + b].is_empty()
-                || self.banks[bank_base + b].open_row().is_some()
+            !self.bank_q[bank_base + b].is_empty() || self.banks[bank_base + b].open_row().is_some()
         });
         if busy_banks {
             return true;
@@ -376,25 +385,22 @@ impl Controller {
             let base = r * self.cfg.banks_per_rank();
             let any_open =
                 (0..self.cfg.banks_per_rank()).any(|b| self.banks[base + b].open_row().is_some());
-            self.stats.energy.background_pj += if any_open {
-                self.power.bg_active_pj
-            } else {
-                self.power.bg_precharged_pj
-            };
+            self.stats.energy.background_pj +=
+                if any_open { self.power.bg_active_pj } else { self.power.bg_precharged_pj };
         }
         self.clock += 1;
         self.stats.cycles = self.clock;
     }
 
     fn rank_matches(filter: Option<u8>, rank: u8) -> bool {
-        filter.map_or(true, |f| f == rank)
+        filter.is_none_or(|f| f == rank)
     }
 
     fn try_issue(&mut self, filter: Option<u8>) {
         if self.try_refresh(filter) {
             return;
         }
-        if self.clock % 2 == 0 {
+        if self.clock.is_multiple_of(2) {
             if self.try_pim(filter) {
                 return;
             }
@@ -510,8 +516,8 @@ impl Controller {
     }
 
     fn retire_pim(&mut self, req: PimReq, op: PimOp) {
-        let done = self.clock
-            + if op.kind().is_pim_alu() { self.cfg.tpim } else { self.cfg.tccd_l };
+        let done =
+            self.clock + if op.kind().is_pim_alu() { self.cfg.tpim } else { self.cfg.tccd_l };
         self.finish(req.id, done, None);
     }
 
@@ -550,10 +556,7 @@ impl Controller {
                     // FR-FCFS: serve a row hit from the window unless the
                     // streak cap forces head progress.
                     let hit = if self.hit_streak[fb] < MAX_STREAK {
-                        self.bank_q[fb]
-                            .iter()
-                            .take(HIT_WINDOW)
-                            .position(|r| r.row == open)
+                        self.bank_q[fb].iter().take(HIT_WINDOW).position(|r| r.row == open)
                     } else {
                         // only the head counts once the cap is hit
                         self.bank_q[fb].front().and_then(|r| (r.row == open).then_some(0))
@@ -818,10 +821,7 @@ mod tests {
         drain(&mut c, 100_000);
         let cycles = c.cycles();
         let ideal = n as u64 * cfg.tccd_s;
-        assert!(
-            cycles < ideal + ideal / 4 + 100,
-            "streaming took {cycles} vs ideal {ideal}"
-        );
+        assert!(cycles < ideal + ideal / 4 + 100, "streaming took {cycles} vs ideal {ideal}");
     }
 
     #[test]
@@ -879,7 +879,7 @@ mod tests {
                     id,
                     0,
                     0,
-                    PimOp::ScaledRead { bank, row: 0, col, scaler, dst: (bank & 1), },
+                    PimOp::ScaledRead { bank, row: 0, col, scaler, dst: (bank & 1) },
                 )
                 .unwrap();
             }
@@ -926,10 +926,7 @@ mod tests {
         };
         let one = run(&[0]);
         let two = run(&[0, 1]);
-        assert!(
-            (two as f64) < one as f64 * 1.35,
-            "two groups took {two} vs one group {one}"
-        );
+        assert!((two as f64) < one as f64 * 1.35, "two groups took {two} vs one group {one}");
     }
 
     #[test]

@@ -86,9 +86,10 @@ impl ModeRegisters {
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
                 .collect(),
-            ElemKind::F16 => {
-                bytes.chunks_exact(2).map(|c| f16_to_f32(u16::from_le_bytes([c[0], c[1]]))).collect()
-            }
+            ElemKind::F16 => bytes
+                .chunks_exact(2)
+                .map(|c| f16_to_f32(u16::from_le_bytes([c[0], c[1]])))
+                .collect(),
             ElemKind::I8 => bytes
                 .iter()
                 .map(|&b| (b as i8) as f32 * Q8Scale { exponent: self.q8_exponent }.factor())
@@ -123,9 +124,10 @@ impl ModeRegisters {
                     )
                 })
                 .collect(),
-            ElemKind::F16 => {
-                bytes.chunks_exact(2).map(|c| f16_to_f32(u16::from_le_bytes([c[0], c[1]]))).collect()
-            }
+            ElemKind::F16 => bytes
+                .chunks_exact(2)
+                .map(|c| f16_to_f32(u16::from_le_bytes([c[0], c[1]])))
+                .collect(),
             ElemKind::F32 => bytes
                 .chunks_exact(4)
                 .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -180,6 +182,7 @@ impl PimUnit {
 
     /// Scaled read (§IV-B ①): bank column → temp register, each element
     /// multiplied by scaler slot `scaler`.
+    #[allow(clippy::too_many_arguments)] // mirrors the command's full field list
     pub fn scaled_read(
         &mut self,
         storage: &Storage,
@@ -197,14 +200,7 @@ impl PimUnit {
     }
 
     /// Writeback (§IV-B ③): temp register → bank column.
-    pub fn writeback(
-        &self,
-        storage: &mut Storage,
-        bank_flat: usize,
-        row: u32,
-        col: u32,
-        src: u8,
-    ) {
+    pub fn writeback(&self, storage: &mut Storage, bank_flat: usize, row: u32, col: u32, src: u8) {
         storage.write_col(bank_flat, row, col, &self.temp[src as usize & 1]);
     }
 
@@ -375,8 +371,7 @@ mod tests {
 
     #[test]
     fn quant_ratio_two_for_16_32() {
-        let mut mode = ModeRegisters::default();
-        mode.low = ElemKind::F16;
+        let mode = ModeRegisters { low: ElemKind::F16, ..Default::default() };
         assert_eq!(mode.quant_ratio(), 2);
         let mut unit = PimUnit::new(64);
         let vals: Vec<f32> = (0..16).map(|i| 1.5 * i as f32).collect();
@@ -390,8 +385,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range for ratio")]
     fn quant_position_checked() {
-        let mut mode = ModeRegisters::default();
-        mode.low = ElemKind::F16;
+        let mode = ModeRegisters { low: ElemKind::F16, ..Default::default() };
         let mut unit = PimUnit::new(64);
         unit.quant_op(&mode, 2, 0);
     }
@@ -399,10 +393,12 @@ mod tests {
     #[test]
     fn f16_master_precision_mode() {
         // 8/16 mix: high = F16 (32 lanes per 64 B column), low = I8.
-        let mut mode = ModeRegisters::default();
-        mode.high = ElemKind::F16;
-        mode.low = ElemKind::I8;
-        mode.q8_exponent = -5;
+        let mode = ModeRegisters {
+            high: ElemKind::F16,
+            low: ElemKind::I8,
+            q8_exponent: -5,
+            ..Default::default()
+        };
         assert_eq!(mode.quant_ratio(), 2);
         let vals: Vec<f32> = (0..32).map(|i| i as f32 / 32.0).collect();
         let bytes = mode.encode_high(&vals);

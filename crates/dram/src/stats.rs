@@ -176,13 +176,11 @@ mod tests {
 
     #[test]
     fn merge_accumulates() {
-        let mut a = Stats::default();
-        a.cycles = 100;
+        let mut a = Stats { cycles: 100, ..Default::default() };
         a.record(CommandKind::Read);
         a.external_read_bytes = 64;
         a.energy.rd_pj = 10.0;
-        let mut b = Stats::default();
-        b.cycles = 120;
+        let mut b = Stats { cycles: 120, ..Default::default() };
         b.record(CommandKind::Write);
         b.external_write_bytes = 64;
         b.energy.wr_pj = 12.0;
@@ -196,18 +194,22 @@ mod tests {
     #[test]
     fn bandwidth_math() {
         let cfg = DramConfig::ddr4_2133();
-        let mut s = Stats::default();
-        s.cycles = 1000;
-        s.external_read_bytes = 64 * 250; // one burst per 4 cycles = peak
+        let s = Stats {
+            cycles: 1000,
+            external_read_bytes: 64 * 250, // one burst per 4 cycles = peak
+            ..Default::default()
+        };
         let bw = s.external_bw(&cfg);
         assert!((bw / cfg.peak_external_bw() - 1.0).abs() < 0.01, "bw {bw}");
     }
 
     #[test]
     fn utilizations_bounded() {
-        let mut s = Stats::default();
-        s.cycles = 10;
-        s.cmd_slots = 25; // buffered mode can exceed 1×
+        let mut s = Stats {
+            cycles: 10,
+            cmd_slots: 25, // buffered mode can exceed 1×
+            ..Default::default()
+        };
         assert!((s.command_bus_utilization() - 2.5).abs() < 1e-12);
         s.data_bus_busy = 10;
         assert!((s.data_bus_utilization() - 1.0).abs() < 1e-12);

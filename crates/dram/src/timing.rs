@@ -109,8 +109,7 @@ impl TimingState {
 
     fn bank_idx(&self, cmd: &Command) -> usize {
         let b = cmd.bank().expect("bank-addressed command");
-        (b.rank as usize * self.cfg.bankgroups + b.bankgroup as usize)
-            * self.cfg.banks_per_group
+        (b.rank as usize * self.cfg.bankgroups + b.bankgroup as usize) * self.cfg.banks_per_group
             + b.bank as usize
     }
 
@@ -438,10 +437,12 @@ mod tests {
         let sr0 = Command::ScaledRead { bank: bank(0, 0, 0), row: 0, col: 0, scaler: 0, dst: 0 };
         t.issue(&sr0, t0);
         // Same bank group paced at tCCD_L…
-        let sr_same = Command::ScaledRead { bank: bank(0, 0, 0), row: 0, col: 1, scaler: 0, dst: 1 };
+        let sr_same =
+            Command::ScaledRead { bank: bank(0, 0, 0), row: 0, col: 1, scaler: 0, dst: 1 };
         assert_eq!(t.earliest(&sr_same), t0 + c.tccd_l);
         // …but a different bank group can issue immediately (no tCCD_S).
-        let sr_cross = Command::ScaledRead { bank: bank(0, 1, 0), row: 0, col: 0, scaler: 0, dst: 0 };
+        let sr_cross =
+            Command::ScaledRead { bank: bank(0, 1, 0), row: 0, col: 0, scaler: 0, dst: 0 };
         assert_eq!(t.earliest(&sr_cross), t0);
     }
 
@@ -501,7 +502,12 @@ mod tests {
             t.issue(&cmd, when);
         }
         let fifth = Command::Activate { bank: bank(0, 0, 1), row: 0 };
-        assert!(t.earliest(&fifth) >= c.tfaw, "fifth ACT at {} < tFAW {}", t.earliest(&fifth), c.tfaw);
+        assert!(
+            t.earliest(&fifth) >= c.tfaw,
+            "fifth ACT at {} < tFAW {}",
+            t.earliest(&fifth),
+            c.tfaw
+        );
         let _ = when;
     }
 
@@ -599,7 +605,8 @@ mod tests {
         let sr0 = Command::ScaledRead { bank: bank(0, 0, 0), row: 0, col: 0, scaler: 0, dst: 0 };
         t.issue(&sr0, t0);
         // Same bank: paced.
-        let sr_same = Command::ScaledRead { bank: bank(0, 0, 0), row: 0, col: 1, scaler: 0, dst: 1 };
+        let sr_same =
+            Command::ScaledRead { bank: bank(0, 0, 0), row: 0, col: 1, scaler: 0, dst: 1 };
         assert_eq!(t.earliest(&sr_same), t0 + c.tccd_l);
         // Sibling bank in the same group: independent unit, no pacing.
         let sr_sib = Command::ScaledRead { bank: bank(0, 0, 1), row: 0, col: 0, scaler: 0, dst: 0 };

@@ -78,16 +78,18 @@ impl std::fmt::Display for ProtocolViolation {
                 entry.cmd, entry.cycle, open_row
             ),
             ProtocolViolation::DoubleActivate { index, entry } => {
-                write!(f, "trace[{index}]: double activate {:?} at cycle {}", entry.cmd, entry.cycle)
+                write!(
+                    f,
+                    "trace[{index}]: double activate {:?} at cycle {}",
+                    entry.cmd, entry.cycle
+                )
             }
             ProtocolViolation::NonMonotonic { index } => {
                 write!(f, "trace[{index}]: cycle numbers go backwards")
             }
-            ProtocolViolation::ExtendedAluDisabled { index, entry } => write!(
-                f,
-                "trace[{index}]: extended-ALU {:?} on a base device",
-                entry.cmd
-            ),
+            ProtocolViolation::ExtendedAluDisabled { index, entry } => {
+                write!(f, "trace[{index}]: extended-ALU {:?} on a base device", entry.cmd)
+            }
         }
     }
 }
@@ -259,16 +261,16 @@ mod tests {
             TraceEntry { cycle: 10, cmd: Command::Activate { bank: bank0(), row: 5 } },
             TraceEntry { cycle: 9, cmd: Command::Precharge { bank: bank0() } },
         ];
-        assert!(matches!(verify_trace(&c, &trace), Err(ProtocolViolation::NonMonotonic { index: 1 })));
+        assert!(matches!(
+            verify_trace(&c, &trace),
+            Err(ProtocolViolation::NonMonotonic { index: 1 })
+        ));
     }
 
     #[test]
     fn extended_alu_gate_is_checked() {
         let c = cfg();
-        let trace = vec![TraceEntry {
-            cycle: 0,
-            cmd: Command::PimMul { unit: bank0(), dst: 0 },
-        }];
+        let trace = vec![TraceEntry { cycle: 0, cmd: Command::PimMul { unit: bank0(), dst: 0 } }];
         assert!(matches!(
             verify_trace(&c, &trace),
             Err(ProtocolViolation::ExtendedAluDisabled { index: 0, .. })

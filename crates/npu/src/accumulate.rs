@@ -37,13 +37,7 @@ pub fn chunked_f16_sum(xs: &[f32], chunk: usize) -> f32 {
     while partials.len() > 1 {
         partials = partials
             .chunks(2)
-            .map(|p| {
-                if p.len() == 2 {
-                    f16_round_trip(p[0] + p[1])
-                } else {
-                    p[0]
-                }
-            })
+            .map(|p| if p.len() == 2 { f16_round_trip(p[0] + p[1]) } else { p[0] })
             .collect();
     }
     partials.first().copied().unwrap_or(0.0)
@@ -92,10 +86,7 @@ mod tests {
         let exact = exact_sum(&xs);
         let naive_err = (naive_f16_sum(&xs) as f64 - exact).abs();
         let chunk_err = (chunked_f16_sum(&xs, 64) as f64 - exact).abs();
-        assert!(
-            chunk_err < naive_err,
-            "chunked err {chunk_err} vs naive err {naive_err}"
-        );
+        assert!(chunk_err < naive_err, "chunked err {chunk_err} vs naive err {naive_err}");
     }
 
     #[test]

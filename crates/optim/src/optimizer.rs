@@ -97,14 +97,7 @@ pub struct HyperParams {
 
 impl Default for HyperParams {
     fn default() -> Self {
-        Self {
-            lr: 0.01,
-            momentum: 0.9,
-            weight_decay: 1e-4,
-            beta1: 0.9,
-            beta2: 0.999,
-            eps: 1e-8,
-        }
+        Self { lr: 0.01, momentum: 0.9, weight_decay: 1e-4, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
     }
 }
 

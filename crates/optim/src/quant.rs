@@ -35,7 +35,7 @@ impl Q8Scale {
     /// assert!(127.0 * (s.factor() / 2.0) < 1.0);
     /// ```
     pub fn for_max_abs(max_abs: f32) -> Self {
-        if !(max_abs > 0.0) || !max_abs.is_finite() {
+        if max_abs <= 0.0 || !max_abs.is_finite() {
             return Self { exponent: -20 };
         }
         // smallest e with 127 * 2^e >= max_abs  =>  e = ceil(log2(max_abs/127))
@@ -178,11 +178,7 @@ mod tests {
     fn q8_scale_covers_range() {
         for max in [1e-6_f32, 0.01, 0.5, 1.0, 3.7, 100.0, 1e6] {
             let s = Q8Scale::for_max_abs(max);
-            assert!(
-                127.0 * s.factor() >= max,
-                "scale 2^{} does not cover {max}",
-                s.exponent
-            );
+            assert!(127.0 * s.factor() >= max, "scale 2^{} does not cover {max}", s.exponent);
         }
     }
 

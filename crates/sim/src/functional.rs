@@ -64,8 +64,7 @@ impl PimTrainer {
         hyper: HyperParams,
     ) -> Result<Self, GradPimError> {
         let classes = 2;
-        let layers =
-            vec![("w1".to_string(), input * hidden), ("w2".to_string(), hidden * classes)];
+        let layers = vec![("w1".to_string(), input * hidden), ("w2".to_string(), hidden * classes)];
         let mut mem = NetworkPimMemory::new(
             DramConfig::ddr4_2133(),
             OptimizerKind::MomentumSgd,
@@ -206,12 +205,8 @@ mod tests {
         // The headline functional result: 8/32 mixed-precision training
         // with every update executed by GradPIM kernels inside the DRAM
         // simulator learns the task.
-        let hyper = HyperParams {
-            lr: 0.125,
-            momentum: 0.5,
-            weight_decay: 0.0,
-            ..Default::default()
-        };
+        let hyper =
+            HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.0, ..Default::default() };
         let mut t = PimTrainer::new(2, 16, PrecisionMix::MIXED_8_32, hyper).unwrap();
         let (xs, ys) = synthetic_dataset(128, 7);
         let first = t.train_epoch(&xs, &ys).unwrap();

@@ -119,7 +119,12 @@ fn interleaved_addr(cfg: &DramConfig, base: u64, i: u64) -> u64 {
 /// (bank-group-interleaved walks through two disjoint bank regions, with
 /// reads and writes batched to amortize bus turnarounds) and returns the
 /// scaled phase result.
-pub fn stream_phase(cfg: &DramConfig, read_bytes: u64, write_bytes: u64, cap_bursts: u64) -> PhaseResult {
+pub fn stream_phase(
+    cfg: &DramConfig,
+    read_bytes: u64,
+    write_bytes: u64,
+    cap_bursts: u64,
+) -> PhaseResult {
     let burst = cfg.burst_bytes as u64;
     let r_total = read_bytes.div_ceil(burst);
     let w_total = write_bytes.div_ceil(burst);
@@ -143,28 +148,26 @@ pub fn stream_phase(cfg: &DramConfig, read_bytes: u64, write_bytes: u64, cap_bur
     let (mut ri, mut wi) = (0u64, 0u64);
     let mut phase_w = false;
     let mut left_in_batch = R_BATCH;
-    let reqs = std::iter::from_fn(move || {
-        loop {
-            if ri >= r_sim && wi >= w_sim {
-                return None;
+    let reqs = std::iter::from_fn(move || loop {
+        if ri >= r_sim && wi >= w_sim {
+            return None;
+        }
+        if left_in_batch == 0 || (!phase_w && ri >= r_sim) || (phase_w && wi >= w_sim) {
+            phase_w = !phase_w;
+            left_in_batch = if phase_w { w_batch } else { R_BATCH };
+            continue;
+        }
+        left_in_batch -= 1;
+        if !phase_w {
+            if ri < r_sim {
+                let a = interleaved_addr(&cfg2, 0, ri);
+                ri += 1;
+                return Some(Req::Read(a));
             }
-            if left_in_batch == 0 || (!phase_w && ri >= r_sim) || (phase_w && wi >= w_sim) {
-                phase_w = !phase_w;
-                left_in_batch = if phase_w { w_batch } else { R_BATCH };
-                continue;
-            }
-            left_in_batch -= 1;
-            if !phase_w {
-                if ri < r_sim {
-                    let a = interleaved_addr(&cfg2, 0, ri);
-                    ri += 1;
-                    return Some(Req::Read(a));
-                }
-            } else if wi < w_sim {
-                let a = interleaved_addr(&cfg2, w_base, wi);
-                wi += 1;
-                return Some(Req::Write(a));
-            }
+        } else if wi < w_sim {
+            let a = interleaved_addr(&cfg2, w_base, wi);
+            wi += 1;
+            return Some(Req::Write(a));
         }
     });
     run_requests(&mut mem, reqs);
@@ -191,10 +194,8 @@ pub fn baseline_update_phase(
         .expect("placement for baseline update");
     let ratio = mix.quant_ratio() as u32;
     let mixed = mix.is_mixed();
-    let states: Vec<ArrayName> = [ArrayName::State0, ArrayName::State1]
-        .into_iter()
-        .take(optimizer.state_arrays())
-        .collect();
+    let states: Vec<ArrayName> =
+        [ArrayName::State0, ArrayName::State1].into_iter().take(optimizer.state_arrays()).collect();
 
     // Per-chunk request lists: reads and writes batched per BATCH-column
     // group (the update engine double-buffers a small tile: load it, update
@@ -354,13 +355,10 @@ pub fn aos_per_bank_update_phase(
         let wave = c / (cfg.bankgroups * cfg.ranks);
         let bank = (wave % cfg.banks_per_group) as u8;
         let row = (wave / cfg.banks_per_group) as u32;
-        let idx = streams
-            .iter()
-            .position(|s| s.1 == rank && s.2 == bg)
-            .unwrap_or_else(|| {
-                streams.push((0, rank, bg, Vec::new()));
-                streams.len() - 1
-            });
+        let idx = streams.iter().position(|s| s.1 == rank && s.2 == bg).unwrap_or_else(|| {
+            streams.push((0, rank, bg, Vec::new()));
+            streams.len() - 1
+        });
         let ops = &mut streams[idx].3;
         let remaining = sim_params - c * elems_per_chunk;
         let cols = remaining.min(elems_per_chunk).div_ceil(epc) as u32;

@@ -72,10 +72,9 @@ impl Layer {
         match self.kind {
             LayerKind::Conv2d { k, stride, pad, .. }
             | LayerKind::DwConv2d { k, stride, pad, .. }
-            | LayerKind::Pool { k, stride, pad } => (
-                (self.in_h + 2 * pad - k) / stride + 1,
-                (self.in_w + 2 * pad - k) / stride + 1,
-            ),
+            | LayerKind::Pool { k, stride, pad } => {
+                ((self.in_h + 2 * pad - k) / stride + 1, (self.in_w + 2 * pad - k) / stride + 1)
+            }
             LayerKind::Linear { .. } => (1, 1),
             LayerKind::BatchNorm { .. } => (self.in_h, self.in_w),
         }
@@ -148,9 +147,7 @@ impl Layer {
     pub fn gemm_dims(&self, batch: usize) -> (usize, usize, usize) {
         let (oh, ow) = self.out_dims();
         match self.kind {
-            LayerKind::Conv2d { in_ch, out_ch, k, .. } => {
-                (out_ch, oh * ow * batch, in_ch * k * k)
-            }
+            LayerKind::Conv2d { in_ch, out_ch, k, .. } => (out_ch, oh * ow * batch, in_ch * k * k),
             LayerKind::DwConv2d { ch, k, .. } => (ch, oh * ow * batch, k * k),
             LayerKind::Linear { in_f, out_f } => (out_f, batch, in_f),
             LayerKind::BatchNorm { ch } => (ch, self.in_h * self.in_w * batch, 1),

@@ -4,6 +4,7 @@
 
 use crate::layer::{Layer, LayerKind, Network};
 
+#[allow(clippy::too_many_arguments)] // mirrors the (in, out, k, stride, pad, hw) conv shorthand
 fn conv(
     name: &str,
     block: &str,
@@ -102,7 +103,16 @@ pub fn resnet50() -> Network {
             let out_hw = if stride == 2 { hw / 2 } else { hw };
             layers.push(conv(&format!("{tag}_1x1b"), label, width, width * 4, 1, 1, 0, out_hw));
             if b == 0 {
-                layers.push(conv(&format!("{tag}_proj"), label, in_ch, width * 4, 1, stride, 0, hw));
+                layers.push(conv(
+                    &format!("{tag}_proj"),
+                    label,
+                    in_ch,
+                    width * 4,
+                    1,
+                    stride,
+                    0,
+                    hw,
+                ));
             }
             if b == 0 && stride == 2 {
                 hw /= 2;
@@ -215,10 +225,7 @@ mod tests {
         // included).
         let n = resnet18();
         let p = n.total_params();
-        assert!(
-            (10_500_000..12_500_000).contains(&p),
-            "ResNet-18 params {p}"
-        );
+        assert!((10_500_000..12_500_000).contains(&p), "ResNet-18 params {p}");
     }
 
     #[test]
@@ -282,10 +289,7 @@ mod tests {
     #[test]
     fn resnet18_blocks_match_fig9() {
         let n = resnet18();
-        assert_eq!(
-            n.blocks(),
-            vec!["Block0", "Block1", "Block2", "Block3", "Block4", "FC"]
-        );
+        assert_eq!(n.blocks(), vec!["Block0", "Block1", "Block2", "Block3", "Block4", "FC"]);
     }
 
     #[test]

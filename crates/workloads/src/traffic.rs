@@ -293,8 +293,7 @@ mod tests {
         let t = layer_traffic(h1, &cfg);
         assert_eq!(t.wup, h1.params() as u64 * 18);
         // Full precision: 20 bytes per parameter.
-        let t_full =
-            layer_traffic(h1, &TrafficConfig { mix: PrecisionMix::FULL_32, ..cfg });
+        let t_full = layer_traffic(h1, &TrafficConfig { mix: PrecisionMix::FULL_32, ..cfg });
         assert_eq!(t_full.wup, h1.params() as u64 * 20);
     }
 
@@ -348,8 +347,6 @@ mod tests {
         // Update traffic is batch-independent…
         assert_eq!(ts.wup, tl.wup);
         // …so its share shrinks with batch (the Fig. 12b effect).
-        assert!(
-            ts.wup as f64 / ts.total() as f64 > tl.wup as f64 / tl.total() as f64
-        );
+        assert!(ts.wup as f64 / ts.total() as f64 > tl.wup as f64 / tl.total() as f64);
     }
 }

@@ -4,8 +4,8 @@
 //! Run with `cargo run --release --example traffic_analysis [network]`.
 
 use gradpim::optim::PrecisionMix;
-use gradpim::workloads::traffic::{block_traffic, total_traffic, update_share, TrafficConfig};
 use gradpim::workloads::models;
+use gradpim::workloads::traffic::{block_traffic, total_traffic, update_share, TrafficConfig};
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "resnet18".into());

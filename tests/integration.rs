@@ -3,9 +3,7 @@
 
 use gradpim::core::{GradPimMemory, Placement};
 use gradpim::dram::{AddressMapping, DramConfig, MemorySystem};
-use gradpim::optim::{
-    HyperParams, MomentumSgd, Nag, Optimizer, OptimizerKind, PrecisionMix, Sgd,
-};
+use gradpim::optim::{HyperParams, MomentumSgd, Nag, Optimizer, OptimizerKind, PrecisionMix, Sgd};
 use gradpim::sim::{Design, SystemConfig, TrainingSim};
 use gradpim::workloads::models;
 
@@ -45,12 +43,8 @@ fn in_dram_updates_match_references_across_optimizers() {
 
     // Momentum SGD without weight decay: bit-exact (identical rounding).
     {
-        let hyper = HyperParams {
-            lr: 0.125,
-            momentum: 0.5,
-            weight_decay: 0.0,
-            ..Default::default()
-        };
+        let hyper =
+            HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.0, ..Default::default() };
         let mut pim = GradPimMemory::new(
             DramConfig::ddr4_2133(),
             OptimizerKind::MomentumSgd,
@@ -77,12 +71,8 @@ fn in_dram_updates_match_references_across_optimizers() {
     // Eq. 4 does not prescribe an association, so the results agree to f32
     // rounding, not bit-for-bit.
     {
-        let hyper = HyperParams {
-            lr: 0.125,
-            momentum: 0.5,
-            weight_decay: 0.25,
-            ..Default::default()
-        };
+        let hyper =
+            HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.25, ..Default::default() };
         let mut pim = GradPimMemory::new(
             DramConfig::ddr4_2133(),
             OptimizerKind::MomentumSgd,
@@ -101,21 +91,14 @@ fn in_dram_updates_match_references_across_optimizers() {
             reference.step(&mut expect, &g);
         }
         for (i, (a, b)) in pim.theta().iter().zip(&expect).enumerate() {
-            assert!(
-                (a - b).abs() <= 1e-5 * (1.0 + b.abs()),
-                "momentum+wd lane {i}: {a} vs {b}"
-            );
+            assert!((a - b).abs() <= 1e-5 * (1.0 + b.abs()), "momentum+wd lane {i}: {a} vs {b}");
         }
     }
 
     // NAG.
     {
-        let hyper = HyperParams {
-            lr: 0.125,
-            momentum: 0.5,
-            weight_decay: 0.0,
-            ..Default::default()
-        };
+        let hyper =
+            HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.0, ..Default::default() };
         let mut pim = GradPimMemory::new(
             DramConfig::ddr4_2133(),
             OptimizerKind::Nag,
@@ -143,20 +126,11 @@ fn in_dram_updates_match_references_across_optimizers() {
 fn mixed_precision_error_bounds_hold_for_all_mixes() {
     let n = 4096;
     for mix in [PrecisionMix::MIXED_8_32, PrecisionMix::MIXED_16_32, PrecisionMix::MIXED_8_16] {
-        let hyper = HyperParams {
-            lr: 0.125,
-            momentum: 0.5,
-            weight_decay: 0.0,
-            ..Default::default()
-        };
-        let mut pim = GradPimMemory::new(
-            DramConfig::ddr4_2133(),
-            OptimizerKind::MomentumSgd,
-            mix,
-            hyper,
-            n,
-        )
-        .unwrap();
+        let hyper =
+            HyperParams { lr: 0.125, momentum: 0.5, weight_decay: 0.0, ..Default::default() };
+        let mut pim =
+            GradPimMemory::new(DramConfig::ddr4_2133(), OptimizerKind::MomentumSgd, mix, hyper, n)
+                .unwrap();
         let theta0: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.003).sin() * 0.5).collect();
         let grads: Vec<f32> = (0..n).map(|i| ((i as f32) * 0.007).cos() * 0.25).collect();
         pim.load_theta(&theta0);
@@ -174,12 +148,8 @@ fn mixed_precision_error_bounds_hold_for_all_mixes() {
             PrecisionMix::MIXED_16_32 => 1e-3,
             _ => 6e-3,
         };
-        let worst = pim
-            .theta()
-            .iter()
-            .zip(&expect)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0f32, f32::max);
+        let worst =
+            pim.theta().iter().zip(&expect).map(|(a, b)| (a - b).abs()).fold(0f32, f32::max);
         assert!(worst <= tol, "{mix}: worst |Δθ| = {worst} > {tol}");
     }
 }
@@ -200,10 +170,10 @@ fn placement_invariants_across_optimizers_and_mixes() {
                         if a.name == b.name {
                             continue;
                         }
-                        let la = AddressMapping::GradPim
-                            .decode(p.col_addr(a, chunk, 0, &cfg), &cfg);
-                        let lb = AddressMapping::GradPim
-                            .decode(p.col_addr(b, chunk, 0, &cfg), &cfg);
+                        let la =
+                            AddressMapping::GradPim.decode(p.col_addr(a, chunk, 0, &cfg), &cfg);
+                        let lb =
+                            AddressMapping::GradPim.decode(p.col_addr(b, chunk, 0, &cfg), &cfg);
                         assert_eq!(la.bankgroup, lb.bankgroup, "{opt} {mix}");
                         assert_eq!(la.rank, lb.rank, "{opt} {mix}");
                         assert_ne!(
@@ -296,23 +266,11 @@ fn extended_alu_adam_matches_mirrored_reference() {
     use gradpim::core::adam_scalers;
     let n = 2048;
     // Power-of-two-friendly betas: every scaler constant is exact.
-    let hyper = HyperParams {
-        lr: 0.125,
-        beta1: 0.5,
-        beta2: 0.75,
-        eps: 1e-8,
-        ..Default::default()
-    };
+    let hyper = HyperParams { lr: 0.125, beta1: 0.5, beta2: 0.75, eps: 1e-8, ..Default::default() };
     let mut cfg = DramConfig::ddr4_2133();
     cfg.extended_alu = true;
-    let mut pim = GradPimMemory::new(
-        cfg,
-        OptimizerKind::Adam,
-        PrecisionMix::FULL_32,
-        hyper,
-        n,
-    )
-    .unwrap();
+    let mut pim =
+        GradPimMemory::new(cfg, OptimizerKind::Adam, PrecisionMix::FULL_32, hyper, n).unwrap();
     let theta0: Vec<f32> = (0..n).map(|i| ((i * 13) % 401) as f32 / 200.0 - 1.0).collect();
     pim.load_theta(&theta0);
 

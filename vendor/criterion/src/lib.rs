@@ -1,0 +1,247 @@
+//! Offline stand-in for the `criterion` benchmarking crate.
+//!
+//! Implements the subset of criterion's API used by this workspace's
+//! `benches/criterion_*.rs` targets: groups, throughput annotations,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurement is a plain wall-clock mean over a fixed number of samples —
+//! good enough for relative comparisons in an offline environment, with no
+//! statistics engine, plotting, or HTML reports.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new<S: fmt::Display, P: fmt::Display>(function_name: S, parameter: P) -> Self {
+        Self { id: format!("{function_name}/{parameter}") }
+    }
+
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl<S: Into<String>> From<S> for BenchmarkId {
+    fn from(s: S) -> Self {
+        Self { id: s.into() }
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean wall-clock duration of one iteration, filled in by `iter`.
+    elapsed: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per iteration.
+    ///
+    /// A short warm-up precedes measurement. The number of measured
+    /// iterations adapts so very fast closures still get a readable mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run once, then estimate how many iterations fit a sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let iters = per_sample as u64 * self.samples as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed();
+        self.elapsed = total / iters.max(1) as u32;
+        self.iters_done = iters;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<40} time: {:>12}", fmt_duration(b.elapsed));
+    if let Some(tp) = throughput {
+        let secs = b.elapsed.as_secs_f64().max(1e-12);
+        match tp {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("   thrpt: {:.3} Melem/s", n as f64 / secs / 1e6));
+            }
+            Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                line.push_str(&format!(
+                    "   thrpt: {:.3} MiB/s",
+                    n as f64 / secs / (1 << 20) as f64
+                ));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, iters_done: 0 };
+        f(&mut b);
+        report(name, &b, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("-- group: {name} --");
+        BenchmarkGroup {
+            criterion: self,
+            group: name.to_string(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// CLI entry point; the stand-in ignores all arguments (including the
+    /// `--bench` flag cargo passes to `harness = false` targets).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn bench_function<I: Into<BenchmarkId>, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher { samples, elapsed: Duration::ZERO, iters_done: 0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.group, id.id), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        let id = id.into();
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher { samples, elapsed: Duration::ZERO, iters_done: 0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.group, id.id), &b, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the `main` that runs each group, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("reads", 128);
+        assert_eq!(id.id, "reads/128");
+    }
+}

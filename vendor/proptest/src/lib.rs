@@ -1,0 +1,526 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the subset of proptest's API used by this workspace:
+//! the [`proptest!`] macro, integer/float range strategies,
+//! [`collection::vec`], [`prop_assert!`]/[`prop_assert_eq!`], a
+//! [`test_runner::ProptestConfig`] with a configurable case count, and
+//! [`test_runner::TestCaseError`]. Case generation is driven by a
+//! deterministic SplitMix64 RNG so failures are reproducible; there is no
+//! shrinking — the failing inputs are printed verbatim instead.
+
+pub mod rng {
+    /// Deterministic SplitMix64 generator used to derive every test case.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn new(seed: u64) -> Self {
+            Self { state: seed }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)` with 53 bits of precision.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::rng::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A source of random values for one `proptest!` parameter.
+    ///
+    /// Unlike real proptest there is no value tree or shrinking: a strategy
+    /// simply draws a value from the RNG.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).sample(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let lo = self.start as i128;
+                    let span = (self.end as i128 - lo) as u128;
+                    let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (lo + draw as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let lo = *self.start() as i128;
+                    let span = (*self.end() as i128 - lo) as u128 + 1;
+                    let draw = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                    (lo + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let f = rng.next_f64() as $t;
+                    let v = self.start + f * (self.end - self.start);
+                    // Narrowing to $t (or the final arithmetic itself) can
+                    // round up to exactly `end`; keep the range half-open.
+                    if v >= self.end { self.end.next_down().max(self.start) } else { v }
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start() <= self.end(), "empty range strategy");
+                    let f = rng.next_f64() as $t;
+                    (self.start() + f * (self.end() - self.start())).clamp(*self.start(), *self.end())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    impl Strategy for Range<char> {
+        type Value = char;
+        fn sample(&self, rng: &mut TestRng) -> char {
+            let lo = self.start as u32;
+            let hi = self.end as u32;
+            loop {
+                let v = lo + (rng.next_u64() as u32) % (hi - lo);
+                if let Some(c) = char::from_u32(v) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+pub mod collection {
+    use crate::rng::TestRng;
+    use crate::strategy::Strategy;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive-exclusive bound on generated collection sizes.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self { lo: *r.start(), hi: *r.end() + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64;
+            let len = self.size.lo + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use crate::rng::TestRng;
+    use std::fmt;
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was falsified.
+        Fail(String),
+        /// The inputs were rejected (e.g. by `prop_assume!`); not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration; only `cases` is meaningful in the stand-in.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Unused; kept for source compatibility with real proptest.
+        pub max_shrink_iters: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases, ..Self::default() }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+            Self { cases, max_shrink_iters: 0 }
+        }
+    }
+
+    fn fnv1a(s: &str) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drives one `proptest!`-declared test: runs `case` for each seed and
+    /// panics with the generated inputs on the first failure.
+    pub fn run<F>(config: ProptestConfig, test_name: &str, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), (String, TestCaseError)>,
+    {
+        let base = fnv1a(test_name);
+        let max_rejects = config.cases.saturating_mul(4).max(256);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        let mut draw = 0u64;
+        // Rejections (prop_assume!) redraw rather than consume a case, so a
+        // property can't pass vacuously; a persistent rejector trips the cap.
+        while accepted < config.cases {
+            let seed = base ^ draw.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            draw += 1;
+            let mut rng = TestRng::new(seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err((_, TestCaseError::Reject(_))) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "proptest {test_name}: too many rejected inputs \
+                             ({rejected} rejects, {accepted}/{} cases ran)",
+                            config.cases
+                        );
+                    }
+                }
+                Err((inputs, e)) => panic!(
+                    "proptest {test_name} failed at case {}/{} (seed {seed:#x})\n  inputs: {inputs}\n  {e}",
+                    accepted + 1,
+                    config.cases
+                ),
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Declares property tests. Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0u32..100, v in prop::collection::vec(0f32..1.0, 1..10)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr;
+     $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng| {
+                        let mut __inputs = ::std::string::String::new();
+                        $(
+                            let __value = $crate::strategy::Strategy::sample(&($strat), __rng);
+                            __inputs.push_str(&::std::format!(
+                                "{} = {:?}; ",
+                                stringify!($parm),
+                                __value
+                            ));
+                            let $parm = __value;
+                        )+
+                        let __outcome: ::core::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::core::result::Result::Ok(())
+                        })();
+                        __outcome.map_err(|e| (__inputs, e))
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}\n {}",
+            stringify!($left), stringify!($right), left, right, ::std::format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case (drawing a fresh one) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn int_ranges_in_bounds(x in 5u64..100, y in -3i32..=3) {
+            prop_assert!((5..100).contains(&x));
+            prop_assert!((-3..=3).contains(&y));
+        }
+
+        #[test]
+        fn float_ranges_in_bounds(x in -1.5f32..2.5) {
+            prop_assert!((-1.5..2.5).contains(&x));
+        }
+
+        #[test]
+        fn vecs_respect_size(v in prop::collection::vec(0u8..10, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let mut a = crate::rng::TestRng::new(42);
+        let mut b = crate::rng::TestRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs:")]
+    fn failure_reports_inputs() {
+        proptest! {
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+
+    #[test]
+    fn float_exclusive_range_never_yields_end() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::rng::TestRng::new(7);
+        // A one-ULP-wide f32 range: any upward rounding in the sample
+        // arithmetic would land exactly on `end`.
+        let end = 1.0f32;
+        let start = end.next_down();
+        for _ in 0..10_000 {
+            let v = (start..end).sample(&mut rng);
+            assert!(v < end, "sampled {v} >= exclusive end {end}");
+            assert!(v >= start);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range strategy")]
+    fn float_inclusive_reversed_range_panics() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::rng::TestRng::new(7);
+        #[allow(clippy::reversed_empty_ranges)]
+        let _ = (2.5f64..=1.5).sample(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected inputs")]
+    fn persistent_rejection_trips_the_cap() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_rejects(x in 0u32..10) {
+                prop_assume!(x > 100);
+            }
+        }
+        always_rejects();
+    }
+
+    #[test]
+    fn rejections_redraw_instead_of_consuming_cases() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static ACCEPTED: AtomicU32 = AtomicU32::new(0);
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn rejects_half(x in 0u32..10) {
+                prop_assume!(x < 5);
+                ACCEPTED.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        rejects_half();
+        assert_eq!(ACCEPTED.load(Ordering::Relaxed), 8, "every configured case must really run");
+    }
+}
