@@ -39,7 +39,8 @@ fn main() {
             PrecisionMix::MIXED_8_32,
             params,
             cap,
-        );
+        )
+        .expect("simulation failed");
         let pim = pim_update_phase(
             &pim_sys.dram(),
             OptimizerKind::MomentumSgd,
@@ -47,7 +48,8 @@ fn main() {
             &HyperParams::default(),
             params,
             cap,
-        );
+        )
+        .expect("simulation failed");
         println!(
             "{:<12} {:>6} {:>10.1} {:>10.1} {:>12.1} {:>12.1} {:>8.2}x",
             preset.name,

@@ -35,7 +35,8 @@ fn main() {
                     &hyper,
                     n as u64,
                     n as u64,
-                );
+                )
+                .expect("simulation failed");
                 println!(
                     "{:<14} {:>6.2} {:>6.2} {:>6.2} {:>6.2} {:>7.2} {:>10.2} {:>14.1}",
                     opt.to_string(),

@@ -28,7 +28,8 @@ fn main() {
                 &HyperParams::default(),
                 params,
                 cap,
-            );
+            )
+            .expect("simulation failed");
             times[i] = r.time_ns / 1e3;
         }
         if tpim == 5 {

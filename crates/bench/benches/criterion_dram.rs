@@ -67,6 +67,37 @@ fn bench_pim_kernel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sparse traffic over a long window: a handful of bursts, then millions of
+/// cycles of refresh + power-down modeling. This is the idle-heavy shape
+/// (think end-of-phase drains and low-duty-cycle serving) where the
+/// event-driven core pays off: `fast_forward` must beat `per_cycle` by well
+/// over 5× at identical observable stats (the differential proptests assert
+/// the identity; here we measure the wall clock).
+fn bench_idle_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_idle");
+    g.sample_size(10);
+    const WINDOW: u64 = 1_000_000;
+    let run = |fast: bool| {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        for i in 0..16u64 {
+            mem.enqueue_read(i * 64).unwrap();
+        }
+        if fast {
+            mem.run_until(WINDOW);
+        } else {
+            while mem.cycles() < WINDOW {
+                mem.tick();
+            }
+        }
+        assert!(mem.is_drained());
+        mem.stats().cycles
+    };
+    g.throughput(Throughput::Elements(WINDOW));
+    g.bench_function("fast_forward", |b| b.iter(|| run(true)));
+    g.bench_function("per_cycle", |b| b.iter(|| run(false)));
+    g.finish();
+}
+
 fn bench_functional_storage(c: &mut Criterion) {
     let mut g = c.benchmark_group("dram_functional");
     g.sample_size(10);
@@ -81,5 +112,11 @@ fn bench_functional_storage(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_streaming, bench_pim_kernel, bench_functional_storage);
+criterion_group!(
+    benches,
+    bench_streaming,
+    bench_pim_kernel,
+    bench_idle_window,
+    bench_functional_storage
+);
 criterion_main!(benches);

@@ -19,8 +19,10 @@ fn main() {
 
     for net in networks() {
         println!("\n=== {} ===", net.name);
-        let reports: Vec<_> =
-            Design::ALL.iter().map(|d| TrainingSim::new(bench_config(*d)).run(&net)).collect();
+        let reports: Vec<_> = Design::ALL
+            .iter()
+            .map(|d| TrainingSim::new(bench_config(*d)).run(&net).expect("simulation failed"))
+            .collect();
         let baseline = &reports[0];
         // Normalize blocks to the baseline's slowest block.
         let norm_block = baseline.blocks.iter().map(|b| b.total_ns()).fold(0.0f64, f64::max);

@@ -18,11 +18,13 @@ fn main() {
     );
     for net in networks() {
         let base_total = {
-            let r = TrainingSim::new(bench_config(Design::Baseline)).run(&net);
+            let r = TrainingSim::new(bench_config(Design::Baseline))
+                .run(&net)
+                .expect("simulation failed");
             r.energy().total_pj()
         };
         for design in Design::ALL {
-            let r = TrainingSim::new(bench_config(design)).run(&net);
+            let r = TrainingSim::new(bench_config(design)).run(&net).expect("simulation failed");
             let e = r.energy();
             let n = |x: f64| x / base_total;
             println!(

@@ -25,7 +25,7 @@ fn main() {
         let mut util_cells = Vec::new();
         let mut bw_cells = Vec::new();
         for design in designs {
-            let r = TrainingSim::new(bench_config(design)).run(&net);
+            let r = TrainingSim::new(bench_config(design)).run(&net).expect("simulation failed");
             util_cells.push(format!("{:>11.0}%", r.update_cmd_util() * 100.0));
             bw_cells.push(format!("{:>9.1}GB/s", r.update_internal_bw() / 1e9));
         }

@@ -17,7 +17,7 @@ fn main() {
     } else {
         Some((12 * 1024u64, 96 * 1024usize))
     };
-    let pts = ops_bandwidth_sweep(&models::alphago_zero(), quick);
+    let pts = ops_bandwidth_sweep(&models::alphago_zero(), quick).expect("simulation failed");
     println!("{:<12} {:>8} {:>16} {:>12}", "memory", "MAC dim", "ops/byte", "speedup %");
     for p in &pts {
         println!(

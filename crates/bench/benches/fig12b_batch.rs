@@ -15,7 +15,7 @@ fn main() {
         Some((12 * 1024u64, 96 * 1024usize))
     };
     let nets = networks();
-    let pts = batch_sweep(&nets, quick);
+    let pts = batch_sweep(&nets, quick).expect("simulation failed");
     println!("{:<14} {:>8} {:>8} {:>8}", "network", "b=16", "b=32", "b=64");
     for net in &nets {
         let row: Vec<f64> = [16, 32, 64]

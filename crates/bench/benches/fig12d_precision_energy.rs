@@ -17,7 +17,7 @@ fn main() {
         Some((12 * 1024u64, 96 * 1024usize))
     };
     let nets = networks();
-    let pts = precision_sweep(&nets, quick);
+    let pts = precision_sweep(&nets, quick).expect("simulation failed");
     println!(
         "{:<14} {:>10} {:>10} {:>10} {:>12}",
         "network", "8b/32b", "16b/32b", "8b/16b", "32b/32b"

@@ -16,7 +16,7 @@ fn main() {
         Some((4 * 1024u64, 48 * 1024usize))
     };
     let nets = networks();
-    let mut pts = layer_scatter(&nets, quick);
+    let mut pts = layer_scatter(&nets, quick).expect("simulation failed");
     pts.sort_by(|a, b| a.ratio.total_cmp(&b.ratio));
     println!("{:<14} {:<16} {:>14} {:>12}", "network", "layer", "W/A ratio", "speedup %");
     for p in &pts {

@@ -17,8 +17,10 @@ fn main() {
         "network", "design", "Comm", "Fw/Bw", "Pup", "total", "speedup"
     );
     for net in networks() {
-        let base = distributed_step(&bench_config(Design::Baseline), &net, &dist);
-        let pim = distributed_step(&bench_config(Design::GradPimBuffered), &net, &dist);
+        let base = distributed_step(&bench_config(Design::Baseline), &net, &dist)
+            .expect("simulation failed");
+        let pim = distributed_step(&bench_config(Design::GradPimBuffered), &net, &dist)
+            .expect("simulation failed");
         let norm = base.total_ns();
         for (label, r) in [("Baseline", &base), ("GradPIM-BD", &pim)] {
             println!(

@@ -14,8 +14,9 @@ use gradpim_workloads::{models, Network};
 pub fn bench_config(design: Design) -> SystemConfig {
     let mut c = SystemConfig::new(design);
     if std::env::var("GRADPIM_FULL").as_deref() != Ok("1") {
-        c.max_sim_bursts = 24 * 1024;
-        c.max_sim_params = 128 * 1024;
+        // Doubled when the event-driven fast-forward core landed.
+        c.max_sim_bursts = 48 * 1024;
+        c.max_sim_params = 256 * 1024;
     }
     c
 }

@@ -276,7 +276,9 @@ impl NetworkPimMemory {
                 break;
             }
             if !progress {
-                self.mem.tick();
+                // Nothing can retire before the controller's next event;
+                // fast-forward instead of spinning one tCK at a time.
+                self.mem.tick_until_event();
             }
         }
         let total_ops: usize = streams.iter().map(|s| s.ops.len()).sum();

@@ -361,7 +361,9 @@ impl GradPimMemory {
                 break;
             }
             if !progress {
-                self.mem.tick();
+                // Nothing can retire before the controller's next event;
+                // fast-forward instead of spinning one tCK at a time.
+                self.mem.tick_until_event();
             }
         }
         // Generous budget: streams of millions of ops still drain well

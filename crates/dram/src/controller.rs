@@ -307,12 +307,10 @@ impl Controller {
         Ok(())
     }
 
-    /// True when rank `r` has queued or in-progress work (pending bank/PIM
-    /// requests, an open row, or a due refresh).
-    fn rank_has_work(&self, r: usize) -> bool {
-        if self.refresh_pending[r] {
-            return true;
-        }
+    /// True when rank `r` has queued or in-progress work: pending bank/PIM
+    /// requests or an open row. Deliberately excludes refresh —
+    /// [`Controller::rank_has_work`] adds that term.
+    fn rank_has_queued_work(&self, r: usize) -> bool {
         let bank_base = r * self.cfg.banks_per_rank();
         let busy_banks = (0..self.cfg.banks_per_rank()).any(|b| {
             !self.bank_q[bank_base + b].is_empty() || self.banks[bank_base + b].open_row().is_some()
@@ -322,6 +320,14 @@ impl Controller {
         }
         let unit_base = r * self.cfg.bankgroups;
         (0..self.cfg.bankgroups).any(|g| !self.pim_q[unit_base + g].is_empty())
+    }
+
+    /// Queued work *or* a due refresh. The refresh term is what forces a
+    /// powered-down rank to wake (via [`Controller::update_powerdown`]) so
+    /// REF can never be postponed past the JEDEC 9×tREFI bound by precharge
+    /// power-down.
+    fn rank_has_work(&self, r: usize) -> bool {
+        self.refresh_pending[r] || self.rank_has_queued_work(r)
     }
 
     /// Power-down bookkeeping for one rank (JEDEC precharge power-down:
@@ -375,21 +381,254 @@ impl Controller {
                 }
             }
         }
-        // Background energy per rank-cycle.
+        self.account_cycles(1);
+        self.clock += 1;
+        self.stats.cycles = self.clock;
+    }
+
+    /// Accounts `n` cycles of per-rank background state (energy counters and
+    /// power-down cycles), assuming every rank's power-down state and
+    /// open-row set are constant over those cycles.
+    ///
+    /// Background energy is recomputed from the integer counters rather than
+    /// accumulated per call, so one `account_cycles(n)` is bit-identical to
+    /// `n` calls of `account_cycles(1)`.
+    fn account_cycles(&mut self, n: u64) {
         for r in 0..self.cfg.ranks {
             if self.pd[r] == PdState::Down {
-                self.stats.energy.background_pj += self.power.bg_powerdown_pj;
-                self.stats.powerdown_cycles += 1;
+                self.stats.powerdown_cycles += n;
                 continue;
             }
             let base = r * self.cfg.banks_per_rank();
             let any_open =
                 (0..self.cfg.banks_per_rank()).any(|b| self.banks[base + b].open_row().is_some());
-            self.stats.energy.background_pj +=
-                if any_open { self.power.bg_active_pj } else { self.power.bg_precharged_pj };
+            if any_open {
+                self.stats.bg_active_cycles += n;
+            } else {
+                self.stats.bg_precharged_cycles += n;
+            }
         }
-        self.clock += 1;
-        self.stats.cycles = self.clock;
+        self.stats.energy.background_pj = self.power.background_total_pj(
+            self.stats.bg_active_cycles,
+            self.stats.bg_precharged_cycles,
+            self.stats.powerdown_cycles,
+        );
+    }
+
+    /// The earliest cycle at or after the current one at which anything
+    /// observable can change: a command may become issuable, a refresh comes
+    /// due, a power-down transition fires, or the last in-flight burst
+    /// lands. Every cycle strictly between the current cycle and the
+    /// returned one is provably a no-op tick, so
+    /// [`Controller::advance_to`] may skip there in bulk.
+    pub fn next_event_cycle(&self) -> u64 {
+        let mut e = u64::MAX;
+        // Drain horizon: the last in-flight burst/op retires.
+        if self.clock < self.last_done {
+            e = self.last_done;
+        }
+        for r in 0..self.cfg.ranks {
+            // Refresh becoming due flips `refresh_pending`, which gates new
+            // activates and wakes powered-down ranks.
+            if !self.refresh_pending[r] {
+                e = e.min(self.refresh_due[r]);
+            }
+            match self.pd[r] {
+                PdState::Waking(until) => e = e.min(until),
+                // A powered-down rank only changes state when work (or a
+                // due refresh) appears; if it already has work, the wake
+                // transition fires on the very next tick.
+                PdState::Down => {
+                    if self.rank_has_work(r) {
+                        e = e.min(self.clock);
+                    }
+                }
+                PdState::Active => {
+                    if self.cfg.powerdown_idle != u64::MAX && !self.rank_has_work(r) {
+                        // The tick at which `idle` reaches `powerdown_idle`
+                        // accounts this rank as powered down.
+                        let j = self.cfg.powerdown_idle.saturating_sub(self.idle[r] + 1);
+                        e = e.min(self.clock.saturating_add(j));
+                    }
+                }
+            }
+        }
+        e.min(self.earliest_issue()).max(self.clock)
+    }
+
+    /// The earliest cycle at which the scheduler could issue any command,
+    /// given current queue/bank/refresh state (a pure query; `u64::MAX` when
+    /// nothing is schedulable). Built from the *same* candidate-selection
+    /// helpers `try_refresh`/`try_pim`/`try_banks` issue from, so the
+    /// scheduling policy cannot diverge from the event estimate: between
+    /// now and the returned cycle, every `tick` provably issues nothing.
+    fn earliest_issue(&self) -> u64 {
+        let mut e = u64::MAX;
+        for r in 0..self.cfg.ranks {
+            if !self.refresh_pending[r] || !self.rank_issuable(r) {
+                continue;
+            }
+            for cmd in self.refresh_candidates(r) {
+                e = e.min(self.timing.earliest(&cmd));
+            }
+        }
+        for u in 0..self.pim_q.len() {
+            if !self.rank_issuable(u / self.cfg.bankgroups) {
+                continue;
+            }
+            if let Some((cmd, _)) = self.pim_candidate(u) {
+                e = e.min(self.timing.earliest(&cmd));
+            }
+        }
+        for fb in 0..self.banks.len() {
+            if !self.rank_issuable(fb / self.cfg.banks_per_rank()) {
+                continue;
+            }
+            if let Some((cmd, _)) = self.bank_candidate(fb) {
+                e = e.min(self.timing.earliest(&cmd));
+            }
+        }
+        e
+    }
+
+    /// The refresh-path candidates for rank `r` (caller checks
+    /// `refresh_pending` and issuability): the REF itself when every bank
+    /// is closed, otherwise one Precharge per open bank, in bank order.
+    fn refresh_candidates(&self, r: usize) -> impl Iterator<Item = Command> + '_ {
+        let base = r * self.cfg.banks_per_rank();
+        let all_closed =
+            (0..self.cfg.banks_per_rank()).all(move |b| self.banks[base + b].open_row().is_none());
+        let refresh = all_closed.then_some(Command::Refresh { rank: r as u8 });
+        let precharges = (0..self.cfg.banks_per_rank())
+            .filter(move |&b| !all_closed && self.banks[base + b].open_row().is_some())
+            .map(move |b| Command::Precharge {
+                bank: BankAddr {
+                    rank: r as u8,
+                    bankgroup: (b / self.cfg.banks_per_group) as u8,
+                    bank: (b % self.cfg.banks_per_group) as u8,
+                },
+            });
+        refresh.into_iter().chain(precharges)
+    }
+
+    /// The command the scheduler would attempt next for PIM unit `u`
+    /// (None when the queue is empty or activates are refresh-gated), and
+    /// whether issuing it retires the head op.
+    fn pim_candidate(&self, u: usize) -> Option<(Command, bool)> {
+        let req = self.pim_q[u].front()?;
+        let rank = (u / self.cfg.bankgroups) as u8;
+        let bankgroup = (u % self.cfg.bankgroups) as u8;
+        let op = req.op;
+        if let Some((bank, row)) = op.row_target() {
+            let addr = BankAddr { rank, bankgroup, bank };
+            match self.banks[self.flat_bank(addr)].open_row() {
+                None => {
+                    if self.refresh_pending[rank as usize] {
+                        return None;
+                    }
+                    Some((Command::Activate { bank: addr, row }, false))
+                }
+                Some(open) if open != row => Some((Command::Precharge { bank: addr }, false)),
+                Some(_) => Some((op.to_command(rank, bankgroup), true)),
+            }
+        } else {
+            Some((op.to_command(rank, bankgroup), true))
+        }
+    }
+
+    /// The FR-FCFS command the scheduler would attempt next for flat bank
+    /// `fb`'s transaction queue (None when the queue is empty or activates
+    /// are refresh-gated), and the queue position served for column
+    /// commands.
+    fn bank_candidate(&self, fb: usize) -> Option<(Command, Option<usize>)> {
+        if self.bank_q[fb].is_empty() {
+            return None;
+        }
+        let rank = fb / self.cfg.banks_per_rank();
+        let within = fb % self.cfg.banks_per_rank();
+        let addr = BankAddr {
+            rank: rank as u8,
+            bankgroup: (within / self.cfg.banks_per_group) as u8,
+            bank: (within % self.cfg.banks_per_group) as u8,
+        };
+        match self.banks[fb].open_row() {
+            None => {
+                if self.refresh_pending[rank] {
+                    return None;
+                }
+                let row = self.bank_q[fb].front().expect("non-empty").row;
+                Some((Command::Activate { bank: addr, row }, None))
+            }
+            Some(open) => {
+                // FR-FCFS: serve a row hit from the window unless the
+                // streak cap forces head progress.
+                let hit = if self.hit_streak[fb] < MAX_STREAK {
+                    self.bank_q[fb].iter().take(HIT_WINDOW).position(|r| r.row == open)
+                } else {
+                    // only the head counts once the cap is hit
+                    self.bank_q[fb].front().and_then(|r| (r.row == open).then_some(0))
+                };
+                match hit {
+                    Some(pos) => {
+                        let req = &self.bank_q[fb][pos];
+                        let cmd = if req.write {
+                            Command::Write { bank: addr, row: open, col: req.col }
+                        } else {
+                            Command::Read { bank: addr, row: open, col: req.col }
+                        };
+                        Some((cmd, Some(pos)))
+                    }
+                    None => Some((Command::Precharge { bank: addr }, None)),
+                }
+            }
+        }
+    }
+
+    /// Runs to exactly `cycle` (no overshoot), fast-forwarding over dead
+    /// spans and ticking at events — observably identical to calling
+    /// [`Controller::tick`] once per cycle until `cycle` is reached.
+    pub fn run_until(&mut self, cycle: u64) {
+        while self.clock < cycle {
+            self.advance_to(self.next_event_cycle().min(cycle));
+            if self.clock < cycle {
+                self.tick();
+            }
+        }
+    }
+
+    /// Fast-forwards to `cycle` without attempting command issue, accounting
+    /// the skipped cycles in bulk (background energy, power-down residency,
+    /// idle counters). No-op when `cycle` is not in the future.
+    ///
+    /// Correct only up to [`Controller::next_event_cycle`]: past it a
+    /// command could have issued or a state transition fired, which bulk
+    /// accounting would miss (debug-asserted).
+    pub fn advance_to(&mut self, cycle: u64) {
+        let Some(n) = cycle.checked_sub(self.clock) else { return };
+        if n == 0 {
+            return;
+        }
+        debug_assert!(
+            cycle <= self.next_event_cycle(),
+            "advance_to({cycle}) past the next event at {}",
+            self.next_event_cycle()
+        );
+        // Idle counters evolve exactly as `n` ticks would evolve them: reset
+        // every cycle while the rank has work, otherwise count up (the
+        // Active→Down transition itself is an event, so it cannot occur
+        // inside the skipped span).
+        for r in 0..self.cfg.ranks {
+            if self.pd[r] == PdState::Active {
+                if self.rank_has_work(r) {
+                    self.idle[r] = 0;
+                } else {
+                    self.idle[r] = self.idle[r].saturating_add(n);
+                }
+            }
+        }
+        self.account_cycles(n);
+        self.clock = cycle;
+        self.stats.cycles = cycle;
     }
 
     fn rank_matches(filter: Option<u8>, rank: u8) -> bool {
@@ -421,34 +660,18 @@ impl Controller {
             {
                 continue;
             }
-            let base = r * self.cfg.banks_per_rank();
-            let all_closed =
-                (0..self.cfg.banks_per_rank()).all(|b| self.banks[base + b].open_row().is_none());
-            if all_closed {
-                let cmd = Command::Refresh { rank: r as u8 };
-                if self.timing.earliest(&cmd) <= self.clock {
-                    self.issue(cmd);
+            // Issue the first candidate whose timing is satisfied (the REF
+            // itself, or a precharge closing the way for it).
+            let ready =
+                self.refresh_candidates(r).find(|cmd| self.timing.earliest(cmd) <= self.clock);
+            if let Some(cmd) = ready {
+                let is_refresh = matches!(cmd, Command::Refresh { .. });
+                self.issue(cmd);
+                if is_refresh {
                     self.refresh_pending[r] = false;
                     self.refresh_due[r] += self.cfg.trefi;
-                    return true;
                 }
-            } else {
-                // Close one open bank; pick the first whose precharge timing
-                // is satisfied.
-                for b in 0..self.cfg.banks_per_rank() {
-                    if self.banks[base + b].open_row().is_some() {
-                        let bank = BankAddr {
-                            rank: r as u8,
-                            bankgroup: (b / self.cfg.banks_per_group) as u8,
-                            bank: (b % self.cfg.banks_per_group) as u8,
-                        };
-                        let cmd = Command::Precharge { bank };
-                        if self.timing.earliest(&cmd) <= self.clock {
-                            self.issue(cmd);
-                            return true;
-                        }
-                    }
-                }
+                return true;
             }
         }
         false
@@ -459,58 +682,23 @@ impl Controller {
         for i in 0..nunits {
             let u = (self.rr_unit + i) % nunits;
             let rank = (u / self.cfg.bankgroups) as u8;
-            let bankgroup = (u % self.cfg.bankgroups) as u8;
-            if !Self::rank_matches(filter, rank)
-                || self.pim_q[u].is_empty()
-                || !self.rank_issuable(rank as usize)
-            {
+            if !Self::rank_matches(filter, rank) || !self.rank_issuable(rank as usize) {
                 continue;
             }
-            let op = self.pim_q[u].front().expect("non-empty").op;
-            if let Some((bank, row)) = op.row_target() {
-                let addr = BankAddr { rank, bankgroup, bank };
-                let fb = self.flat_bank(addr);
-                match self.banks[fb].open_row() {
-                    None => {
-                        if self.refresh_pending[rank as usize] {
-                            continue;
-                        }
-                        let cmd = Command::Activate { bank: addr, row };
-                        if self.timing.earliest(&cmd) <= self.clock {
-                            self.issue(cmd);
-                            self.rr_unit = (u + 1) % nunits;
-                            return true;
-                        }
-                    }
-                    Some(open) if open != row => {
-                        let cmd = Command::Precharge { bank: addr };
-                        if self.timing.earliest(&cmd) <= self.clock {
-                            self.issue(cmd);
-                            self.rr_unit = (u + 1) % nunits;
-                            return true;
-                        }
-                    }
-                    Some(_) => {
-                        let cmd = op.to_command(rank, bankgroup);
-                        if self.timing.earliest(&cmd) <= self.clock {
-                            let req = self.pim_q[u].pop_front().expect("non-empty");
-                            self.issue(cmd);
-                            self.retire_pim(req, op);
-                            self.rr_unit = (u + 1) % nunits;
-                            return true;
-                        }
-                    }
-                }
-            } else {
-                let cmd = op.to_command(rank, bankgroup);
-                if self.timing.earliest(&cmd) <= self.clock {
-                    let req = self.pim_q[u].pop_front().expect("non-empty");
-                    self.issue(cmd);
-                    self.retire_pim(req, op);
-                    self.rr_unit = (u + 1) % nunits;
-                    return true;
-                }
+            let Some((cmd, retires)) = self.pim_candidate(u) else { continue };
+            if self.timing.earliest(&cmd) > self.clock {
+                continue;
             }
+            if retires {
+                let req = self.pim_q[u].pop_front().expect("non-empty");
+                let op = req.op;
+                self.issue(cmd);
+                self.retire_pim(req, op);
+            } else {
+                self.issue(cmd);
+            }
+            self.rr_unit = (u + 1) % nunits;
+            return true;
         }
         false
     }
@@ -526,70 +714,30 @@ impl Controller {
         for i in 0..nbanks {
             let fb = (self.rr_bank + i) % nbanks;
             let rank = (fb / self.cfg.banks_per_rank()) as u8;
-            if !Self::rank_matches(filter, rank)
-                || self.bank_q[fb].is_empty()
-                || !self.rank_issuable(rank as usize)
-            {
+            if !Self::rank_matches(filter, rank) || !self.rank_issuable(rank as usize) {
                 continue;
             }
-            let within = fb % self.cfg.banks_per_rank();
-            let addr = BankAddr {
-                rank,
-                bankgroup: (within / self.cfg.banks_per_group) as u8,
-                bank: (within % self.cfg.banks_per_group) as u8,
-            };
-            match self.banks[fb].open_row() {
-                None => {
-                    if self.refresh_pending[rank as usize] {
-                        continue;
-                    }
-                    let row = self.bank_q[fb].front().expect("non-empty").row;
-                    let cmd = Command::Activate { bank: addr, row };
-                    if self.timing.earliest(&cmd) <= self.clock {
-                        self.issue(cmd);
-                        self.hit_streak[fb] = 0;
-                        self.rr_bank = (fb + 1) % nbanks;
-                        return true;
-                    }
-                }
-                Some(open) => {
-                    // FR-FCFS: serve a row hit from the window unless the
-                    // streak cap forces head progress.
-                    let hit = if self.hit_streak[fb] < MAX_STREAK {
-                        self.bank_q[fb].iter().take(HIT_WINDOW).position(|r| r.row == open)
+            let Some((cmd, pos)) = self.bank_candidate(fb) else { continue };
+            if self.timing.earliest(&cmd) > self.clock {
+                continue;
+            }
+            match pos {
+                Some(pos) => {
+                    let req = self.bank_q[fb].remove(pos).expect("in range");
+                    self.issue_col(cmd, req);
+                    self.hit_streak[fb] = if pos == 0 && self.bank_q[fb].is_empty() {
+                        0
                     } else {
-                        // only the head counts once the cap is hit
-                        self.bank_q[fb].front().and_then(|r| (r.row == open).then_some(0))
+                        self.hit_streak[fb] + 1
                     };
-                    if let Some(pos) = hit {
-                        let req = &self.bank_q[fb][pos];
-                        let cmd = if req.write {
-                            Command::Write { bank: addr, row: open, col: req.col }
-                        } else {
-                            Command::Read { bank: addr, row: open, col: req.col }
-                        };
-                        if self.timing.earliest(&cmd) <= self.clock {
-                            let req = self.bank_q[fb].remove(pos).expect("in range");
-                            self.issue_col(cmd, req);
-                            self.hit_streak[fb] = if pos == 0 && self.bank_q[fb].is_empty() {
-                                0
-                            } else {
-                                self.hit_streak[fb] + 1
-                            };
-                            self.rr_bank = (fb + 1) % nbanks;
-                            return true;
-                        }
-                    } else {
-                        let cmd = Command::Precharge { bank: addr };
-                        if self.timing.earliest(&cmd) <= self.clock {
-                            self.issue(cmd);
-                            self.hit_streak[fb] = 0;
-                            self.rr_bank = (fb + 1) % nbanks;
-                            return true;
-                        }
-                    }
+                }
+                None => {
+                    self.issue(cmd);
+                    self.hit_streak[fb] = 0;
                 }
             }
+            self.rr_bank = (fb + 1) % nbanks;
+            return true;
         }
         false
     }
@@ -989,6 +1137,142 @@ mod tests {
         }
         assert!(c.stats().count(CommandKind::Refresh) >= cfg.ranks as u64);
         assert!(c.stats().powerdown_cycles > 0);
+    }
+
+    /// Ticks `c` up to `target` the per-cycle way.
+    fn tick_to(c: &mut Controller, target: u64) {
+        while c.cycles() < target {
+            c.tick();
+        }
+    }
+
+    /// Ticks `c` up to `target` the event-driven way.
+    fn fast_forward_to(c: &mut Controller, target: u64) {
+        c.run_until(target);
+    }
+
+    /// Max distance between consecutive REF commands to the same rank (and
+    /// the cold-start distance from cycle 0), from a trace.
+    fn max_ref_distance(cfg: &DramConfig, trace: &[TraceEntry]) -> u64 {
+        let mut last = vec![0u64; cfg.ranks];
+        let mut worst = 0;
+        for e in trace {
+            if let Command::Refresh { rank } = e.cmd {
+                worst = worst.max(e.cycle - last[rank as usize]);
+                last[rank as usize] = e.cycle;
+            }
+        }
+        for (r, l) in last.iter().enumerate() {
+            assert!(*l > 0, "rank {r} never refreshed");
+        }
+        worst
+    }
+
+    #[test]
+    fn refresh_never_starved_by_powerdown() {
+        // Regression: a rank parked in precharge power-down with no queued
+        // work must still be woken when refresh comes due — REF-to-REF
+        // distance stays within the JEDEC 9×tREFI postponement bound.
+        let mut cfg = DramConfig::ddr4_2133();
+        cfg.powerdown_idle = 16; // aggressive power-down
+        for fast in [false, true] {
+            let mut c = Controller::new(&cfg, false);
+            c.enable_trace();
+            let horizon = 12 * cfg.trefi;
+            if fast {
+                fast_forward_to(&mut c, horizon);
+            } else {
+                tick_to(&mut c, horizon);
+            }
+            assert!(c.stats().powerdown_cycles > 0, "ranks never powered down");
+            let worst = max_ref_distance(&cfg, &c.take_trace());
+            assert!(
+                worst <= 9 * cfg.trefi,
+                "fast={fast}: REF-to-REF distance {worst} exceeds 9*tREFI {}",
+                9 * cfg.trefi
+            );
+        }
+    }
+
+    #[test]
+    fn fast_forward_idle_window_matches_per_cycle() {
+        // An idle window spanning refreshes and power-down transitions:
+        // event-driven stepping must reproduce the per-cycle stats exactly.
+        let cfg = DramConfig::ddr4_2133();
+        let horizon = 3 * cfg.trefi + 97;
+        let mut a = Controller::new(&cfg, false);
+        let mut b = Controller::new(&cfg, false);
+        a.enable_trace();
+        b.enable_trace();
+        tick_to(&mut a, horizon);
+        fast_forward_to(&mut b, horizon);
+        assert_eq!(a.take_trace(), b.take_trace());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn fast_forward_traffic_matches_per_cycle() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut a = Controller::new(&cfg, false);
+        let mut b = Controller::new(&cfg, false);
+        a.enable_trace();
+        b.enable_trace();
+        for c in [&mut a, &mut b] {
+            for i in 0..24u64 {
+                c.enqueue_read(i, addr(0, (i % 4) as usize, 0, 1 + (i % 2) as usize, i as usize))
+                    .unwrap();
+            }
+            for col in 0..8u32 {
+                c.enqueue_pim(
+                    100 + col as u64,
+                    1,
+                    0,
+                    PimOp::ScaledRead { bank: 0, row: 0, col, scaler: 0, dst: 0 },
+                )
+                .unwrap();
+            }
+        }
+        drain(&mut a, 100_000);
+        while !b.is_drained() {
+            let e = b.next_event_cycle();
+            b.advance_to(e);
+            if !b.is_drained() {
+                b.tick();
+            }
+        }
+        assert_eq!(a.cycles(), b.cycles(), "drain cycle counts diverge");
+        assert_eq!(a.take_trace(), b.take_trace());
+        assert_eq!(a.take_completions(), b.take_completions());
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn next_event_cycle_never_skips_an_issue() {
+        // At every quiet cycle, the next event must be exactly the next
+        // cycle at which the per-cycle reference issues a command.
+        let cfg = DramConfig::ddr4_2133();
+        let mut c = Controller::new(&cfg, false);
+        c.enqueue_read(1, addr(0, 0, 0, 5, 3)).unwrap();
+        c.enqueue_read(2, addr(0, 0, 0, 9, 3)).unwrap();
+        c.enable_trace();
+        drain(&mut c, 10_000);
+        let trace = c.take_trace();
+        let mut replay = Controller::new(&cfg, false);
+        replay.enqueue_read(1, addr(0, 0, 0, 5, 3)).unwrap();
+        replay.enqueue_read(2, addr(0, 0, 0, 9, 3)).unwrap();
+        for entry in &trace {
+            // The event estimate from any cycle at or before the next issue
+            // must never jump past that issue.
+            assert!(
+                replay.next_event_cycle() <= entry.cycle,
+                "event {} skips issue at {}",
+                replay.next_event_cycle(),
+                entry.cycle
+            );
+            while replay.cycles() <= entry.cycle {
+                replay.tick();
+            }
+        }
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //!   numbers.
 //! * **Function** — optional byte-level storage and live PIM register
 //!   files, so kernels *compute* while they are being timed.
+//! * **Speed** — an event-driven fast-forward core:
+//!   [`Controller::next_event_cycle`] computes the earliest cycle anything
+//!   observable can change (timing-constraint expiry, refresh due,
+//!   power-down wake, in-flight retire) and
+//!   [`Controller::advance_to`]/[`MemorySystem::tick_until_event`] skip
+//!   there in bulk, bit-identical to per-cycle stepping
+//!   ([`MemorySystem::drain_reference`] keeps the reference path for
+//!   differential testing).
 //!
 //! # Example
 //!

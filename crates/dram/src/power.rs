@@ -81,6 +81,18 @@ impl PowerModel {
             scaler_pj,
         }
     }
+
+    /// Total background energy (pJ) for the given rank-cycle counts in each
+    /// background state.
+    ///
+    /// Computed as a product over totals rather than accumulated per cycle,
+    /// so per-cycle stepping and event-driven bulk accounting produce
+    /// bit-identical energies (see `gradpim_dram::controller`).
+    pub fn background_total_pj(&self, active: u64, precharged: u64, powerdown: u64) -> f64 {
+        active as f64 * self.bg_active_pj
+            + precharged as f64 * self.bg_precharged_pj
+            + powerdown as f64 * self.bg_powerdown_pj
+    }
 }
 
 /// The Table III layout results: a GradPIM unit synthesized at 45 nm under

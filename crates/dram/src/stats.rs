@@ -48,8 +48,12 @@ impl EnergyBreakdown {
 }
 
 /// Counters for one channel (or merged across channels).
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Stats {
+    /// Number of channels these counters cover (1 for a single controller;
+    /// the sum of the operands' counts after [`Stats::merge`]). Per-bus
+    /// rates divide by this so multi-channel merges stay normalized.
+    pub channels: u64,
     /// Elapsed memory-clock cycles.
     pub cycles: u64,
     /// Commands issued, by kind.
@@ -72,11 +76,43 @@ pub struct Stats {
     pub completed: u64,
     /// Rank-cycles spent in precharge power-down (IDD2P).
     pub powerdown_cycles: u64,
+    /// Rank-cycles with at least one open row (IDD3N background).
+    pub bg_active_cycles: u64,
+    /// Rank-cycles fully precharged but not powered down (IDD2N).
+    pub bg_precharged_cycles: u64,
     /// Energy breakdown.
     pub energy: EnergyBreakdown,
 }
 
+impl Default for Stats {
+    fn default() -> Self {
+        Self {
+            channels: 1,
+            cycles: 0,
+            commands: [0; CommandKind::COUNT],
+            cmd_slots: 0,
+            data_bus_busy: 0,
+            external_read_bytes: 0,
+            external_write_bytes: 0,
+            internal_read_bytes: 0,
+            internal_write_bytes: 0,
+            completed: 0,
+            powerdown_cycles: 0,
+            bg_active_cycles: 0,
+            bg_precharged_cycles: 0,
+            energy: EnergyBreakdown::default(),
+        }
+    }
+}
+
 impl Stats {
+    /// A neutral element for [`Stats::merge`]: like `default()` but with
+    /// `channels = 0`, so folding N per-channel stats into it reports
+    /// exactly N channels.
+    pub fn merge_identity() -> Self {
+        Self { channels: 0, ..Self::default() }
+    }
+
     /// Count of commands of `kind`.
     pub fn count(&self, kind: CommandKind) -> u64 {
         self.commands[kind.index()]
@@ -89,8 +125,10 @@ impl Stats {
     }
 
     /// Element-wise accumulation (multi-channel merge). `cycles` takes the
-    /// max (channels tick in lockstep).
+    /// max (channels tick in lockstep); `channels` adds, so per-bus rates
+    /// stay normalized to one bus.
     pub fn merge(&mut self, o: &Stats) {
+        self.channels += o.channels;
         self.cycles = self.cycles.max(o.cycles);
         for i in 0..CommandKind::COUNT {
             self.commands[i] += o.commands[i];
@@ -103,6 +141,8 @@ impl Stats {
         self.internal_write_bytes += o.internal_write_bytes;
         self.completed += o.completed;
         self.powerdown_cycles += o.powerdown_cycles;
+        self.bg_active_cycles += o.bg_active_cycles;
+        self.bg_precharged_cycles += o.bg_precharged_cycles;
         self.energy.merge(&o.energy);
     }
 
@@ -142,20 +182,22 @@ impl Stats {
     /// Command-bus utilization relative to a *single direct-attach bus*
     /// (1 command/tCK): the Fig. 11 (top) metric. Buffered configurations
     /// can exceed 1.0 because each rank's buffer device issues locally —
-    /// the paper's y-axis runs to 400 %.
+    /// the paper's y-axis runs to 400 %. Channels have independent command
+    /// buses, so merged multi-channel stats are normalized per channel.
     pub fn command_bus_utilization(&self) -> f64 {
         if self.cycles == 0 {
             return 0.0;
         }
-        self.cmd_slots as f64 / self.cycles as f64
+        self.cmd_slots as f64 / (self.cycles * self.channels.max(1)) as f64
     }
 
-    /// Data-bus utilization (0..=1).
+    /// Data-bus utilization (0..=1), per channel (each channel has its own
+    /// data bus).
     pub fn data_bus_utilization(&self) -> f64 {
         if self.cycles == 0 {
             return 0.0;
         }
-        self.data_bus_busy as f64 / self.cycles as f64
+        self.data_bus_busy as f64 / (self.cycles * self.channels.max(1)) as f64
     }
 }
 
@@ -213,6 +255,25 @@ mod tests {
         assert!((s.command_bus_utilization() - 2.5).abs() < 1e-12);
         s.data_bus_busy = 10;
         assert!((s.data_bus_utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_channel_merge_normalizes_bus_utilization() {
+        // Two channels, each with its command bus 80 % utilized: the merged
+        // figure must stay 0.8, not 1.6 (the buses are independent).
+        let mut m = Stats::merge_identity();
+        for _ in 0..2 {
+            let mut ch = Stats { cycles: 100, data_bus_busy: 40, ..Default::default() };
+            ch.cmd_slots = 80;
+            m.merge(&ch);
+        }
+        assert_eq!(m.channels, 2);
+        assert_eq!(m.cmd_slots, 160);
+        assert!((m.command_bus_utilization() - 0.8).abs() < 1e-12);
+        assert!((m.data_bus_utilization() - 0.4).abs() < 1e-12);
+        // A direct-mode system can never exceed 1.0 per channel no matter
+        // how many channels are merged.
+        assert!(m.command_bus_utilization() <= 1.0);
     }
 
     #[test]

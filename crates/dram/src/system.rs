@@ -118,7 +118,10 @@ impl MemorySystem {
         self.ctrls.iter().all(|c| c.is_drained())
     }
 
-    fn alloc_id(&mut self) -> u64 {
+    /// Consumes the next transaction id. Call only after the enqueue
+    /// succeeded, so rejected attempts never burn ids (id assignment stays
+    /// independent of how often a full queue was retried).
+    fn commit_id(&mut self) -> u64 {
         let id = self.next_id;
         self.next_id += 1;
         id
@@ -131,9 +134,8 @@ impl MemorySystem {
     /// [`MemError::QueueFull`] when the target bank queue is full.
     pub fn enqueue_read(&mut self, addr: u64) -> Result<u64, MemError> {
         let loc = self.mapping.decode(addr, &self.cfg);
-        let id = self.alloc_id();
-        self.ctrls[loc.channel].enqueue_read(id, loc)?;
-        Ok(id)
+        self.ctrls[loc.channel].enqueue_read(self.next_id, loc)?;
+        Ok(self.commit_id())
     }
 
     /// Enqueues an external burst write of `addr`, optionally with data.
@@ -143,9 +145,8 @@ impl MemorySystem {
     /// [`MemError::QueueFull`] when the target bank queue is full.
     pub fn enqueue_write(&mut self, addr: u64, data: Option<Vec<u8>>) -> Result<u64, MemError> {
         let loc = self.mapping.decode(addr, &self.cfg);
-        let id = self.alloc_id();
-        self.ctrls[loc.channel].enqueue_write(id, loc, data)?;
-        Ok(id)
+        self.ctrls[loc.channel].enqueue_write(self.next_id, loc, data)?;
+        Ok(self.commit_id())
     }
 
     /// Enqueues one GradPIM micro-op for the unit at
@@ -161,9 +162,8 @@ impl MemorySystem {
         bankgroup: u8,
         op: PimOp,
     ) -> Result<u64, MemError> {
-        let id = self.alloc_id();
-        self.ctrls[channel].enqueue_pim(id, rank, bankgroup, op)?;
-        Ok(id)
+        self.ctrls[channel].enqueue_pim(self.next_id, rank, bankgroup, op)?;
+        Ok(self.commit_id())
     }
 
     /// Advances all channels one memory-clock cycle.
@@ -173,12 +173,76 @@ impl MemorySystem {
         }
     }
 
-    /// Ticks until drained or `max_cycles` have elapsed.
+    /// The earliest cycle at which anything observable can change on any
+    /// channel (see [`Controller::next_event_cycle`]). Cycles strictly
+    /// before it are provably no-op ticks.
+    pub fn next_event_cycle(&self) -> u64 {
+        self.ctrls.iter().map(Controller::next_event_cycle).min().expect("at least one channel")
+    }
+
+    /// Fast-forwards every channel to `cycle` (keeping them in lockstep),
+    /// bulk-accounting the skipped cycles. Must not pass
+    /// [`MemorySystem::next_event_cycle`].
+    pub fn advance_to(&mut self, cycle: u64) {
+        for c in &mut self.ctrls {
+            c.advance_to(cycle);
+        }
+    }
+
+    /// Skips ahead to the next event and ticks once there: observably
+    /// equivalent to calling [`MemorySystem::tick`] repeatedly up to and
+    /// including the first cycle where anything can happen, at O(1) ticks.
+    pub fn tick_until_event(&mut self) {
+        let e = self.next_event_cycle();
+        self.advance_to(e);
+        self.tick();
+    }
+
+    /// Runs to exactly `cycle` (no overshoot), fast-forwarding over dead
+    /// spans and ticking at events — observably identical to calling
+    /// [`MemorySystem::tick`] once per cycle until `cycle` is reached.
+    pub fn run_until(&mut self, cycle: u64) {
+        while self.cycles() < cycle {
+            self.advance_to(self.next_event_cycle().min(cycle));
+            if self.cycles() < cycle {
+                self.tick();
+            }
+        }
+    }
+
+    /// Runs until drained or `max_cycles` have elapsed, fast-forwarding
+    /// over cycles where nothing can issue. Produces stats, completions and
+    /// traces identical to [`MemorySystem::drain_reference`].
     ///
     /// # Errors
     ///
     /// [`MemError::DrainTimeout`] if work remains after `max_cycles`.
     pub fn drain(&mut self, max_cycles: u64) -> Result<u64, MemError> {
+        let start = self.cycles();
+        let deadline = start.saturating_add(max_cycles);
+        while !self.is_drained() {
+            if self.cycles() >= deadline {
+                return Err(MemError::DrainTimeout { pending: self.pending() });
+            }
+            self.advance_to(self.next_event_cycle().min(deadline));
+            if self.is_drained() {
+                break;
+            }
+            if self.cycles() < deadline {
+                self.tick();
+            }
+        }
+        Ok(self.cycles() - start)
+    }
+
+    /// Per-cycle reference implementation of [`MemorySystem::drain`]: ticks
+    /// every cycle. Kept for differential testing of the event-driven core
+    /// (and selectable at phase level via `GRADPIM_REFERENCE=1`).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::DrainTimeout`] if work remains after `max_cycles`.
+    pub fn drain_reference(&mut self, max_cycles: u64) -> Result<u64, MemError> {
         let start = self.cycles();
         while !self.is_drained() {
             if self.cycles() - start >= max_cycles {
@@ -189,9 +253,10 @@ impl MemorySystem {
         Ok(self.cycles() - start)
     }
 
-    /// Merged statistics across channels.
+    /// Merged statistics across channels (`Stats::channels` reports the
+    /// channel count so bus utilizations stay per-channel-normalized).
     pub fn stats(&self) -> Stats {
-        let mut s = Stats::default();
+        let mut s = Stats::merge_identity();
         for c in &self.ctrls {
             s.merge(c.stats());
         }
@@ -333,6 +398,83 @@ mod tests {
         let bw = st.external_bw(&cfg) / 1e9;
         assert!(bw > 13.0, "streaming read bandwidth {bw} GB/s");
         assert!(bw <= cfg.peak_external_bw() / 1e9 + 0.1);
+    }
+
+    #[test]
+    fn event_drain_matches_reference_drain() {
+        let mut cfg = DramConfig::ddr4_2133();
+        cfg.channels = 2;
+        let build = |cfg: &DramConfig| {
+            let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+            mem.enable_trace();
+            let push = |mem: &mut MemorySystem, write: bool, a: u64| loop {
+                let r = if write {
+                    mem.enqueue_write(a, None).map(drop)
+                } else {
+                    mem.enqueue_read(a).map(drop)
+                };
+                match r {
+                    Ok(()) => break,
+                    Err(MemError::QueueFull) => mem.tick(),
+                    Err(e) => panic!("{e}"),
+                }
+            };
+            for i in 0..96u64 {
+                push(&mut mem, false, i * 64);
+            }
+            for i in 0..32u64 {
+                push(&mut mem, true, (1 << 22) + i * 64);
+            }
+            mem.enqueue_pim(
+                0,
+                0,
+                1,
+                PimOp::ScaledRead { bank: 0, row: 0, col: 0, scaler: 0, dst: 0 },
+            )
+            .unwrap();
+            mem
+        };
+        let mut fast = build(&cfg);
+        let mut refr = build(&cfg);
+        let fc = fast.drain(1_000_000).unwrap();
+        let rc = refr.drain_reference(1_000_000).unwrap();
+        assert_eq!(fc, rc, "drain cycle counts diverge");
+        assert_eq!(fast.take_traces(), refr.take_traces());
+        assert_eq!(fast.take_completions(), refr.take_completions());
+        assert_eq!(fast.stats(), refr.stats());
+    }
+
+    #[test]
+    fn merged_stats_report_channel_count() {
+        let mut cfg = DramConfig::ddr4_2133();
+        cfg.channels = 2;
+        let mut mem = MemorySystem::new(cfg, AddressMapping::GradPim);
+        for i in 0..64u64 {
+            mem.enqueue_read(i * 64).unwrap();
+        }
+        mem.drain(1_000_000).unwrap();
+        let st = mem.stats();
+        assert_eq!(st.channels, 2);
+        // Direct issue mode: per-channel command-bus utilization can never
+        // exceed one command per tCK even when channels are merged.
+        assert!(st.command_bus_utilization() <= 1.0, "util {}", st.command_bus_utilization());
+    }
+
+    #[test]
+    fn tick_until_event_is_equivalent_to_many_ticks() {
+        // Idle system: one tick_until_event must land exactly where the
+        // per-cycle reference first does something (the first refresh
+        // window, here), with identical stats.
+        let cfg = DramConfig::ddr4_2133();
+        let mut fast = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        let mut refr = MemorySystem::new(cfg, AddressMapping::GradPim);
+        for _ in 0..3 {
+            fast.tick_until_event();
+        }
+        while refr.cycles() < fast.cycles() {
+            refr.tick();
+        }
+        assert_eq!(fast.stats(), refr.stats());
     }
 
     #[test]

@@ -176,20 +176,25 @@ impl SystemConfig {
 }
 
 /// Default streaming cap: honour `GRADPIM_FULL=1` for full-fidelity runs.
+///
+/// Raised 4× (48Ki → 192Ki bursts) when the event-driven fast-forward core
+/// landed: dead cycles are skipped in bulk, so simulating more real traffic
+/// costs what the old caps used to.
 fn default_burst_cap() -> u64 {
     if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
         u64::MAX
     } else {
-        48 * 1024
+        192 * 1024
     }
 }
 
-/// Default update-phase cap in parameters.
+/// Default update-phase cap in parameters (raised 4×, 256Ki → 1Mi, with the
+/// event-driven core — see [`default_burst_cap`]).
 fn default_param_cap() -> usize {
     if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
         usize::MAX
     } else {
-        256 * 1024
+        1024 * 1024
     }
 }
 

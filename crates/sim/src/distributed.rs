@@ -10,6 +10,7 @@
 use gradpim_workloads::Network;
 
 use crate::config::SystemConfig;
+use crate::phase::PhaseError;
 use crate::train::TrainingSim;
 
 /// Distributed-training setup.
@@ -48,13 +49,21 @@ impl DistReport {
 }
 
 /// Simulates one distributed step of `net` on `sys` with `dist` nodes.
-pub fn distributed_step(sys: &SystemConfig, net: &Network, dist: &DistConfig) -> DistReport {
+///
+/// # Errors
+///
+/// Propagates any [`PhaseError`] from the per-node training simulation.
+pub fn distributed_step(
+    sys: &SystemConfig,
+    net: &Network,
+    dist: &DistConfig,
+) -> Result<DistReport, PhaseError> {
     // Per-node sub-batch.
     let full_batch = sys.batch.unwrap_or(net.default_batch);
     let sub_batch = (full_batch / dist.nodes).max(1);
     let mut node_cfg = sys.clone();
     node_cfg.batch = Some(sub_batch);
-    let report = TrainingSim::new(node_cfg).run(net);
+    let report = TrainingSim::new(node_cfg).run(net)?;
 
     // Ring all-reduce moves 2·(N−1)/N of the gradient bytes per node.
     let grad_bytes = net.total_params() as f64 * sys.mix.low.bytes() as f64;
@@ -78,11 +87,11 @@ pub fn distributed_step(sys: &SystemConfig, net: &Network, dist: &DistConfig) ->
         bytes / (dram.peak_external_bw() * 0.85) * 1e9
     };
 
-    DistReport {
+    Ok(DistReport {
         fwdbwd_ns: report.fwdbwd_ns(),
         comm_ns: wire_ns + reduce_ns,
         update_ns: report.update_ns(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -105,8 +114,8 @@ mod tests {
         // making the (GradPIM-accelerated) update phase relatively larger.
         let net = models::resnet18();
         let dist = DistConfig::paper_default();
-        let base = distributed_step(&quick(Design::Baseline), &net, &dist);
-        let pim = distributed_step(&quick(Design::GradPimBuffered), &net, &dist);
+        let base = distributed_step(&quick(Design::Baseline), &net, &dist).unwrap();
+        let pim = distributed_step(&quick(Design::GradPimBuffered), &net, &dist).unwrap();
         let speedup = base.total_ns() / pim.total_ns();
         assert!(speedup > 1.4, "distributed speedup {speedup}");
     }
@@ -118,13 +127,13 @@ mod tests {
         let net = models::resnet18();
         let dist = DistConfig::paper_default();
         let single = {
-            let b = TrainingSim::new(quick(Design::Baseline)).run(&net);
-            let d = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net);
+            let b = TrainingSim::new(quick(Design::Baseline)).run(&net).unwrap();
+            let d = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net).unwrap();
             b.total_time_ns() / d.total_time_ns()
         };
         let multi = {
-            let b = distributed_step(&quick(Design::Baseline), &net, &dist);
-            let d = distributed_step(&quick(Design::GradPimBuffered), &net, &dist);
+            let b = distributed_step(&quick(Design::Baseline), &net, &dist).unwrap();
+            let d = distributed_step(&quick(Design::GradPimBuffered), &net, &dist).unwrap();
             b.total_ns() / d.total_ns()
         };
         assert!(multi > single, "multi {multi} vs single {single}");
@@ -134,7 +143,7 @@ mod tests {
     fn comm_time_includes_wire_and_reduction() {
         let net = models::mlp();
         let dist = DistConfig::paper_default();
-        let r = distributed_step(&quick(Design::Baseline), &net, &dist);
+        let r = distributed_step(&quick(Design::Baseline), &net, &dist).unwrap();
         // MLP has ~10 M params → ~10 MB of int8 gradients; ring wire time
         // 1.5× that at 12.5 GB/s ≈ 1.2 ms plus ~3 ms of staging.
         assert!(r.comm_ns > 1e6 && r.comm_ns < 8e6, "comm {} ns", r.comm_ns);
@@ -147,12 +156,14 @@ mod tests {
             &quick(Design::Baseline),
             &net,
             &DistConfig { nodes: 2, link_gbps: 100.0 },
-        );
+        )
+        .unwrap();
         let eight = distributed_step(
             &quick(Design::Baseline),
             &net,
             &DistConfig { nodes: 8, link_gbps: 100.0 },
-        );
+        )
+        .unwrap();
         assert!(eight.fwdbwd_ns < two.fwdbwd_ns);
         // Update time does not shrink with nodes (the sequential portion).
         assert!(eight.update_ns > two.update_ns * 0.9);

@@ -18,8 +18,9 @@
 //! let mut quick = SystemConfig::new(Design::GradPimBuffered);
 //! quick.max_sim_bursts = 2000;
 //! quick.max_sim_params = 20_000;
-//! let report = TrainingSim::new(quick).run(&net);
+//! let report = TrainingSim::new(quick).run(&net)?;
 //! assert!(report.update_ns() > 0.0);
+//! # Ok::<(), gradpim_sim::PhaseError>(())
 //! ```
 
 #![warn(missing_docs)]
@@ -35,5 +36,5 @@ pub mod train;
 pub use config::{Design, SystemConfig};
 pub use distributed::{distributed_step, DistConfig, DistReport};
 pub use functional::{synthetic_dataset, PimTrainer};
-pub use phase::PhaseResult;
+pub use phase::{PhaseError, PhaseResult};
 pub use train::{speedup_over_baseline, BlockReport, TrainingReport, TrainingSim};

@@ -1,21 +1,97 @@
 //! Phase executors: run one training phase's memory traffic through the
 //! cycle-level DRAM simulator and report time/energy/bandwidth.
 //!
+//! ## Event-driven stepping
+//!
+//! The executors drive the simulator with
+//! [`MemorySystem::tick_until_event`] and the event-driven
+//! [`MemorySystem::drain`]: instead of spinning one tCK at a time while a
+//! queue is full or in-flight work retires, they jump straight to the next
+//! cycle at which anything can happen. The results (stats, completions,
+//! traces) are identical to per-cycle stepping — set `GRADPIM_REFERENCE=1`
+//! to force the per-cycle reference path for differential runs.
+//!
 //! ## Traffic scaling
 //!
 //! Training phases move hundreds of megabytes; simulating every burst for
-//! every (network × design × phase) point would take hours. Because phase
-//! traffic is *streaming* (regular address walks, constant mix of
-//! operations), time and energy are linear in traffic volume after a short
-//! warm-up — so each executor simulates up to a cap
+//! every (network × design × phase) point would take hours at one tick per
+//! cycle. Because phase traffic is *streaming* (regular address walks,
+//! constant mix of operations), time and energy are linear in traffic
+//! volume after a short warm-up — so each executor simulates up to a cap
 //! ([`crate::SystemConfig::max_sim_bursts`] / `max_sim_params`) and scales
-//! the results linearly. `GRADPIM_FULL=1` removes the caps.
+//! the results linearly. The event-driven core made full-fidelity runs far
+//! cheaper, so the default caps are generous; `GRADPIM_FULL=1` removes
+//! them entirely.
 
 use gradpim_core::{compile_step_parts, ArrayName, KernelParts, Placement};
 use gradpim_dram::{
     AddressMapping, DramConfig, EnergyBreakdown, MemError, MemorySystem, PimOp, Stats,
 };
 use gradpim_optim::{HyperParams, OptimizerKind, PrecisionMix};
+
+/// A phase executor failed: the simulator reported a condition that cannot
+/// arise from well-formed phase traffic (e.g. a scheduler livelock hitting
+/// the drain budget). Carries diagnostics instead of hanging a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseError {
+    /// Which executor / stage failed.
+    pub context: &'static str,
+    /// The underlying memory-system error.
+    pub source: MemError,
+    /// Simulated cycle at which the error surfaced.
+    pub cycles: u64,
+    /// Transactions still outstanding.
+    pub pending: usize,
+}
+
+impl PhaseError {
+    fn new(context: &'static str, source: MemError, mem: &MemorySystem) -> Self {
+        Self { context, source, cycles: mem.cycles(), pending: mem.pending() }
+    }
+}
+
+impl std::fmt::Display for PhaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "phase `{}` failed at cycle {} with {} transactions pending: {}",
+            self.context, self.cycles, self.pending, self.source
+        )
+    }
+}
+
+impl std::error::Error for PhaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// `GRADPIM_REFERENCE=1` forces per-cycle stepping (differential runs).
+fn reference_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::var("GRADPIM_REFERENCE").as_deref() == Ok("1"))
+}
+
+/// One backpressure step: per-cycle in reference mode, event-driven
+/// otherwise (observably identical).
+fn step(mem: &mut MemorySystem) {
+    if reference_mode() {
+        mem.tick();
+    } else {
+        mem.tick_until_event();
+    }
+}
+
+/// Drains with a generous finite budget so a scheduler livelock surfaces as
+/// a loud [`PhaseError`] with diagnostics instead of hanging the sweep.
+fn drain_phase(mem: &mut MemorySystem, context: &'static str) -> Result<(), PhaseError> {
+    // Worst-case retirement of one queued transaction is bounded by a few
+    // hundred cycles (tRC/tRFC scale); 100k cycles each plus a large idle
+    // floor is orders of magnitude beyond any legitimate drain.
+    let budget = 50_000_000 + mem.pending() as u64 * 100_000;
+    let res = if reference_mode() { mem.drain_reference(budget) } else { mem.drain(budget) };
+    res.map(drop).map_err(|e| PhaseError::new(context, e, mem))
+}
 
 /// Scaled results of one simulated phase.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -77,9 +153,13 @@ enum Req {
     Write(u64),
 }
 
-/// Enqueues requests with backpressure, then drains. Panics on simulator
-/// deadlock (a bug, not a workload condition).
-fn run_requests(mem: &mut MemorySystem, reqs: impl Iterator<Item = Req>) {
+/// Enqueues requests with backpressure (fast-forwarding over dead cycles),
+/// then drains under a finite budget.
+fn run_requests(
+    mem: &mut MemorySystem,
+    reqs: impl Iterator<Item = Req>,
+    context: &'static str,
+) -> Result<(), PhaseError> {
     for r in reqs {
         loop {
             let res = match r {
@@ -88,12 +168,12 @@ fn run_requests(mem: &mut MemorySystem, reqs: impl Iterator<Item = Req>) {
             };
             match res {
                 Ok(()) => break,
-                Err(MemError::QueueFull) => mem.tick(),
-                Err(e) => panic!("simulator error: {e}"),
+                Err(MemError::QueueFull) => step(mem),
+                Err(e) => return Err(PhaseError::new(context, e, mem)),
             }
         }
     }
-    mem.drain(u64::MAX).expect("drain cannot time out with u64::MAX budget");
+    drain_phase(mem, context)
 }
 
 /// Burst index → address with bank-group interleaving at burst granularity:
@@ -119,18 +199,23 @@ fn interleaved_addr(cfg: &DramConfig, base: u64, i: u64) -> u64 {
 /// (bank-group-interleaved walks through two disjoint bank regions, with
 /// reads and writes batched to amortize bus turnarounds) and returns the
 /// scaled phase result.
+///
+/// # Errors
+///
+/// [`PhaseError`] on any simulator error other than transient
+/// backpressure (including a drain-budget overrun).
 pub fn stream_phase(
     cfg: &DramConfig,
     read_bytes: u64,
     write_bytes: u64,
     cap_bursts: u64,
-) -> PhaseResult {
+) -> Result<PhaseResult, PhaseError> {
     let burst = cfg.burst_bytes as u64;
     let r_total = read_bytes.div_ceil(burst);
     let w_total = write_bytes.div_ceil(burst);
     let total = r_total + w_total;
     if total == 0 {
-        return PhaseResult::empty();
+        return Ok(PhaseResult::empty());
     }
     let sim_total = total.min(cap_bursts.max(16));
     let r_sim = (r_total as u128 * sim_total as u128 / total as u128) as u64;
@@ -170,23 +255,28 @@ pub fn stream_phase(
             return Some(Req::Write(a));
         }
     });
-    run_requests(&mut mem, reqs);
-    PhaseResult::from_stats(cfg, &mem.stats(), scale)
+    run_requests(&mut mem, reqs, "stream")?;
+    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
 }
 
 /// The baseline (and TensorDIMM) update phase: the update engine streams
 /// Q(g)/θ/state reads and θ/state/Q(θ) writes over the bus (§IV-D executed
 /// outside the DRAM). The arrays follow the same §V-B placement, so the
 /// address walk spreads across bank groups and ranks.
+///
+/// # Errors
+///
+/// [`PhaseError`] on any simulator error other than transient
+/// backpressure.
 pub fn baseline_update_phase(
     cfg: &DramConfig,
     optimizer: OptimizerKind,
     mix: PrecisionMix,
     params: u64,
     cap_params: u64,
-) -> PhaseResult {
+) -> Result<PhaseResult, PhaseError> {
     if params == 0 {
-        return PhaseResult::empty();
+        return Ok(PhaseResult::empty());
     }
     let sim_params = params.min(cap_params.max(1024)) as usize;
     let scale = params as f64 / sim_params as f64;
@@ -261,8 +351,8 @@ pub fn baseline_update_phase(
         }
     }
     let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
-    run_requests(&mut mem, merged.into_iter());
-    PhaseResult::from_stats(cfg, &mem.stats(), scale)
+    run_requests(&mut mem, merged.into_iter(), "baseline-update")?;
+    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
 }
 
 /// The GradPIM update phase proper: the Fig. 5 (middle) update kernel
@@ -270,6 +360,11 @@ pub fn baseline_update_phase(
 /// this window — they pipeline with the adjacent forward/backward phases
 /// (see [`pim_quant_dequant_phase`]), matching the paper's update-phase
 /// accounting.
+///
+/// # Errors
+///
+/// [`PhaseError`] on any simulator error other than transient
+/// backpressure.
 pub fn pim_update_phase(
     cfg: &DramConfig,
     optimizer: OptimizerKind,
@@ -277,13 +372,18 @@ pub fn pim_update_phase(
     hyper: &HyperParams,
     params: u64,
     cap_params: u64,
-) -> PhaseResult {
+) -> Result<PhaseResult, PhaseError> {
     pim_kernel_phase(cfg, optimizer, mix, hyper, params, cap_params, KernelParts::UPDATE_ONLY)
 }
 
 /// The quantization + dequantization kernels (Fig. 5 top and bottom),
 /// which overlap with the backward (Q(g) dequantizes as gradients arrive)
 /// and forward (Q(θ) streams out as it is consumed) phases.
+///
+/// # Errors
+///
+/// [`PhaseError`] on any simulator error other than transient
+/// backpressure.
 pub fn pim_quant_dequant_phase(
     cfg: &DramConfig,
     optimizer: OptimizerKind,
@@ -291,9 +391,9 @@ pub fn pim_quant_dequant_phase(
     hyper: &HyperParams,
     params: u64,
     cap_params: u64,
-) -> PhaseResult {
+) -> Result<PhaseResult, PhaseError> {
     if !mix.is_mixed() {
-        return PhaseResult::empty();
+        return Ok(PhaseResult::empty());
     }
     pim_kernel_phase(cfg, optimizer, mix, hyper, params, cap_params, KernelParts::QUANT_DEQUANT)
 }
@@ -306,9 +406,9 @@ fn pim_kernel_phase(
     params: u64,
     cap_params: u64,
     parts: KernelParts,
-) -> PhaseResult {
+) -> Result<PhaseResult, PhaseError> {
     if params == 0 {
-        return PhaseResult::empty();
+        return Ok(PhaseResult::empty());
     }
     let sim_params = params.min(cap_params.max(1024)) as usize;
     let scale = params as f64 / sim_params as f64;
@@ -319,23 +419,29 @@ fn pim_kernel_phase(
     run_unit_streams(
         &mut mem,
         plan.streams.iter().map(|s| (s.channel, s.rank, s.bankgroup, s.ops.as_slice())),
-    );
-    PhaseResult::from_stats(cfg, &mem.stats(), scale)
+        "pim-kernel",
+    )?;
+    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
 }
 
 /// The AoS-PB update phase (§VI-B): per-bank units, arrays interleaved as
 /// structures within each bank's rows. Momentum-style op mix per logical
 /// column, chunks rotated across all banks of every group for bank-level
 /// parallelism.
+///
+/// # Errors
+///
+/// [`PhaseError`] on any simulator error other than transient
+/// backpressure.
 pub fn aos_per_bank_update_phase(
     cfg: &DramConfig,
     optimizer: OptimizerKind,
     mix: PrecisionMix,
     params: u64,
     cap_params: u64,
-) -> PhaseResult {
+) -> Result<PhaseResult, PhaseError> {
     if params == 0 {
-        return PhaseResult::empty();
+        return Ok(PhaseResult::empty());
     }
     let high = mix.high.bytes();
     let epc = cfg.burst_bytes / high;
@@ -377,16 +483,17 @@ pub fn aos_per_bank_update_phase(
         }
     }
     let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
-    run_unit_streams(&mut mem, streams.iter().map(|s| (s.0, s.1, s.2, s.3.as_slice())));
-    PhaseResult::from_stats(cfg, &mem.stats(), scale)
+    run_unit_streams(&mut mem, streams.iter().map(|s| (s.0, s.1, s.2, s.3.as_slice())), "aos-pb")?;
+    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
 }
 
-/// Round-robin enqueue of per-unit op streams with backpressure, then
-/// drain.
+/// Round-robin enqueue of per-unit op streams with backpressure
+/// (fast-forwarding over dead cycles), then drain under a finite budget.
 fn run_unit_streams<'a>(
     mem: &mut MemorySystem,
     streams: impl Iterator<Item = (usize, u8, u8, &'a [PimOp])>,
-) {
+    context: &'static str,
+) -> Result<(), PhaseError> {
     let streams: Vec<_> = streams.collect();
     let mut cursors = vec![0usize; streams.len()];
     loop {
@@ -403,7 +510,7 @@ fn run_unit_streams<'a>(
                         progress = true;
                     }
                     Err(MemError::QueueFull) => break,
-                    Err(e) => panic!("simulator error: {e}"),
+                    Err(e) => return Err(PhaseError::new(context, e, mem)),
                 }
             }
             if cursors[i] < ops.len() {
@@ -414,10 +521,10 @@ fn run_unit_streams<'a>(
             break;
         }
         if !progress {
-            mem.tick();
+            step(mem);
         }
     }
-    mem.drain(u64::MAX).expect("drain cannot time out");
+    drain_phase(mem, context)
 }
 
 #[cfg(test)]
@@ -430,7 +537,7 @@ mod tests {
     #[test]
     fn stream_phase_reaches_high_bus_utilization() {
         let cfg = SystemConfig::new(Design::Baseline).dram();
-        let r = stream_phase(&cfg, 8 << 20, 4 << 20, CAP);
+        let r = stream_phase(&cfg, 8 << 20, 4 << 20, CAP).unwrap();
         // Streaming traffic should run near the external bandwidth ceiling.
         let peak = cfg.peak_external_bw();
         assert!(r.external_bw > 0.6 * peak, "external bw {:.1} GB/s", r.external_bw / 1e9);
@@ -448,7 +555,8 @@ mod tests {
             PrecisionMix::MIXED_8_32,
             params,
             100_000,
-        );
+        )
+        .unwrap();
         // 18 B/param at ~15 GB/s ⇒ ~1.2 ms; allow a broad window.
         let expect_ns = params as f64 * 18.0 / 15e9 * 1e9;
         assert!(
@@ -472,7 +580,8 @@ mod tests {
             PrecisionMix::MIXED_8_32,
             params,
             50_000,
-        );
+        )
+        .unwrap();
         let pim = pim_update_phase(
             &sys_d.dram(),
             OptimizerKind::MomentumSgd,
@@ -480,7 +589,8 @@ mod tests {
             &HyperParams::default(),
             params,
             50_000,
-        );
+        )
+        .unwrap();
         let speedup = base.time_ns / pim.time_ns;
         // Fig. 9: ~2.25× on the update phase for GradPIM-Direct.
         assert!(speedup > 1.3, "direct update speedup {speedup}");
@@ -500,7 +610,8 @@ mod tests {
             &HyperParams::default(),
             params,
             50_000,
-        );
+        )
+        .unwrap();
         let buffered = pim_update_phase(
             &SystemConfig::new(Design::GradPimBuffered).dram(),
             OptimizerKind::MomentumSgd,
@@ -508,7 +619,8 @@ mod tests {
             &HyperParams::default(),
             params,
             50_000,
-        );
+        )
+        .unwrap();
         let ratio = direct.time_ns / buffered.time_ns;
         // Fig. 11: buffered mode lifts internal bandwidth by ~4×.
         assert!(ratio > 2.0, "buffered/direct update ratio {ratio}");
@@ -526,14 +638,16 @@ mod tests {
             PrecisionMix::MIXED_8_32,
             params,
             50_000,
-        );
+        )
+        .unwrap();
         let td = baseline_update_phase(
             &SystemConfig::new(Design::TensorDimm).dram(),
             OptimizerKind::MomentumSgd,
             PrecisionMix::MIXED_8_32,
             params,
             50_000,
-        );
+        )
+        .unwrap();
         let bd = pim_update_phase(
             &SystemConfig::new(Design::GradPimBuffered).dram(),
             OptimizerKind::MomentumSgd,
@@ -541,7 +655,8 @@ mod tests {
             &HyperParams::default(),
             params,
             50_000,
-        );
+        )
+        .unwrap();
         // Rank-level parallelism helps TensorDIMM over the baseline…
         assert!(td.time_ns < base.time_ns * 0.6, "td {} base {}", td.time_ns, base.time_ns);
         // …but bank-group parallelism does better still.
@@ -556,7 +671,8 @@ mod tests {
             PrecisionMix::MIXED_8_32,
             500_000,
             20_000,
-        );
+        )
+        .unwrap();
         assert!(r.time_ns > 0.0);
         assert_eq!(r.external_bytes, 0.0);
         assert!(r.internal_bytes > 0.0);
@@ -565,9 +681,10 @@ mod tests {
     #[test]
     fn empty_phases() {
         let cfg = SystemConfig::new(Design::Baseline).dram();
-        assert_eq!(stream_phase(&cfg, 0, 0, CAP), PhaseResult::empty());
+        assert_eq!(stream_phase(&cfg, 0, 0, CAP).unwrap(), PhaseResult::empty());
         assert_eq!(
-            baseline_update_phase(&cfg, OptimizerKind::Sgd, PrecisionMix::MIXED_8_32, 0, CAP),
+            baseline_update_phase(&cfg, OptimizerKind::Sgd, PrecisionMix::MIXED_8_32, 0, CAP)
+                .unwrap(),
             PhaseResult::empty()
         );
     }

@@ -6,6 +6,7 @@ use gradpim_optim::PrecisionMix;
 use gradpim_workloads::{Layer, Network};
 
 use crate::config::{Design, SystemConfig};
+use crate::phase::PhaseError;
 use crate::train::TrainingSim;
 
 /// One point of the Fig. 12a ops/bandwidth sweep.
@@ -24,7 +25,14 @@ pub struct OpsBwPoint {
 /// Fig. 12a: speedup sensitivity to the operations/bandwidth ratio,
 /// sweeping MAC-array sizes over memory presets (the paper uses
 /// AlphaGoZero).
-pub fn ops_bandwidth_sweep(net: &Network, quick: Option<(u64, usize)>) -> Vec<OpsBwPoint> {
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn ops_bandwidth_sweep(
+    net: &Network,
+    quick: Option<(u64, usize)>,
+) -> Result<Vec<OpsBwPoint>, PhaseError> {
     let mut out = Vec::new();
     for dram in [DramConfig::ddr4_2133(), DramConfig::ddr4_3200(), DramConfig::hbm2_like()] {
         for mac_dim in [64usize, 128, 256, 512] {
@@ -38,8 +46,8 @@ pub fn ops_bandwidth_sweep(net: &Network, quick: Option<(u64, usize)>) -> Vec<Op
                     c.max_sim_params = params;
                 }
             }
-            let tb = TrainingSim::new(base.clone()).run(net);
-            let tp = TrainingSim::new(pim).run(net);
+            let tb = TrainingSim::new(base.clone()).run(net)?;
+            let tp = TrainingSim::new(pim).run(net)?;
             out.push(OpsBwPoint {
                 memory: dram.name.clone(),
                 mac_dim,
@@ -48,7 +56,7 @@ pub fn ops_bandwidth_sweep(net: &Network, quick: Option<(u64, usize)>) -> Vec<Op
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// One row of the Fig. 12b minibatch sweep.
@@ -63,7 +71,14 @@ pub struct BatchPoint {
 }
 
 /// Fig. 12b: speedup vs minibatch size (16/32/64).
-pub fn batch_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<BatchPoint> {
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn batch_sweep(
+    nets: &[Network],
+    quick: Option<(u64, usize)>,
+) -> Result<Vec<BatchPoint>, PhaseError> {
     let mut out = Vec::new();
     for net in nets {
         for batch in [16usize, 32, 64] {
@@ -76,8 +91,8 @@ pub fn batch_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<BatchPo
                     c.max_sim_params = params;
                 }
             }
-            let tb = TrainingSim::new(base).run(net);
-            let tp = TrainingSim::new(pim).run(net);
+            let tb = TrainingSim::new(base).run(net)?;
+            let tp = TrainingSim::new(pim).run(net)?;
             out.push(BatchPoint {
                 network: net.name.clone(),
                 batch,
@@ -85,7 +100,7 @@ pub fn batch_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<BatchPo
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// One row of the Fig. 12c/d precision sweep.
@@ -103,7 +118,14 @@ pub struct PrecisionPoint {
 
 /// Fig. 12c/d: speedup and energy vs precision mix, each relative to the
 /// no-PIM baseline *at the same precision* (the paper's definition).
-pub fn precision_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<PrecisionPoint> {
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn precision_sweep(
+    nets: &[Network],
+    quick: Option<(u64, usize)>,
+) -> Result<Vec<PrecisionPoint>, PhaseError> {
     let mut out = Vec::new();
     for net in nets {
         for mix in PrecisionMix::ALL {
@@ -116,8 +138,8 @@ pub fn precision_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<Pre
                     c.max_sim_params = params;
                 }
             }
-            let tb = TrainingSim::new(base).run(net);
-            let tp = TrainingSim::new(pim).run(net);
+            let tb = TrainingSim::new(base).run(net)?;
+            let tp = TrainingSim::new(pim).run(net)?;
             out.push(PrecisionPoint {
                 network: net.name.clone(),
                 mix,
@@ -126,7 +148,7 @@ pub fn precision_sweep(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<Pre
             });
         }
     }
-    out
+    Ok(out)
 }
 
 /// One point of the Fig. 13 layer-characterization scatter.
@@ -144,7 +166,14 @@ pub struct LayerPoint {
 
 /// Fig. 13: per-layer speedup vs weight/activation ratio. Each layer is
 /// simulated as its own single-layer "network".
-pub fn layer_scatter(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<LayerPoint> {
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn layer_scatter(
+    nets: &[Network],
+    quick: Option<(u64, usize)>,
+) -> Result<Vec<LayerPoint>, PhaseError> {
     let mut out = Vec::new();
     for net in nets {
         for layer in &net.layers {
@@ -164,8 +193,8 @@ pub fn layer_scatter(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<Layer
                     c.max_sim_params = params;
                 }
             }
-            let tb = TrainingSim::new(base).run(&single);
-            let tp = TrainingSim::new(pim).run(&single);
+            let tb = TrainingSim::new(base).run(&single)?;
+            let tp = TrainingSim::new(pim).run(&single)?;
             out.push(LayerPoint {
                 network: net.name.clone(),
                 layer: layer.name.clone(),
@@ -174,7 +203,7 @@ pub fn layer_scatter(nets: &[Network], quick: Option<(u64, usize)>) -> Vec<Layer
             });
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -188,7 +217,7 @@ mod tests {
     fn batch_sweep_smaller_batches_gain_more() {
         // Fig. 12b: "smaller batch size leads to higher speedup".
         let nets = [models::resnet18()];
-        let pts = batch_sweep(&nets, QUICK);
+        let pts = batch_sweep(&nets, QUICK).unwrap();
         let s16 = pts.iter().find(|p| p.batch == 16).unwrap().speedup_pct;
         let s64 = pts.iter().find(|p| p.batch == 64).unwrap().speedup_pct;
         assert!(s16 > s64, "batch16 {s16} vs batch64 {s64}");
@@ -198,7 +227,7 @@ mod tests {
     fn precision_sweep_all_mixes_gain() {
         // Fig. 12c: 8/16, 16/32, 32/32 still provide meaningful speedups.
         let nets = [models::mlp()];
-        let pts = precision_sweep(&nets, QUICK);
+        let pts = precision_sweep(&nets, QUICK).unwrap();
         assert_eq!(pts.len(), 4);
         for p in &pts {
             assert!(p.speedup_pct > 110.0, "{} gains only {}", p.mix, p.speedup_pct);
@@ -215,7 +244,7 @@ mod tests {
         // Fig. 13: "a clear correlation between the weight/activation ratio
         // and the speedup".
         let nets = [models::resnet18()];
-        let pts = layer_scatter(&nets, QUICK);
+        let pts = layer_scatter(&nets, QUICK).unwrap();
         let lo: Vec<&LayerPoint> = pts.iter().filter(|p| p.ratio < 1.0).collect();
         let hi: Vec<&LayerPoint> = pts.iter().filter(|p| p.ratio > 10.0).collect();
         assert!(!lo.is_empty() && !hi.is_empty());

@@ -9,7 +9,7 @@ use gradpim_workloads::Network;
 use crate::config::{Design, SystemConfig};
 use crate::phase::{
     aos_per_bank_update_phase, baseline_update_phase, pim_quant_dequant_phase, pim_update_phase,
-    stream_phase, PhaseResult,
+    stream_phase, PhaseError, PhaseResult,
 };
 
 /// Results for one Fig. 9 block.
@@ -124,7 +124,12 @@ impl TrainingSim {
 
     /// Runs one training step of `net` and reports per-block times, energy
     /// and bandwidths.
-    pub fn run(&self, net: &Network) -> TrainingReport {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PhaseError`] any phase executor reports
+    /// (simulator errors are bugs or livelocks, never workload conditions).
+    pub fn run(&self, net: &Network) -> Result<TrainingReport, PhaseError> {
         let cfg = &self.cfg;
         let batch = cfg.batch.unwrap_or(net.default_batch);
         let tcfg = cfg.traffic(batch);
@@ -152,7 +157,7 @@ impl TrainingSim {
             let reads = (reads as f64 * inflation) as u64;
             let writes = (writes as f64 * inflation) as u64;
 
-            let fwdbwd = stream_phase(&fwdbwd_dram, reads, writes, cfg.max_sim_bursts);
+            let fwdbwd = stream_phase(&fwdbwd_dram, reads, writes, cfg.max_sim_bursts)?;
             let compute_ns = compute_cycles as f64 * cfg.npu.cycle_ns();
 
             let (update, overlap) = match cfg.design {
@@ -163,7 +168,7 @@ impl TrainingSim {
                         cfg.mix,
                         params,
                         cfg.max_sim_params as u64,
-                    ),
+                    )?,
                     PhaseResult::empty(),
                 ),
                 Design::GradPimDirect | Design::GradPimBuffered | Design::Aos => (
@@ -174,7 +179,7 @@ impl TrainingSim {
                         &cfg.hyper,
                         params,
                         cfg.max_sim_params as u64,
-                    ),
+                    )?,
                     pim_quant_dequant_phase(
                         &dram,
                         cfg.optimizer,
@@ -182,7 +187,7 @@ impl TrainingSim {
                         &cfg.hyper,
                         params,
                         cfg.max_sim_params as u64,
-                    ),
+                    )?,
                 ),
                 Design::AosPerBank => (
                     aos_per_bank_update_phase(
@@ -191,7 +196,7 @@ impl TrainingSim {
                         cfg.mix,
                         params,
                         cfg.max_sim_params as u64,
-                    ),
+                    )?,
                     pim_quant_dequant_phase(
                         &dram,
                         cfg.optimizer,
@@ -199,7 +204,7 @@ impl TrainingSim {
                         &cfg.hyper,
                         params,
                         cfg.max_sim_params as u64,
-                    ),
+                    )?,
                 ),
             };
             // Double buffering overlaps compute with memory, and the
@@ -218,16 +223,20 @@ impl TrainingSim {
                 overlap,
             });
         }
-        TrainingReport { network: net.name.clone(), design: cfg.design, batch, blocks }
+        Ok(TrainingReport { network: net.name.clone(), design: cfg.design, batch, blocks })
     }
 }
 
 /// Convenience: speedup of `design` over the baseline on `net` (total step
 /// time).
-pub fn speedup_over_baseline(design: Design, net: &Network) -> f64 {
-    let base = TrainingSim::new(SystemConfig::new(Design::Baseline)).run(net);
-    let d = TrainingSim::new(SystemConfig::new(design)).run(net);
-    base.total_time_ns() / d.total_time_ns()
+///
+/// # Errors
+///
+/// Propagates any [`PhaseError`] from either simulation.
+pub fn speedup_over_baseline(design: Design, net: &Network) -> Result<f64, PhaseError> {
+    let base = TrainingSim::new(SystemConfig::new(Design::Baseline)).run(net)?;
+    let d = TrainingSim::new(SystemConfig::new(design)).run(net)?;
+    Ok(base.total_time_ns() / d.total_time_ns())
 }
 
 #[cfg(test)]
@@ -245,8 +254,8 @@ mod tests {
     #[test]
     fn gradpim_buffered_beats_baseline_on_resnet18() {
         let net = models::resnet18();
-        let base = TrainingSim::new(quick(Design::Baseline)).run(&net);
-        let bd = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net);
+        let base = TrainingSim::new(quick(Design::Baseline)).run(&net).unwrap();
+        let bd = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net).unwrap();
         // Fig. 9: GradPIM-BD ≈ 1.94× overall; update phase ≈ 8×.
         let overall = base.total_time_ns() / bd.total_time_ns();
         assert!(overall > 1.2, "overall speedup {overall}");
@@ -260,7 +269,7 @@ mod tests {
     #[test]
     fn update_dominance_grows_toward_late_blocks() {
         let net = models::resnet18();
-        let base = TrainingSim::new(quick(Design::Baseline)).run(&net);
+        let base = TrainingSim::new(quick(Design::Baseline)).run(&net).unwrap();
         let b1 = &base.blocks[1];
         let b4 = &base.blocks[4];
         let share1 = b1.update_ns / b1.total_ns();
@@ -271,8 +280,8 @@ mod tests {
     #[test]
     fn aos_loses_fwdbwd_what_it_gains_in_update() {
         let net = models::resnet18();
-        let bd = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net);
-        let aos = TrainingSim::new(quick(Design::Aos)).run(&net);
+        let bd = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net).unwrap();
+        let aos = TrainingSim::new(quick(Design::Aos)).run(&net).unwrap();
         // Same update time (same kernels)…
         let upd_ratio = aos.update_ns() / bd.update_ns();
         assert!((0.8..1.25).contains(&upd_ratio), "update ratio {upd_ratio}");
@@ -290,8 +299,8 @@ mod tests {
     #[test]
     fn energy_ordering_matches_fig10() {
         let net = models::mlp();
-        let base = TrainingSim::new(quick(Design::Baseline)).run(&net);
-        let bd = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net);
+        let base = TrainingSim::new(quick(Design::Baseline)).run(&net).unwrap();
+        let bd = TrainingSim::new(quick(Design::GradPimBuffered)).run(&net).unwrap();
         let eb = base.energy();
         let ed = bd.energy();
         // GradPIM saves total memory energy…
@@ -309,13 +318,13 @@ mod tests {
         let mlp = models::mlp();
         let resnet = models::resnet18();
         let s_mlp = {
-            let b = TrainingSim::new(quick(Design::Baseline)).run(&mlp);
-            let d = TrainingSim::new(quick(Design::GradPimBuffered)).run(&mlp);
+            let b = TrainingSim::new(quick(Design::Baseline)).run(&mlp).unwrap();
+            let d = TrainingSim::new(quick(Design::GradPimBuffered)).run(&mlp).unwrap();
             b.total_time_ns() / d.total_time_ns()
         };
         let s_res = {
-            let b = TrainingSim::new(quick(Design::Baseline)).run(&resnet);
-            let d = TrainingSim::new(quick(Design::GradPimBuffered)).run(&resnet);
+            let b = TrainingSim::new(quick(Design::Baseline)).run(&resnet).unwrap();
+            let d = TrainingSim::new(quick(Design::GradPimBuffered)).run(&resnet).unwrap();
             b.total_time_ns() / d.total_time_ns()
         };
         assert!(s_mlp > s_res, "mlp {s_mlp} vs resnet {s_res}");

@@ -37,7 +37,7 @@ fn main() {
         let mut cfg = SystemConfig::new(design);
         cfg.max_sim_bursts = 16_000;
         cfg.max_sim_params = 100_000;
-        let r = TrainingSim::new(cfg).run(&net);
+        let r = TrainingSim::new(cfg).run(&net).expect("simulation failed");
         let total = r.total_time_ns();
         let base = *base_total.get_or_insert(total);
         println!(

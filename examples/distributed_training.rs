@@ -20,7 +20,7 @@ fn main() {
             let mut cfg = SystemConfig::new(design);
             cfg.max_sim_bursts = 8_000;
             cfg.max_sim_params = 60_000;
-            let r = distributed_step(&cfg, &net, &dist);
+            let r = distributed_step(&cfg, &net, &dist).expect("simulation failed");
             let total = r.total_ns();
             let b = *base.get_or_insert(total);
             println!(

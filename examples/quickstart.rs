@@ -63,8 +63,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.max_sim_bursts = 8_000;
         c.max_sim_params = 60_000;
     }
-    let base = TrainingSim::new(base_cfg).run(&net);
-    let fast = TrainingSim::new(pim_cfg).run(&net);
+    let base = TrainingSim::new(base_cfg).run(&net).expect("simulation failed");
+    let fast = TrainingSim::new(pim_cfg).run(&net).expect("simulation failed");
     println!("\nMLP training step (batch {}):", base.batch);
     println!(
         "  baseline    : {:.3} ms ({:.3} ms in updates)",

@@ -31,9 +31,10 @@
 //!     c.max_sim_bursts = 2_000; // doc-sized traffic caps
 //!     c.max_sim_params = 20_000;
 //! }
-//! let baseline = TrainingSim::new(cfg_base).run(&net);
-//! let pim = TrainingSim::new(cfg_pim).run(&net);
+//! let baseline = TrainingSim::new(cfg_base).run(&net)?;
+//! let pim = TrainingSim::new(cfg_pim).run(&net)?;
 //! assert!(pim.total_time_ns() < baseline.total_time_ns());
+//! # Ok::<(), gradpim::sim::PhaseError>(())
 //! ```
 
 pub use gradpim_core as core;

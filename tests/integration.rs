@@ -201,7 +201,7 @@ fn design_ordering_holds_end_to_end() {
         let mut cfg = SystemConfig::new(design);
         cfg.max_sim_bursts = 3_000;
         cfg.max_sim_params = 30_000;
-        results.push(TrainingSim::new(cfg).run(&net));
+        results.push(TrainingSim::new(cfg).run(&net).unwrap());
     }
     let by = |d: Design| results.iter().find(|r| r.design == d).unwrap();
     let base = by(Design::Baseline);
@@ -250,7 +250,7 @@ fn all_networks_times_all_designs_smoke() {
             let mut cfg = SystemConfig::new(design);
             cfg.max_sim_bursts = 600;
             cfg.max_sim_params = 8_000;
-            let r = TrainingSim::new(cfg).run(&net);
+            let r = TrainingSim::new(cfg).run(&net).unwrap();
             assert!(r.total_time_ns().is_finite());
             assert!(r.total_time_ns() > 0.0, "{} on {}", net.name, design);
             assert_eq!(r.blocks.len(), net.blocks().len());

@@ -160,6 +160,164 @@ proptest! {
     }
 }
 
+/// One step of a differential workload: external traffic or a PIM op.
+#[derive(Debug, Clone, Copy)]
+enum DiffOp {
+    Read(u64),
+    Write(u64),
+    Pim(u8, u8, gradpim::dram::PimOp),
+}
+
+/// Builds a randomized workload from a seed: interleaved reads, writes and
+/// in-order PIM streams across ranks/bank groups.
+fn diff_workload(
+    cfg: &gradpim::dram::DramConfig,
+    reads: usize,
+    writes: usize,
+    pim_cols: u32,
+    seed: u64,
+) -> Vec<DiffOp> {
+    use gradpim::dram::PimOp;
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state
+    };
+    let mut ops = Vec::new();
+    let n = reads.max(writes).max(pim_cols as usize);
+    for i in 0..n {
+        if i < reads {
+            ops.push(DiffOp::Read((next() % (1 << 26)) & !63));
+        }
+        if i < writes {
+            ops.push(DiffOp::Write((next() % (1 << 26)) & !63));
+        }
+        if (i as u32) < pim_cols {
+            let rank = (next() % cfg.ranks as u64) as u8;
+            let bg = (next() % cfg.bankgroups as u64) as u8;
+            let col = i as u32 % cfg.columns as u32;
+            ops.push(DiffOp::Pim(
+                rank,
+                bg,
+                PimOp::ScaledRead { bank: 0, row: 2, col, scaler: 0, dst: 0 },
+            ));
+            ops.push(DiffOp::Pim(rank, bg, PimOp::Add { bank: 0, dst: 1 }));
+            ops.push(DiffOp::Pim(rank, bg, PimOp::Writeback { bank: 1, row: 2, col, src: 1 }));
+        }
+    }
+    ops
+}
+
+/// Drives `ops` through a fresh memory system, stepping per-cycle
+/// (`fast = false`) or event-driven (`fast = true`), then drains and idles
+/// across a refresh window. Returns every observable output.
+fn diff_run(
+    cfg: &gradpim::dram::DramConfig,
+    ops: &[DiffOp],
+    fast: bool,
+) -> (gradpim::dram::Stats, Vec<gradpim::dram::Completion>, Vec<Vec<gradpim::dram::TraceEntry>>) {
+    use gradpim::dram::{AddressMapping, MemError, MemorySystem};
+    let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+    mem.enable_trace();
+    for op in ops {
+        loop {
+            let r = match *op {
+                DiffOp::Read(a) => mem.enqueue_read(a).map(drop),
+                DiffOp::Write(a) => mem.enqueue_write(a, None).map(drop),
+                DiffOp::Pim(rank, bg, p) => mem.enqueue_pim(0, rank, bg, p).map(drop),
+            };
+            match r {
+                Ok(()) => break,
+                Err(MemError::QueueFull) => {
+                    if fast {
+                        mem.tick_until_event();
+                    } else {
+                        mem.tick();
+                    }
+                }
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+    if fast {
+        mem.drain(20_000_000).unwrap();
+    } else {
+        mem.drain_reference(20_000_000).unwrap();
+    }
+    // Idle across a refresh window (exercises power-down + REF skipping).
+    let target = mem.cycles() + cfg.trefi + 2 * cfg.trfc + 13;
+    if fast {
+        mem.run_until(target);
+    } else {
+        while mem.cycles() < target {
+            mem.tick();
+        }
+    }
+    (mem.stats(), mem.take_completions(), mem.take_traces())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The event-driven fast-forward core is *observably identical* to the
+    /// per-cycle reference: identical stats (cycles, commands, energies,
+    /// power-down residency), identical completions, identical command
+    /// traces — across random read/write/PIM workloads, issue modes, PIM
+    /// placements and power-down thresholds.
+    #[test]
+    fn fast_forward_matches_per_cycle_reference(
+        reads in 0usize..120,
+        writes in 0usize..120,
+        pim_cols in 0u32..48,
+        buffered in 0usize..2,
+        per_bank in 0usize..2,
+        pd_sel in 0usize..3,
+        seed in 0u64..1000,
+    ) {
+        use gradpim::dram::{CommandIssueMode, DramConfig, PimPlacement};
+        let mut cfg = DramConfig::ddr4_2133();
+        if buffered == 1 {
+            cfg.issue_mode = CommandIssueMode::PerRankBuffered;
+        }
+        if per_bank == 1 {
+            cfg.pim_placement = PimPlacement::PerBank;
+        }
+        cfg.powerdown_idle = [16u64, 64, u64::MAX][pd_sel];
+        let ops = diff_workload(&cfg, reads, writes, pim_cols, seed);
+        let (s_ref, c_ref, t_ref) = diff_run(&cfg, &ops, false);
+        let (s_fast, c_fast, t_fast) = diff_run(&cfg, &ops, true);
+        prop_assert_eq!(&t_ref, &t_fast, "command traces diverge");
+        prop_assert_eq!(&c_ref, &c_fast, "completions diverge");
+        prop_assert_eq!(&s_ref, &s_fast, "stats diverge");
+    }
+
+    /// Same identity across multi-channel configurations (lockstep
+    /// fast-forward) — also pins the per-channel-normalized bus
+    /// utilizations to sane ranges.
+    #[test]
+    fn fast_forward_matches_reference_multichannel(
+        reads in 1usize..100,
+        writes in 0usize..60,
+        seed in 0u64..500,
+    ) {
+        let mut cfg = gradpim::dram::DramConfig::ddr4_2133();
+        cfg.channels = 2;
+        cfg.powerdown_idle = 32;
+        let ops = diff_workload(&cfg, reads, writes, 0, seed);
+        let (s_ref, c_ref, t_ref) = diff_run(&cfg, &ops, false);
+        let (s_fast, c_fast, t_fast) = diff_run(&cfg, &ops, true);
+        prop_assert_eq!(&t_ref, &t_fast);
+        prop_assert_eq!(&c_ref, &c_fast);
+        prop_assert_eq!(&s_ref, &s_fast);
+        prop_assert_eq!(s_fast.channels, 2);
+        // Direct mode: per-channel command-bus utilization cannot exceed
+        // one command per tCK.
+        prop_assert!(s_fast.command_bus_utilization() <= 1.0);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
