@@ -1,0 +1,77 @@
+//! Criterion group for the parallel execution engine: sweep-scheduler
+//! scaling (the `GRADPIM_THREADS=1` vs `=4` comparison the CI smoke keys
+//! on) and the threaded multi-channel drain.
+//!
+//! On a multi-core host the `threads4` timings should come in well under
+//! the `threads1` ones; the results themselves are bit-identical (asserted
+//! here on every iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gradpim_dram::{AddressMapping, DramConfig, MemError, MemorySystem};
+use gradpim_engine::{sweeps, Engine};
+use gradpim_workloads::models;
+
+fn bench_sweep_scheduler(c: &mut Criterion) {
+    // A 6-point Fig. 12b sweep (two networks × three batch sizes) with
+    // small traffic caps: enough work per point to dominate scheduling
+    // overhead, small enough to iterate.
+    let nets = [models::mlp(), models::resnet18()];
+    let quick = Some((1500u64, 20_000usize));
+    let expect = sweeps::batch_sweep(&nets, quick, &Engine::sequential()).unwrap();
+    let mut g = c.benchmark_group("engine_sweep");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let engine = Engine::new(threads);
+        g.bench_function(format!("fig12b_6pts_threads{threads}"), |b| {
+            b.iter(|| {
+                let pts = sweeps::batch_sweep(&nets, quick, &engine).unwrap();
+                assert_eq!(pts, expect, "threaded sweep diverged");
+                pts.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_channel_drain(c: &mut Criterion) {
+    // A 4-channel streaming drain: the within-simulation level of the
+    // engine. Each iteration rebuilds and fully drains the system.
+    let mut cfg = DramConfig::ddr4_2133();
+    cfg.channels = 4;
+    let load = |cfg: &DramConfig| {
+        let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        for i in 0..8192u64 {
+            loop {
+                match mem.enqueue_read(i * 64) {
+                    Ok(_) => break,
+                    Err(MemError::QueueFull) => mem.tick_until_event(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        mem
+    };
+    let expect = {
+        let mut mem = load(&cfg);
+        mem.drain(100_000_000).unwrap();
+        mem.stats()
+    };
+    let mut g = c.benchmark_group("engine_drain");
+    g.sample_size(10);
+    for threads in [1usize, 4] {
+        let engine = Engine::new(threads);
+        g.bench_function(format!("4ch_8k_bursts_threads{threads}"), |b| {
+            b.iter(|| {
+                let mut mem = load(&cfg);
+                engine.drain(&mut mem, 100_000_000).unwrap();
+                let stats = mem.stats();
+                assert_eq!(stats, expect, "threaded drain diverged");
+                stats.cycles
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep_scheduler, bench_channel_drain);
+criterion_main!(benches);

@@ -146,6 +146,44 @@ impl Stats {
         self.energy.merge(&o.energy);
     }
 
+    /// Merges per-channel stats **order-insensitively**: the result is
+    /// bit-identical for any permutation of `parts`.
+    ///
+    /// The integer counters commute under addition, but the f64 energy
+    /// accumulators do not (`(a + b) + c` ≠ `a + (b + c)` in general), so a
+    /// pairwise [`Stats::merge`] fold depends on operand order. This matters
+    /// for the threaded multi-channel engine, which may collect channel
+    /// stats in completion order: `merge_all` sums every f64 field over a
+    /// canonical (totally ordered) sequence of its per-channel
+    /// contributions, so merged results cannot depend on which channel
+    /// finished first.
+    pub fn merge_all<'a, I>(parts: I) -> Stats
+    where
+        I: IntoIterator<Item = &'a Stats>,
+    {
+        let parts: Vec<&Stats> = parts.into_iter().collect();
+        let mut s = Stats::merge_identity();
+        for p in &parts {
+            s.merge(p);
+        }
+        // Replace the order-dependent f64 sums with canonical-order sums.
+        let sum = |field: fn(&Stats) -> f64| -> f64 {
+            let mut vals: Vec<f64> = parts.iter().map(|p| field(p)).collect();
+            vals.sort_by(f64::total_cmp);
+            vals.iter().sum()
+        };
+        s.energy = EnergyBreakdown {
+            act_pj: sum(|p| p.energy.act_pj),
+            rd_pj: sum(|p| p.energy.rd_pj),
+            wr_pj: sum(|p| p.energy.wr_pj),
+            io_pj: sum(|p| p.energy.io_pj),
+            pim_pj: sum(|p| p.energy.pim_pj),
+            refresh_pj: sum(|p| p.energy.refresh_pj),
+            background_pj: sum(|p| p.energy.background_pj),
+        };
+        s
+    }
+
     /// Elapsed wall-clock time in nanoseconds.
     pub fn elapsed_ns(&self, cfg: &DramConfig) -> f64 {
         self.cycles as f64 * cfg.cycle_ns()
@@ -274,6 +312,44 @@ mod tests {
         // A direct-mode system can never exceed 1.0 per channel no matter
         // how many channels are merged.
         assert!(m.command_bus_utilization() <= 1.0);
+    }
+
+    #[test]
+    fn merge_all_is_order_insensitive() {
+        // Per-channel stats with deliberately awkward f64 magnitudes: a
+        // pairwise fold of these energies is order-dependent at the ULP
+        // level, which is exactly what merge_all must not be (the threaded
+        // engine may collect channels in completion order).
+        let mk = |i: u64| {
+            let mut s = Stats { cycles: 1000 + i, ..Default::default() };
+            s.record(CommandKind::Read);
+            s.external_read_bytes = 64 * (i + 1);
+            s.energy.rd_pj = 1e-7 * 3f64.powi(i as i32) + 1e9 / (i + 1) as f64;
+            s.energy.act_pj = 0.1 + i as f64 * 1e8;
+            s.energy.background_pj = (i as f64).exp();
+            s
+        };
+        let chans: Vec<Stats> = (0..5).map(mk).collect();
+        let in_order = Stats::merge_all(&chans);
+        let reversed = Stats::merge_all(chans.iter().rev());
+        let shuffled: Vec<&Stats> = [3usize, 0, 4, 2, 1].iter().map(|&i| &chans[i]).collect();
+        let shuffled = Stats::merge_all(shuffled);
+        assert_eq!(in_order, reversed, "reversed merge diverges");
+        assert_eq!(in_order, shuffled, "shuffled merge diverges");
+        assert_eq!(in_order.channels, 5);
+        assert_eq!(in_order.cycles, 1004);
+        assert_eq!(in_order.cmd_slots, 5);
+    }
+
+    #[test]
+    fn merge_all_of_one_matches_merge() {
+        let mut s = Stats { cycles: 77, ..Default::default() };
+        s.record(CommandKind::Activate);
+        s.energy.act_pj = 12.5;
+        let merged = Stats::merge_all(std::iter::once(&s));
+        let mut pairwise = Stats::merge_identity();
+        pairwise.merge(&s);
+        assert_eq!(merged, pairwise);
     }
 
     #[test]

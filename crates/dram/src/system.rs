@@ -48,7 +48,15 @@ impl From<EnqueueError> for MemError {
 }
 
 /// A complete DRAM memory system: one controller per channel, a shared
-/// address mapping, and a global transaction-id counter.
+/// address mapping, and channel-striped transaction-id counters.
+///
+/// Transaction ids are **channel-striped**: the *n*-th transaction accepted
+/// by channel *c* gets id `n * channels + c`. A channel's id stream is thus
+/// a pure function of its own accept order — independent of how enqueues to
+/// different channels interleave globally — which keeps ids reproducible
+/// when a threaded driver (see the `gradpim-engine` crate) feeds or drains
+/// channels concurrently. With one channel this degenerates to the familiar
+/// sequential `0, 1, 2, …`.
 ///
 /// # Example
 ///
@@ -67,7 +75,9 @@ pub struct MemorySystem {
     cfg: DramConfig,
     mapping: AddressMapping,
     ctrls: Vec<Controller>,
-    next_id: u64,
+    /// Per-channel counts of accepted transactions (ids are striped:
+    /// `count * channels + channel`).
+    next_ids: Vec<u64>,
 }
 
 impl MemorySystem {
@@ -85,7 +95,8 @@ impl MemorySystem {
     fn build(cfg: DramConfig, mapping: AddressMapping, functional: bool) -> Self {
         cfg.validate().expect("invalid DramConfig");
         let ctrls = (0..cfg.channels).map(|_| Controller::new(&cfg, functional)).collect();
-        Self { cfg, mapping, ctrls, next_id: 0 }
+        let next_ids = vec![0; cfg.channels];
+        Self { cfg, mapping, ctrls, next_ids }
     }
 
     /// The configuration in use.
@@ -118,12 +129,19 @@ impl MemorySystem {
         self.ctrls.iter().all(|c| c.is_drained())
     }
 
-    /// Consumes the next transaction id. Call only after the enqueue
-    /// succeeded, so rejected attempts never burn ids (id assignment stays
-    /// independent of how often a full queue was retried).
-    fn commit_id(&mut self) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
+    /// The id `channel`'s next accepted transaction will get (channel
+    /// striping: its accept count × channel count + channel index).
+    fn peek_id(&self, channel: usize) -> u64 {
+        self.next_ids[channel] * self.cfg.channels as u64 + channel as u64
+    }
+
+    /// Consumes the next transaction id for `channel`. Call only after the
+    /// enqueue succeeded, so rejected attempts never burn ids (id assignment
+    /// stays independent of how often a full queue was retried, and of how
+    /// enqueues to *other* channels interleave).
+    fn commit_id(&mut self, channel: usize) -> u64 {
+        let id = self.peek_id(channel);
+        self.next_ids[channel] += 1;
         id
     }
 
@@ -134,8 +152,9 @@ impl MemorySystem {
     /// [`MemError::QueueFull`] when the target bank queue is full.
     pub fn enqueue_read(&mut self, addr: u64) -> Result<u64, MemError> {
         let loc = self.mapping.decode(addr, &self.cfg);
-        self.ctrls[loc.channel].enqueue_read(self.next_id, loc)?;
-        Ok(self.commit_id())
+        let id = self.peek_id(loc.channel);
+        self.ctrls[loc.channel].enqueue_read(id, loc)?;
+        Ok(self.commit_id(loc.channel))
     }
 
     /// Enqueues an external burst write of `addr`, optionally with data.
@@ -145,8 +164,9 @@ impl MemorySystem {
     /// [`MemError::QueueFull`] when the target bank queue is full.
     pub fn enqueue_write(&mut self, addr: u64, data: Option<Vec<u8>>) -> Result<u64, MemError> {
         let loc = self.mapping.decode(addr, &self.cfg);
-        self.ctrls[loc.channel].enqueue_write(self.next_id, loc, data)?;
-        Ok(self.commit_id())
+        let id = self.peek_id(loc.channel);
+        self.ctrls[loc.channel].enqueue_write(id, loc, data)?;
+        Ok(self.commit_id(loc.channel))
     }
 
     /// Enqueues one GradPIM micro-op for the unit at
@@ -162,8 +182,9 @@ impl MemorySystem {
         bankgroup: u8,
         op: PimOp,
     ) -> Result<u64, MemError> {
-        self.ctrls[channel].enqueue_pim(self.next_id, rank, bankgroup, op)?;
-        Ok(self.commit_id())
+        let id = self.peek_id(channel);
+        self.ctrls[channel].enqueue_pim(id, rank, bankgroup, op)?;
+        Ok(self.commit_id(channel))
     }
 
     /// Advances all channels one memory-clock cycle.
@@ -254,13 +275,31 @@ impl MemorySystem {
     }
 
     /// Merged statistics across channels (`Stats::channels` reports the
-    /// channel count so bus utilizations stay per-channel-normalized).
+    /// channel count so bus utilizations stay per-channel-normalized). Uses
+    /// the order-insensitive [`Stats::merge_all`], so the result is
+    /// bit-identical no matter how (or on which threads) the channels were
+    /// advanced.
     pub fn stats(&self) -> Stats {
-        let mut s = Stats::merge_identity();
-        for c in &self.ctrls {
-            s.merge(c.stats());
-        }
-        s
+        Stats::merge_all(self.ctrls.iter().map(Controller::stats))
+    }
+
+    /// The per-channel controllers, in channel order.
+    pub fn controllers(&self) -> &[Controller] {
+        &self.ctrls
+    }
+
+    /// Mutable access to the per-channel controllers, in channel order.
+    ///
+    /// This is the escape hatch parallel drivers (the `gradpim-engine`
+    /// crate) use to advance channels on worker threads: channels share no
+    /// state, so any schedule that ticks each controller at (at least) its
+    /// own event cycles and leaves all channels at a common final cycle is
+    /// observably identical to the lockstep [`MemorySystem::tick`] /
+    /// [`MemorySystem::drain`] path. Callers must restore lockstep (equal
+    /// `Controller::cycles`) before using the system-level stepping API
+    /// again.
+    pub fn controllers_mut(&mut self) -> &mut [Controller] {
+        &mut self.ctrls
     }
 
     /// Drains completions from all channels (ids are globally unique).
@@ -442,6 +481,74 @@ mod tests {
         assert_eq!(fast.take_traces(), refr.take_traces());
         assert_eq!(fast.take_completions(), refr.take_completions());
         assert_eq!(fast.stats(), refr.stats());
+    }
+
+    #[test]
+    fn everything_threaded_drivers_need_is_send() {
+        fn is_send<T: Send>() {}
+        is_send::<Controller>();
+        is_send::<MemorySystem>();
+        is_send::<Stats>();
+        is_send::<Completion>();
+        is_send::<MemError>();
+    }
+
+    #[test]
+    fn channel_striped_ids_are_interleaving_invariant() {
+        // The k-th transaction accepted by a channel gets the same id no
+        // matter how enqueues to different channels interleave globally —
+        // the property a threaded driver needs for reproducible ids.
+        let mut cfg = DramConfig::ddr4_2133();
+        cfg.channels = 2;
+        // 8 bursts alternating between the two channels.
+        let addrs: Vec<u64> = (0..8usize)
+            .map(|i| {
+                let loc = Address {
+                    channel: i % 2,
+                    rank: 0,
+                    bankgroup: (i / 2) % cfg.bankgroups,
+                    bank: 0,
+                    row: 0,
+                    column: i % cfg.columns,
+                };
+                AddressMapping::GradPim.encode(loc, &cfg)
+            })
+            .collect();
+        let mut round_robin = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        let ids_rr: Vec<(usize, u64)> = addrs
+            .iter()
+            .map(|&a| (round_robin.decode(a).channel, round_robin.enqueue_read(a).unwrap()))
+            .collect();
+        // Same transactions, all of channel 0 first, then all of channel 1.
+        let mut grouped = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        let mut sorted = addrs.clone();
+        sorted.sort_by_key(|&a| grouped.decode(a).channel);
+        let ids_grouped: Vec<(usize, u64)> = sorted
+            .iter()
+            .map(|&a| (grouped.decode(a).channel, grouped.enqueue_read(a).unwrap()))
+            .collect();
+        // Per-channel id streams are identical across the two interleavings.
+        for ch in 0..cfg.channels {
+            let stream = |ids: &[(usize, u64)]| -> Vec<u64> {
+                ids.iter().filter(|(c, _)| *c == ch).map(|(_, id)| *id).collect()
+            };
+            assert_eq!(stream(&ids_rr), stream(&ids_grouped), "channel {ch} id stream diverges");
+        }
+        // Ids are globally unique and stripe by channel parity.
+        let mut all: Vec<u64> = ids_rr.iter().map(|(_, id)| *id).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), addrs.len());
+        for (ch, id) in &ids_rr {
+            assert_eq!(*id as usize % cfg.channels, *ch);
+        }
+    }
+
+    #[test]
+    fn single_channel_ids_stay_sequential() {
+        let mut mem = MemorySystem::new(DramConfig::ddr4_2133(), AddressMapping::GradPim);
+        let ids: Vec<u64> = (0..5u64).map(|i| mem.enqueue_read(i * 64).unwrap()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -1,0 +1,246 @@
+//! `gradpim-cli` — the experiment runner: reproduce one figure/sweep of
+//! the GradPIM evaluation through the parallel execution engine.
+//!
+//! ```text
+//! gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]
+//!
+//! experiments:
+//!   fig09    training-step time per design (Fig. 9)
+//!   fig12a   speedup vs ops/bandwidth ratio (Fig. 12a)
+//!   fig12b   speedup vs minibatch size (Fig. 12b)
+//!   fig12c   speedup + energy vs precision mix (Fig. 12c/d)
+//!   fig13    per-layer speedup scatter (Fig. 13)
+//!   fig14    distributed-training node scaling (Fig. 14)
+//!   list     print experiments and networks
+//! ```
+//!
+//! `--threads` (default: `GRADPIM_THREADS`, else available parallelism)
+//! sizes the sweep scheduler's worker pool; `--quick` (the default) caps
+//! simulated traffic per point, `--full` uses the library's generous
+//! defaults (combine with `GRADPIM_FULL=1` to remove caps entirely).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use gradpim_engine::{sweeps, Engine};
+use gradpim_sim::sweeps::QuickCaps;
+use gradpim_sim::Design;
+use gradpim_workloads::{models, Network};
+
+const EXPERIMENTS: &[(&str, &str)] = &[
+    ("fig09", "training-step time per design (Fig. 9)"),
+    ("fig12a", "speedup vs ops/bandwidth ratio (Fig. 12a)"),
+    ("fig12b", "speedup vs minibatch size (Fig. 12b)"),
+    ("fig12c", "speedup + energy vs precision mix (Fig. 12c/d)"),
+    ("fig13", "per-layer speedup scatter (Fig. 13)"),
+    ("fig14", "distributed-training node scaling (Fig. 14)"),
+];
+
+/// Quick-mode traffic caps: small enough for a CI smoke, large enough to
+/// keep every figure's qualitative shape.
+const QUICK: QuickCaps = Some((4 * 1024, 32 * 1024));
+
+struct Args {
+    experiment: String,
+    quick: bool,
+    threads: Option<usize>,
+    nets: Option<Vec<String>>,
+}
+
+fn usage() -> String {
+    let mut s = String::from(
+        "usage: gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]\n\n\
+         experiments:\n",
+    );
+    for (name, what) in EXPERIMENTS {
+        s.push_str(&format!("  {name:<8} {what}\n"));
+    }
+    s.push_str("  list     print experiments and networks\n");
+    s
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args { experiment: String::new(), quick: true, threads: None, nets: None };
+    let mut it = argv.iter();
+    args.experiment = it.next().ok_or_else(usage)?.clone();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => args.quick = true,
+            "--full" => args.quick = false,
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --threads value `{v}`"))?;
+                if n == 0 {
+                    return Err("--threads must be positive".into());
+                }
+                args.threads = Some(n);
+            }
+            "--nets" => {
+                let v = it.next().ok_or("--nets needs a comma-separated list")?;
+                args.nets = Some(v.split(',').map(str::to_string).collect());
+            }
+            other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+fn pick_networks(requested: Option<&[String]>) -> Result<Vec<Network>, String> {
+    let all = models::all_networks();
+    let Some(names) = requested else { return Ok(all) };
+    names
+        .iter()
+        .map(|n| {
+            all.iter().find(|net| net.name.eq_ignore_ascii_case(n)).cloned().ok_or_else(|| {
+                let known: Vec<&str> = all.iter().map(|n| n.name.as_str()).collect();
+                format!("unknown network `{n}` (known: {})", known.join(", "))
+            })
+        })
+        .collect()
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let engine = match args.threads {
+        Some(n) => Engine::new(n),
+        None => Engine::from_env(),
+    };
+    let quick = if args.quick { QUICK } else { None };
+    let nets = pick_networks(args.nets.as_deref())?;
+    let mode = if args.quick { "quick" } else { "full" };
+    println!(
+        "gradpim-cli: {} ({} mode, {} worker thread{})",
+        args.experiment,
+        mode,
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" }
+    );
+    let t0 = Instant::now();
+    match args.experiment.as_str() {
+        "fig09" => {
+            let pts = sweeps::design_space(&nets, &Design::ALL, quick, &engine)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{:<26} {:>12} {:>12} {:>12} {:>9}",
+                "network", "fwd/bwd ms", "update ms", "total ms", "speedup"
+            );
+            let mut base_ns = 0.0;
+            for p in &pts {
+                if p.design == Design::Baseline {
+                    base_ns = p.report.total_time_ns();
+                }
+                println!(
+                    "{:<26} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x",
+                    format!("{} {}", p.report.network, p.design),
+                    p.report.fwdbwd_ns() / 1e6,
+                    p.report.update_ns() / 1e6,
+                    p.report.total_time_ns() / 1e6,
+                    base_ns / p.report.total_time_ns(),
+                );
+            }
+        }
+        "fig12a" => {
+            // The paper sweeps AlphaGoZero; every requested network gets
+            // its own sweep otherwise.
+            let targets =
+                if args.nets.is_some() { nets.clone() } else { vec![models::alphago_zero()] };
+            for net in &targets {
+                let pts =
+                    sweeps::ops_bandwidth_sweep(net, quick, &engine).map_err(|e| e.to_string())?;
+                println!("[{}]", net.name);
+                println!("{:<12} {:>8} {:>12} {:>10}", "memory", "mac dim", "ops/byte", "speedup");
+                for p in &pts {
+                    println!(
+                        "{:<12} {:>8} {:>12.2} {:>9.0}%",
+                        p.memory, p.mac_dim, p.ops_per_byte, p.speedup_pct
+                    );
+                }
+            }
+        }
+        "fig12b" => {
+            let pts = sweeps::batch_sweep(&nets, quick, &engine).map_err(|e| e.to_string())?;
+            println!("{:<14} {:>8} {:>10}", "network", "batch", "speedup");
+            for p in &pts {
+                println!("{:<14} {:>8} {:>9.0}%", p.network, p.batch, p.speedup_pct);
+            }
+        }
+        "fig12c" => {
+            let pts = sweeps::precision_sweep(&nets, quick, &engine).map_err(|e| e.to_string())?;
+            println!("{:<14} {:>8} {:>10} {:>10}", "network", "mix", "speedup", "energy");
+            for p in &pts {
+                println!(
+                    "{:<14} {:>8} {:>9.0}% {:>9.0}%",
+                    p.network,
+                    p.mix.to_string(),
+                    p.speedup_pct,
+                    p.energy_pct
+                );
+            }
+        }
+        "fig13" => {
+            let pts = sweeps::layer_scatter(&nets, quick, &engine).map_err(|e| e.to_string())?;
+            println!("{:<34} {:>12} {:>10}", "layer", "w/a ratio", "speedup");
+            for p in &pts {
+                println!(
+                    "{:<34} {:>12.3} {:>9.0}%",
+                    format!("{}:{}", p.network, p.layer),
+                    p.ratio,
+                    p.speedup_pct
+                );
+            }
+        }
+        "fig14" => {
+            // The paper scales ResNet-18; every requested network gets its
+            // own scaling table otherwise.
+            let targets = if args.nets.is_some() { nets.clone() } else { vec![models::resnet18()] };
+            for net in &targets {
+                let rows = sweeps::distributed_scaling(net, &[1, 2, 4, 8], quick, &engine)
+                    .map_err(|e| e.to_string())?;
+                println!("[{}]", net.name);
+                println!(
+                    "{:<7} {:>14} {:>14} {:>9}",
+                    "nodes", "baseline ms", "gradpim ms", "speedup"
+                );
+                for r in &rows {
+                    println!(
+                        "{:<7} {:>14.3} {:>14.3} {:>8.2}x",
+                        r.nodes,
+                        r.baseline.total_ns() / 1e6,
+                        r.gradpim.total_ns() / 1e6,
+                        r.speedup()
+                    );
+                }
+            }
+        }
+        "list" => {
+            println!("experiments:");
+            for (name, what) in EXPERIMENTS {
+                println!("  {name:<8} {what}");
+            }
+            println!("networks:");
+            for n in models::all_networks() {
+                println!("  {} ({} layers, batch {})", n.name, n.layers.len(), n.default_batch);
+            }
+        }
+        other => return Err(format!("unknown experiment `{other}`\n\n{}", usage())),
+    }
+    println!("done in {:.2}s", t0.elapsed().as_secs_f64());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("gradpim-cli: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

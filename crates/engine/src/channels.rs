@@ -1,0 +1,218 @@
+//! Threaded multi-channel stepping for [`MemorySystem`].
+//!
+//! DRAM channels share no state: each [`Controller`] evolves as a pure
+//! function of its own queues and clock. The event-driven core's invariant
+//! (every cycle strictly before [`Controller::next_event_cycle`] is a
+//! provably no-op tick) means a channel's state at any clock is independent
+//! of *which schedule* stepped it there — per-cycle, event-driven, or the
+//! lockstep mixture [`MemorySystem::drain`] uses where every channel ticks
+//! at the union of all channels' event cycles.
+//!
+//! [`par_drain`] exploits both facts. Phase 1 drains every channel
+//! **independently on its own worker thread**, each advancing along its own
+//! event schedule and recording the cycle at which it drains. Phase 2
+//! agrees on the global finish cycle — the maximum of the per-channel
+//! drain cycles, which is exactly where the sequential lockstep loop stops
+//! — and runs every channel forward to it (idle evolution: refresh,
+//! power-down). The result is **bit-identical** to
+//! [`MemorySystem::drain`]: same stats, same completions, same traces, same
+//! return value; only the wall-clock differs. The differential proptests in
+//! `tests/proptests.rs` pin this equivalence.
+
+use gradpim_dram::{Controller, MemError, MemorySystem};
+
+/// Outcome of one channel's independent drain.
+struct ChannelDrain {
+    /// Did the channel drain before the deadline?
+    drained: bool,
+    /// Clock at which it drained (or the deadline).
+    at: u64,
+}
+
+/// Drains one channel along its own event schedule, mirroring the
+/// per-channel effect of [`MemorySystem::drain`]'s lockstep loop (advance
+/// to the next event capped at `deadline`, tick there, stop the moment the
+/// channel is drained or the deadline is reached).
+fn drain_channel(c: &mut Controller, deadline: u64) -> ChannelDrain {
+    while !c.is_drained() {
+        if c.cycles() >= deadline {
+            return ChannelDrain { drained: false, at: c.cycles() };
+        }
+        c.advance_to(c.next_event_cycle().min(deadline));
+        if c.is_drained() {
+            break;
+        }
+        if c.cycles() < deadline {
+            c.tick();
+        }
+    }
+    ChannelDrain { drained: true, at: c.cycles() }
+}
+
+/// Applies `f` to every controller, fanned across up to `threads` scoped
+/// workers (contiguous chunks, so results stay in channel order).
+fn for_each_channel<R: Send>(
+    ctrls: &mut [Controller],
+    threads: usize,
+    f: impl Fn(&mut Controller) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads.min(ctrls.len()).max(1);
+    let chunk = ctrls.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ctrls
+            .chunks_mut(chunk)
+            .map(|part| s.spawn(|| part.iter_mut().map(&f).collect::<Vec<R>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("channel worker panicked")).collect()
+    })
+}
+
+/// Runs every channel of `mem` to drain on its own worker thread,
+/// bit-identical to [`MemorySystem::drain`] (which it falls back to for
+/// `threads <= 1` or single-channel systems).
+///
+/// # Errors
+///
+/// [`MemError::DrainTimeout`] if work remains after `max_cycles`, exactly
+/// as the sequential path reports it (every channel left at the deadline
+/// cycle, `pending` summed across channels).
+pub fn par_drain(mem: &mut MemorySystem, max_cycles: u64, threads: usize) -> Result<u64, MemError> {
+    if threads <= 1 || mem.config().channels <= 1 {
+        return mem.drain(max_cycles);
+    }
+    let start = mem.cycles();
+    let deadline = start.saturating_add(max_cycles);
+    // Sequential drain errors out *before* stepping anything when called at
+    // or past its deadline with work outstanding.
+    if start >= deadline && !mem.is_drained() {
+        return Err(MemError::DrainTimeout { pending: mem.pending() });
+    }
+    let ctrls = mem.controllers_mut();
+    // Phase 1: independent per-channel drains.
+    let outcomes = for_each_channel(ctrls, threads, |c| drain_channel(c, deadline));
+    // Phase 2: agree on the global finish cycle — where the lockstep loop
+    // would have stopped — and bring every channel there (idle evolution:
+    // refresh windows, power-down residency).
+    let all_drained = outcomes.iter().all(|o| o.drained);
+    let target =
+        if all_drained { outcomes.iter().map(|o| o.at).max().unwrap_or(start) } else { deadline };
+    for_each_channel(ctrls, threads, |c| c.run_until(target));
+    if all_drained {
+        Ok(target - start)
+    } else {
+        Err(MemError::DrainTimeout { pending: mem.pending() })
+    }
+}
+
+/// Runs every channel of `mem` to exactly `cycle` on its own worker thread
+/// (no overshoot), bit-identical to [`MemorySystem::run_until`]. Falls back
+/// to the sequential path for `threads <= 1` or single-channel systems.
+pub fn par_run_until(mem: &mut MemorySystem, cycle: u64, threads: usize) {
+    if threads <= 1 || mem.config().channels <= 1 {
+        mem.run_until(cycle);
+        return;
+    }
+    for_each_channel(mem.controllers_mut(), threads, |c| c.run_until(cycle));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradpim_dram::{AddressMapping, DramConfig, PimOp};
+
+    fn two_channel_cfg() -> DramConfig {
+        let mut cfg = DramConfig::ddr4_2133();
+        cfg.channels = 2;
+        cfg.powerdown_idle = 32;
+        cfg
+    }
+
+    fn loaded(cfg: &DramConfig) -> MemorySystem {
+        let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+        mem.enable_trace();
+        for i in 0..256u64 {
+            loop {
+                match mem.enqueue_read(i * 64) {
+                    Ok(_) => break,
+                    Err(MemError::QueueFull) => mem.tick(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        for i in 0..64u64 {
+            loop {
+                match mem.enqueue_write((1 << 24) + i * 64, None) {
+                    Ok(_) => break,
+                    Err(MemError::QueueFull) => mem.tick(),
+                    Err(e) => panic!("{e}"),
+                }
+            }
+        }
+        mem.enqueue_pim(0, 0, 1, PimOp::ScaledRead { bank: 0, row: 0, col: 0, scaler: 0, dst: 0 })
+            .unwrap();
+        mem.enqueue_pim(1, 1, 2, PimOp::ScaledRead { bank: 0, row: 0, col: 3, scaler: 1, dst: 0 })
+            .unwrap();
+        mem
+    }
+
+    #[test]
+    fn par_drain_matches_sequential_drain() {
+        let cfg = two_channel_cfg();
+        let mut seq = loaded(&cfg);
+        let mut par = loaded(&cfg);
+        let cs = seq.drain(1_000_000).unwrap();
+        let cp = par_drain(&mut par, 1_000_000, 4).unwrap();
+        assert_eq!(cs, cp, "drain cycle counts diverge");
+        assert_eq!(seq.cycles(), par.cycles());
+        assert_eq!(seq.stats(), par.stats());
+        assert_eq!(seq.take_completions(), par.take_completions());
+        assert_eq!(seq.take_traces(), par.take_traces());
+    }
+
+    #[test]
+    fn par_drain_timeout_matches_sequential() {
+        let cfg = two_channel_cfg();
+        let mut seq = loaded(&cfg);
+        let mut par = loaded(&cfg);
+        let es = seq.drain(100).unwrap_err();
+        let ep = par_drain(&mut par, 100, 4).unwrap_err();
+        assert_eq!(es, ep, "timeout errors diverge");
+        assert_eq!(seq.cycles(), par.cycles());
+        assert_eq!(seq.stats(), par.stats());
+        // Both are resumable and still agree after a second, generous drain.
+        let cs = seq.drain(1_000_000).unwrap();
+        let cp = par_drain(&mut par, 1_000_000, 2).unwrap();
+        assert_eq!(cs, cp);
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn par_run_until_matches_sequential_idle() {
+        let cfg = two_channel_cfg();
+        let mut seq = loaded(&cfg);
+        let mut par = loaded(&cfg);
+        seq.drain(1_000_000).unwrap();
+        par_drain(&mut par, 1_000_000, 2).unwrap();
+        // Idle across a refresh window on both paths.
+        let target = seq.cycles() + cfg.trefi + 2 * cfg.trfc + 7;
+        seq.run_until(target);
+        par_run_until(&mut par, target, 2);
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn single_channel_falls_back_to_sequential() {
+        let cfg = DramConfig::ddr4_2133();
+        let mut mem = MemorySystem::new(cfg, AddressMapping::GradPim);
+        mem.enqueue_read(0).unwrap();
+        par_drain(&mut mem, 100_000, 8).unwrap();
+        assert!(mem.is_drained());
+    }
+
+    #[test]
+    fn already_drained_is_a_cheap_noop() {
+        let cfg = two_channel_cfg();
+        let mut mem = MemorySystem::new(cfg, AddressMapping::GradPim);
+        assert_eq!(par_drain(&mut mem, 1000, 4).unwrap(), 0);
+    }
+}

@@ -1,0 +1,157 @@
+//! The parallel execution engine: threaded multi-channel DRAM stepping, a
+//! work-distributing sweep scheduler, and the plumbing behind the
+//! `gradpim-cli` experiment runner.
+//!
+//! GradPIM's evaluation is embarrassingly parallel at two levels, and this
+//! crate exploits both without changing a single simulated bit:
+//!
+//! * **Within one simulation** — DRAM channels share no state and, on the
+//!   event-driven core, only need to agree on a final cycle. The
+//!   [`channels`] module drains each channel's `Controller` on its own
+//!   `std::thread::scope` worker ([`channels::par_drain`]), bit-identical
+//!   to the sequential [`gradpim_dram::MemorySystem::drain`].
+//! * **Across simulations** — sweep and experiment points (Fig. 12a–d,
+//!   13, 14) are independent. The [`pool`] module fans them over a worker
+//!   pool with deterministic, input-ordered result collection and
+//!   input-order-first error propagation; [`sweeps`] wires the
+//!   `gradpim_sim` spec enumerations through it.
+//!
+//! [`Engine`] carries the one knob — the worker count — resolved from
+//! `GRADPIM_THREADS` (falling back to the machine's available
+//! parallelism). `GRADPIM_THREADS=1` runs everything inline on the calling
+//! thread, preserving the classic sequential behavior exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use gradpim_engine::{sweeps, Engine};
+//! use gradpim_workloads::models;
+//!
+//! let engine = Engine::new(2);
+//! let nets = [models::mlp()];
+//! let quick = Some((1500, 20_000)); // doc-sized traffic caps
+//! let points = sweeps::batch_sweep(&nets, quick, &engine)?;
+//! // Same points, same order, as the sequential sweep.
+//! assert_eq!(points, gradpim_sim::sweeps::batch_sweep(&nets, quick)?);
+//! # Ok::<(), gradpim_sim::PhaseError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channels;
+pub mod pool;
+pub mod sweeps;
+
+use gradpim_dram::{MemError, MemorySystem};
+
+/// The parallel execution engine: a worker-count policy shared by the
+/// channel-threaded stepping and the sweep scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Engine {
+    threads: usize,
+}
+
+impl Engine {
+    /// An engine with exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// A single-threaded engine: every job runs inline on the calling
+    /// thread, in order — the classic sequential behavior.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+
+    /// Resolves the worker count from the environment: `GRADPIM_THREADS`
+    /// if set to an integer (`0` clamps to 1, i.e. sequential), otherwise
+    /// the machine's available parallelism. A set-but-malformed value
+    /// falls back to available parallelism with a diagnostic on stderr, so
+    /// a typo never silently changes the worker count.
+    pub fn from_env() -> Self {
+        let var = std::env::var("GRADPIM_THREADS").ok();
+        if let Some(v) = var.as_deref() {
+            if v.parse::<usize>().is_err() {
+                eprintln!(
+                    "gradpim-engine: ignoring malformed GRADPIM_THREADS={v:?} \
+                     (want an integer); using available parallelism"
+                );
+            }
+        }
+        Self::new(threads_from(var.as_deref()))
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Fans `jobs` over the worker pool (see [`pool::run_ordered`]):
+    /// results come back in input order, and the lowest-indexed failing
+    /// job's error wins — both independent of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job.
+    pub fn run<T, R, E, F>(&self, jobs: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        pool::run_ordered(self.threads, jobs, f)
+    }
+
+    /// Drains `mem` with one worker per channel (see
+    /// [`channels::par_drain`]), bit-identical to
+    /// [`MemorySystem::drain`].
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::DrainTimeout`] if work remains after `max_cycles`.
+    pub fn drain(&self, mem: &mut MemorySystem, max_cycles: u64) -> Result<u64, MemError> {
+        channels::par_drain(mem, max_cycles, self.threads)
+    }
+
+    /// Runs `mem` to exactly `cycle` with one worker per channel (see
+    /// [`channels::par_run_until`]).
+    pub fn run_until(&self, mem: &mut MemorySystem, cycle: u64) {
+        channels::par_run_until(mem, cycle, self.threads)
+    }
+}
+
+/// `GRADPIM_THREADS` parsing: integers are taken verbatim, with `0`
+/// clamped to 1 (sequential) exactly like [`Engine::new`]; anything else
+/// (unset, junk) falls back to available parallelism.
+fn threads_from(var: Option<&str>) -> usize {
+    match var.and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) => n.max(1),
+        None => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_parsing() {
+        assert_eq!(threads_from(Some("4")), 4);
+        assert_eq!(threads_from(Some("1")), 1);
+        // 0 means sequential, matching Engine::new's clamp.
+        assert_eq!(threads_from(Some("0")), 1);
+        let auto = threads_from(None);
+        assert!(auto >= 1);
+        assert_eq!(threads_from(Some("lots")), auto);
+        assert_eq!(threads_from(Some("-3")), auto);
+    }
+
+    #[test]
+    fn engine_clamps_to_one() {
+        assert_eq!(Engine::new(0).threads(), 1);
+        assert_eq!(Engine::sequential().threads(), 1);
+        assert_eq!(Engine::new(7).threads(), 7);
+    }
+}

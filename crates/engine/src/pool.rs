@@ -1,0 +1,177 @@
+//! A dependency-free scoped worker pool with deterministic result order.
+//!
+//! [`run_ordered`] fans a slice of independent jobs across
+//! `std::thread::scope` workers pulling from a shared atomic cursor, and
+//! collects results **in input order** regardless of which worker finished
+//! which job when. Error semantics are deterministic too: the error of the
+//! *lowest-indexed* failing job is returned — exactly the error a
+//! sequential left-to-right executor would have stopped on (later jobs
+//! have no observable side effects, so whether they ran is invisible).
+//! Once a failure is observed, jobs with a *higher* index are skipped
+//! (they can never out-rank it), so a sweep that fails early does not burn
+//! minutes simulating points whose results will be discarded; jobs below
+//! the failure watermark always run, keeping the returned error identical
+//! under any schedule.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Runs `f` over every job on up to `threads` scoped workers and returns
+/// the results in input order.
+///
+/// With `threads <= 1` (or fewer than two jobs) the jobs run inline on the
+/// caller's thread, sequentially and in order, with fail-fast error
+/// propagation — byte-for-byte today's single-threaded behavior.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing job (identical to what a
+/// sequential in-order executor returns).
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope joins all workers first).
+pub fn run_ordered<T, R, E, F>(threads: usize, jobs: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    if threads <= 1 || jobs.len() <= 1 {
+        return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    // Lowest failing index observed so far; only ever decreases. Jobs above
+    // it are skipped (their outcome could never be the returned error), so
+    // every slot below the final watermark is guaranteed to hold an Ok.
+    let failed = AtomicUsize::new(usize::MAX);
+    let slots: Vec<Mutex<Option<Result<R, E>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(jobs.len()) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if i > failed.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let res = f(i, job);
+                if res.is_err() {
+                    failed.fetch_min(i, Ordering::Relaxed);
+                }
+                *slots[i].lock().expect("result slot poisoned") = Some(res);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(jobs.len());
+    for slot in slots {
+        match slot.into_inner().expect("result slot poisoned") {
+            Some(Ok(r)) => out.push(r),
+            Some(Err(e)) => return Err(e),
+            // A skipped job: only possible past the lowest failing index,
+            // whose own slot holds Some(Err) and is reached first.
+            None => unreachable!("empty result slot before the first error"),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let jobs: Vec<usize> = (0..40).collect();
+        // Deliberately uneven job times so completion order scrambles.
+        let out: Vec<usize> = run_ordered(4, &jobs, |i, &j| {
+            if j % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert_eq!(i, j);
+            Ok::<_, ()>(j * 10)
+        })
+        .unwrap();
+        assert_eq!(out, (0..40).map(|j| j * 10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_error_in_input_order_wins() {
+        let jobs: Vec<usize> = (0..32).collect();
+        // Jobs 5 and 20 fail; the input-order-first error (5) must be
+        // returned no matter which worker hits which first.
+        for threads in [1usize, 3, 8] {
+            let err = run_ordered(threads, &jobs, |_, &j| {
+                if j == 5 || j == 20 {
+                    Err(format!("job {j} failed"))
+                } else {
+                    Ok(j)
+                }
+            })
+            .unwrap_err();
+            assert_eq!(err, "job 5 failed", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn failure_cancels_higher_indexed_jobs() {
+        // Job 0 fails immediately; the remaining jobs are slow. Once the
+        // failure watermark is set, the tail must be skipped rather than
+        // simulated to completion. Determinism still demands the job-0
+        // error back.
+        let jobs: Vec<usize> = (0..2000).collect();
+        let ran = AtomicU32::new(0);
+        let err = run_ordered(2, &jobs, |_, &j| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if j == 0 {
+                Err("job 0 failed")
+            } else {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+                Ok(j)
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "job 0 failed");
+        // Jobs in flight when the watermark dropped may have run, but the
+        // vast majority of the tail must have been skipped.
+        assert!(
+            ran.load(Ordering::Relaxed) < jobs.len() as u32 / 2,
+            "ran {} of {} jobs after an early failure",
+            ran.load(Ordering::Relaxed),
+            jobs.len()
+        );
+    }
+
+    #[test]
+    fn sequential_fallback_is_fail_fast() {
+        let ran = AtomicU32::new(0);
+        let jobs: Vec<usize> = (0..10).collect();
+        let err = run_ordered(1, &jobs, |_, &j| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            if j == 3 {
+                Err("boom")
+            } else {
+                Ok(())
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err, "boom");
+        // Inline mode stops at the failing job, like today's sweep loops.
+        assert_eq!(ran.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn more_threads_than_jobs_is_fine() {
+        let jobs = [1u64, 2];
+        let out = run_ordered(16, &jobs, |_, &j| Ok::<_, ()>(j + 1)).unwrap();
+        assert_eq!(out, vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_jobs_yield_empty_results() {
+        let jobs: [u8; 0] = [];
+        let out: Vec<u8> = run_ordered(4, &jobs, |_, &j| Ok::<_, ()>(j)).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Parallel fronts for the `gradpim_sim` sweeps and experiments.
+//!
+//! Each function enumerates the same specs as its sequential counterpart
+//! in `gradpim_sim::sweeps` / `gradpim_sim::distributed`, fans them across
+//! the [`Engine`]'s worker pool, and returns **exactly the same points in
+//! exactly the same order** — sweep points share no state, so per-point
+//! arithmetic is unchanged and only the wall clock shrinks. With a
+//! sequential engine ([`Engine::sequential`] / `GRADPIM_THREADS=1`) the
+//! calls are byte-for-byte the classic sequential sweeps.
+
+use gradpim_sim::distributed::{scaling_specs, DistReport, DistSpec};
+use gradpim_sim::sweeps::{
+    batch_specs, layer_specs, ops_bandwidth_specs, precision_specs, BatchPoint, BatchSpec,
+    LayerPoint, LayerSpec, OpsBwPoint, OpsBwSpec, PrecisionPoint, PrecisionSpec, QuickCaps,
+};
+use gradpim_sim::{Design, PhaseError, SystemConfig, TrainingReport, TrainingSim};
+use gradpim_workloads::Network;
+
+use crate::Engine;
+
+/// Fig. 12a in parallel: speedup vs ops/bandwidth ratio.
+///
+/// # Errors
+///
+/// The first (input-order) [`PhaseError`] from any simulated point.
+pub fn ops_bandwidth_sweep(
+    net: &Network,
+    quick: QuickCaps,
+    engine: &Engine,
+) -> Result<Vec<OpsBwPoint>, PhaseError> {
+    engine.run(&ops_bandwidth_specs(net, quick), |_, s: &OpsBwSpec| s.run())
+}
+
+/// Fig. 12b in parallel: speedup vs minibatch size.
+///
+/// # Errors
+///
+/// The first (input-order) [`PhaseError`] from any simulated point.
+pub fn batch_sweep(
+    nets: &[Network],
+    quick: QuickCaps,
+    engine: &Engine,
+) -> Result<Vec<BatchPoint>, PhaseError> {
+    engine.run(&batch_specs(nets, quick), |_, s: &BatchSpec| s.run())
+}
+
+/// Fig. 12c/d in parallel: speedup and energy vs precision mix.
+///
+/// # Errors
+///
+/// The first (input-order) [`PhaseError`] from any simulated point.
+pub fn precision_sweep(
+    nets: &[Network],
+    quick: QuickCaps,
+    engine: &Engine,
+) -> Result<Vec<PrecisionPoint>, PhaseError> {
+    engine.run(&precision_specs(nets, quick), |_, s: &PrecisionSpec| s.run())
+}
+
+/// Fig. 13 in parallel: per-layer speedup scatter.
+///
+/// # Errors
+///
+/// The first (input-order) [`PhaseError`] from any simulated point.
+pub fn layer_scatter(
+    nets: &[Network],
+    quick: QuickCaps,
+    engine: &Engine,
+) -> Result<Vec<LayerPoint>, PhaseError> {
+    engine.run(&layer_specs(nets, quick), |_, s: &LayerSpec| s.run())
+}
+
+/// One row of the Fig. 9 design-space table: a network simulated on one
+/// design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// The simulated design.
+    pub design: Design,
+    /// Full per-block training report.
+    pub report: TrainingReport,
+}
+
+/// Fig. 9 in parallel: every (network × design) training step, in
+/// network-major order.
+///
+/// # Errors
+///
+/// The first (input-order) [`PhaseError`] from any simulated point.
+pub fn design_space(
+    nets: &[Network],
+    designs: &[Design],
+    quick: QuickCaps,
+    engine: &Engine,
+) -> Result<Vec<DesignPoint>, PhaseError> {
+    let jobs: Vec<(SystemConfig, Network)> = nets
+        .iter()
+        .flat_map(|net| {
+            designs.iter().map(move |&d| {
+                let mut cfg = SystemConfig::new(d);
+                cfg.apply_quick(quick);
+                (cfg, net.clone())
+            })
+        })
+        .collect();
+    engine.run(&jobs, |_, (cfg, net)| {
+        Ok(DesignPoint { design: cfg.design, report: TrainingSim::new(cfg.clone()).run(net)? })
+    })
+}
+
+/// One row of a Fig. 14-style node-scaling study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalingRow {
+    /// Data-parallel node count.
+    pub nodes: usize,
+    /// Baseline distributed step.
+    pub baseline: DistReport,
+    /// GradPIM-BD distributed step.
+    pub gradpim: DistReport,
+}
+
+impl ScalingRow {
+    /// Whole-step speedup of GradPIM-BD over the baseline at this node
+    /// count.
+    pub fn speedup(&self) -> f64 {
+        self.baseline.total_ns() / self.gradpim.total_ns()
+    }
+}
+
+/// Fig. 14 in parallel: distributed-training scaling across `node_counts`,
+/// baseline vs GradPIM-BD per row.
+///
+/// # Errors
+///
+/// The first (input-order) [`PhaseError`] from any simulated point.
+pub fn distributed_scaling(
+    net: &Network,
+    node_counts: &[usize],
+    quick: QuickCaps,
+    engine: &Engine,
+) -> Result<Vec<ScalingRow>, PhaseError> {
+    let specs = scaling_specs(net, node_counts, quick);
+    let reports = engine.run(&specs, |_, s: &DistSpec| s.run())?;
+    // scaling_specs emits (baseline, gradpim) pairs per node count.
+    Ok(node_counts
+        .iter()
+        .zip(reports.chunks_exact(2))
+        .map(|(&nodes, pair)| ScalingRow { nodes, baseline: pair[0], gradpim: pair[1] })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradpim_workloads::models;
+
+    const QUICK: QuickCaps = Some((1500, 20_000));
+
+    #[test]
+    fn parallel_batch_sweep_is_bit_identical_to_sequential() {
+        let nets = [models::mlp()];
+        let seq = gradpim_sim::sweeps::batch_sweep(&nets, QUICK).unwrap();
+        let par = batch_sweep(&nets, QUICK, &Engine::new(3)).unwrap();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn design_space_orders_network_major() {
+        let nets = [models::mlp()];
+        let designs = [Design::Baseline, Design::GradPimBuffered];
+        let pts = design_space(&nets, &designs, QUICK, &Engine::new(2)).unwrap();
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].design, Design::Baseline);
+        assert_eq!(pts[1].design, Design::GradPimBuffered);
+        assert!(pts[0].report.total_time_ns() > pts[1].report.total_time_ns());
+    }
+
+    #[test]
+    fn distributed_scaling_rows_pair_up() {
+        let net = models::mlp();
+        let rows = distributed_scaling(&net, &[2, 4], QUICK, &Engine::new(2)).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].nodes, 2);
+        assert_eq!(rows[1].nodes, 4);
+        for r in &rows {
+            assert!(r.speedup() > 1.0, "nodes={} speedup {}", r.nodes, r.speedup());
+        }
+    }
+}

@@ -122,6 +122,17 @@ impl SystemConfig {
         }
     }
 
+    /// Applies sweep-style quick caps: `Some((bursts, params))` overrides
+    /// the traffic-scaling caps, `None` keeps the defaults. The one place
+    /// the `(bursts, params)` convention of [`crate::sweeps::QuickCaps`]
+    /// is interpreted.
+    pub fn apply_quick(&mut self, quick: Option<(u64, usize)>) {
+        if let Some((bursts, params)) = quick {
+            self.max_sim_bursts = bursts;
+            self.max_sim_params = params;
+        }
+    }
+
     /// The DRAM configuration with the design's interface model applied.
     pub fn dram(&self) -> DramConfig {
         let mut c = self.base_dram.clone();

@@ -34,7 +34,7 @@ pub mod sweeps;
 pub mod train;
 
 pub use config::{Design, SystemConfig};
-pub use distributed::{distributed_step, DistConfig, DistReport};
+pub use distributed::{distributed_step, DistConfig, DistReport, DistSpec};
 pub use functional::{synthetic_dataset, PimTrainer};
 pub use phase::{PhaseError, PhaseResult};
 pub use train::{speedup_over_baseline, BlockReport, TrainingReport, TrainingSim};

@@ -1,4 +1,16 @@
 //! Parameter sweeps for the sensitivity studies (Fig. 12a–d, Fig. 13).
+//!
+//! Every sweep is split into two layers so the execution strategy is
+//! pluggable:
+//!
+//! * a **spec builder** (`*_specs`) enumerates the sweep's independent
+//!   simulation points in figure order, and
+//! * each spec's [`run`](OpsBwSpec::run) method simulates exactly one point.
+//!
+//! The classic sequential entry points (`ops_bandwidth_sweep` & friends)
+//! simply map `run` over the specs in order. The `gradpim-engine` crate
+//! fans the same specs across a worker pool instead — sweep points share no
+//! state, so any schedule produces bit-identical points.
 
 use gradpim_dram::DramConfig;
 use gradpim_npu::NpuConfig;
@@ -8,6 +20,19 @@ use gradpim_workloads::{Layer, Network};
 use crate::config::{Design, SystemConfig};
 use crate::phase::PhaseError;
 use crate::train::TrainingSim;
+
+/// Traffic-scaling caps shared by every sweep: `Some((bursts, params))`
+/// overrides `max_sim_bursts` / `max_sim_params` on each simulated system.
+pub type QuickCaps = Option<(u64, usize)>;
+
+/// A (baseline, PIM) system pair for one sweep point.
+fn design_pair(quick: QuickCaps) -> (SystemConfig, SystemConfig) {
+    let mut base = SystemConfig::new(Design::Baseline);
+    let mut pim = SystemConfig::new(Design::GradPimBuffered);
+    base.apply_quick(quick);
+    pim.apply_quick(quick);
+    (base, pim)
+}
 
 /// One point of the Fig. 12a ops/bandwidth sweep.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +47,49 @@ pub struct OpsBwPoint {
     pub speedup_pct: f64,
 }
 
+/// One independent simulation job of the Fig. 12a sweep.
+#[derive(Debug, Clone)]
+pub struct OpsBwSpec {
+    base: SystemConfig,
+    pim: SystemConfig,
+    net: Network,
+}
+
+impl OpsBwSpec {
+    /// Simulates this point (a baseline and a GradPIM-BD training step).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PhaseError`] from either simulation.
+    pub fn run(&self) -> Result<OpsBwPoint, PhaseError> {
+        let tb = TrainingSim::new(self.base.clone()).run(&self.net)?;
+        let tp = TrainingSim::new(self.pim.clone()).run(&self.net)?;
+        Ok(OpsBwPoint {
+            memory: self.base.base_dram.name.clone(),
+            mac_dim: self.base.npu.mac_dim,
+            ops_per_byte: self.base.npu.ops_per_byte(self.base.base_dram.peak_external_bw()),
+            speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+        })
+    }
+}
+
+/// Enumerates the Fig. 12a sweep points in figure order: MAC-array sizes
+/// over memory presets (the paper uses AlphaGoZero).
+pub fn ops_bandwidth_specs(net: &Network, quick: QuickCaps) -> Vec<OpsBwSpec> {
+    let mut out = Vec::new();
+    for dram in [DramConfig::ddr4_2133(), DramConfig::ddr4_3200(), DramConfig::hbm2_like()] {
+        for mac_dim in [64usize, 128, 256, 512] {
+            let (mut base, mut pim) = design_pair(quick);
+            for c in [&mut base, &mut pim] {
+                c.base_dram = dram.clone();
+                c.npu = NpuConfig::with_mac_dim(mac_dim);
+            }
+            out.push(OpsBwSpec { base, pim, net: net.clone() });
+        }
+    }
+    out
+}
+
 /// Fig. 12a: speedup sensitivity to the operations/bandwidth ratio,
 /// sweeping MAC-array sizes over memory presets (the paper uses
 /// AlphaGoZero).
@@ -29,34 +97,8 @@ pub struct OpsBwPoint {
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
-pub fn ops_bandwidth_sweep(
-    net: &Network,
-    quick: Option<(u64, usize)>,
-) -> Result<Vec<OpsBwPoint>, PhaseError> {
-    let mut out = Vec::new();
-    for dram in [DramConfig::ddr4_2133(), DramConfig::ddr4_3200(), DramConfig::hbm2_like()] {
-        for mac_dim in [64usize, 128, 256, 512] {
-            let mut base = SystemConfig::new(Design::Baseline);
-            let mut pim = SystemConfig::new(Design::GradPimBuffered);
-            for c in [&mut base, &mut pim] {
-                c.base_dram = dram.clone();
-                c.npu = NpuConfig::with_mac_dim(mac_dim);
-                if let Some((bursts, params)) = quick {
-                    c.max_sim_bursts = bursts;
-                    c.max_sim_params = params;
-                }
-            }
-            let tb = TrainingSim::new(base.clone()).run(net)?;
-            let tp = TrainingSim::new(pim).run(net)?;
-            out.push(OpsBwPoint {
-                memory: dram.name.clone(),
-                mac_dim,
-                ops_per_byte: base.npu.ops_per_byte(dram.peak_external_bw()),
-                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
-            });
-        }
-    }
-    Ok(out)
+pub fn ops_bandwidth_sweep(net: &Network, quick: QuickCaps) -> Result<Vec<OpsBwPoint>, PhaseError> {
+    ops_bandwidth_specs(net, quick).iter().map(OpsBwSpec::run).collect()
 }
 
 /// One row of the Fig. 12b minibatch sweep.
@@ -70,37 +112,53 @@ pub struct BatchPoint {
     pub speedup_pct: f64,
 }
 
+/// One independent simulation job of the Fig. 12b sweep.
+#[derive(Debug, Clone)]
+pub struct BatchSpec {
+    base: SystemConfig,
+    pim: SystemConfig,
+    net: Network,
+}
+
+impl BatchSpec {
+    /// Simulates this point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PhaseError`] from either simulation.
+    pub fn run(&self) -> Result<BatchPoint, PhaseError> {
+        let tb = TrainingSim::new(self.base.clone()).run(&self.net)?;
+        let tp = TrainingSim::new(self.pim.clone()).run(&self.net)?;
+        Ok(BatchPoint {
+            network: self.net.name.clone(),
+            batch: self.base.batch.expect("batch sweep sets an explicit batch"),
+            speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+        })
+    }
+}
+
+/// Enumerates the Fig. 12b sweep points (batch 16/32/64 per network).
+pub fn batch_specs(nets: &[Network], quick: QuickCaps) -> Vec<BatchSpec> {
+    let mut out = Vec::new();
+    for net in nets {
+        for batch in [16usize, 32, 64] {
+            let (mut base, mut pim) = design_pair(quick);
+            for c in [&mut base, &mut pim] {
+                c.batch = Some(batch);
+            }
+            out.push(BatchSpec { base, pim, net: net.clone() });
+        }
+    }
+    out
+}
+
 /// Fig. 12b: speedup vs minibatch size (16/32/64).
 ///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
-pub fn batch_sweep(
-    nets: &[Network],
-    quick: Option<(u64, usize)>,
-) -> Result<Vec<BatchPoint>, PhaseError> {
-    let mut out = Vec::new();
-    for net in nets {
-        for batch in [16usize, 32, 64] {
-            let mut base = SystemConfig::new(Design::Baseline);
-            let mut pim = SystemConfig::new(Design::GradPimBuffered);
-            for c in [&mut base, &mut pim] {
-                c.batch = Some(batch);
-                if let Some((bursts, params)) = quick {
-                    c.max_sim_bursts = bursts;
-                    c.max_sim_params = params;
-                }
-            }
-            let tb = TrainingSim::new(base).run(net)?;
-            let tp = TrainingSim::new(pim).run(net)?;
-            out.push(BatchPoint {
-                network: net.name.clone(),
-                batch,
-                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
-            });
-        }
-    }
-    Ok(out)
+pub fn batch_sweep(nets: &[Network], quick: QuickCaps) -> Result<Vec<BatchPoint>, PhaseError> {
+    batch_specs(nets, quick).iter().map(BatchSpec::run).collect()
 }
 
 /// One row of the Fig. 12c/d precision sweep.
@@ -116,6 +174,47 @@ pub struct PrecisionPoint {
     pub energy_pct: f64,
 }
 
+/// One independent simulation job of the Fig. 12c/d sweep.
+#[derive(Debug, Clone)]
+pub struct PrecisionSpec {
+    base: SystemConfig,
+    pim: SystemConfig,
+    net: Network,
+}
+
+impl PrecisionSpec {
+    /// Simulates this point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PhaseError`] from either simulation.
+    pub fn run(&self) -> Result<PrecisionPoint, PhaseError> {
+        let tb = TrainingSim::new(self.base.clone()).run(&self.net)?;
+        let tp = TrainingSim::new(self.pim.clone()).run(&self.net)?;
+        Ok(PrecisionPoint {
+            network: self.net.name.clone(),
+            mix: self.base.mix,
+            speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+            energy_pct: tp.energy().total_pj() / tb.energy().total_pj() * 100.0,
+        })
+    }
+}
+
+/// Enumerates the Fig. 12c/d sweep points (every precision mix per network).
+pub fn precision_specs(nets: &[Network], quick: QuickCaps) -> Vec<PrecisionSpec> {
+    let mut out = Vec::new();
+    for net in nets {
+        for mix in PrecisionMix::ALL {
+            let (mut base, mut pim) = design_pair(quick);
+            for c in [&mut base, &mut pim] {
+                c.mix = mix;
+            }
+            out.push(PrecisionSpec { base, pim, net: net.clone() });
+        }
+    }
+    out
+}
+
 /// Fig. 12c/d: speedup and energy vs precision mix, each relative to the
 /// no-PIM baseline *at the same precision* (the paper's definition).
 ///
@@ -124,31 +223,9 @@ pub struct PrecisionPoint {
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn precision_sweep(
     nets: &[Network],
-    quick: Option<(u64, usize)>,
+    quick: QuickCaps,
 ) -> Result<Vec<PrecisionPoint>, PhaseError> {
-    let mut out = Vec::new();
-    for net in nets {
-        for mix in PrecisionMix::ALL {
-            let mut base = SystemConfig::new(Design::Baseline);
-            let mut pim = SystemConfig::new(Design::GradPimBuffered);
-            for c in [&mut base, &mut pim] {
-                c.mix = mix;
-                if let Some((bursts, params)) = quick {
-                    c.max_sim_bursts = bursts;
-                    c.max_sim_params = params;
-                }
-            }
-            let tb = TrainingSim::new(base).run(net)?;
-            let tp = TrainingSim::new(pim).run(net)?;
-            out.push(PrecisionPoint {
-                network: net.name.clone(),
-                mix,
-                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
-                energy_pct: tp.energy().total_pj() / tb.energy().total_pj() * 100.0,
-            });
-        }
-    }
-    Ok(out)
+    precision_specs(nets, quick).iter().map(PrecisionSpec::run).collect()
 }
 
 /// One point of the Fig. 13 layer-characterization scatter.
@@ -164,16 +241,39 @@ pub struct LayerPoint {
     pub speedup_pct: f64,
 }
 
-/// Fig. 13: per-layer speedup vs weight/activation ratio. Each layer is
-/// simulated as its own single-layer "network".
-///
-/// # Errors
-///
-/// Propagates the first [`PhaseError`] from any simulated point.
-pub fn layer_scatter(
-    nets: &[Network],
-    quick: Option<(u64, usize)>,
-) -> Result<Vec<LayerPoint>, PhaseError> {
+/// One independent simulation job of the Fig. 13 scatter (a single-layer
+/// "network").
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    base: SystemConfig,
+    pim: SystemConfig,
+    network: String,
+    layer: String,
+    ratio: f64,
+    single: Network,
+}
+
+impl LayerSpec {
+    /// Simulates this point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PhaseError`] from either simulation.
+    pub fn run(&self) -> Result<LayerPoint, PhaseError> {
+        let tb = TrainingSim::new(self.base.clone()).run(&self.single)?;
+        let tp = TrainingSim::new(self.pim.clone()).run(&self.single)?;
+        Ok(LayerPoint {
+            network: self.network.clone(),
+            layer: self.layer.clone(),
+            ratio: self.ratio,
+            speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+        })
+    }
+}
+
+/// Enumerates the Fig. 13 scatter points (every parameterized layer of
+/// every network, simulated as its own single-layer network).
+pub fn layer_specs(nets: &[Network], quick: QuickCaps) -> Vec<LayerSpec> {
     let mut out = Vec::new();
     for net in nets {
         for layer in &net.layers {
@@ -185,25 +285,28 @@ pub fn layer_scatter(
                 layers: vec![Layer::clone(layer)],
                 default_batch: net.default_batch,
             };
-            let mut base = SystemConfig::new(Design::Baseline);
-            let mut pim = SystemConfig::new(Design::GradPimBuffered);
-            for c in [&mut base, &mut pim] {
-                if let Some((bursts, params)) = quick {
-                    c.max_sim_bursts = bursts;
-                    c.max_sim_params = params;
-                }
-            }
-            let tb = TrainingSim::new(base).run(&single)?;
-            let tp = TrainingSim::new(pim).run(&single)?;
-            out.push(LayerPoint {
+            let (base, pim) = design_pair(quick);
+            out.push(LayerSpec {
+                base,
+                pim,
                 network: net.name.clone(),
                 layer: layer.name.clone(),
                 ratio: layer.weight_activation_ratio(),
-                speedup_pct: tb.total_time_ns() / tp.total_time_ns() * 100.0,
+                single,
             });
         }
     }
-    Ok(out)
+    out
+}
+
+/// Fig. 13: per-layer speedup vs weight/activation ratio. Each layer is
+/// simulated as its own single-layer "network".
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn layer_scatter(nets: &[Network], quick: QuickCaps) -> Result<Vec<LayerPoint>, PhaseError> {
+    layer_specs(nets, quick).iter().map(LayerSpec::run).collect()
 }
 
 #[cfg(test)]
@@ -211,7 +314,7 @@ mod tests {
     use super::*;
     use gradpim_workloads::models;
 
-    const QUICK: Option<(u64, usize)> = Some((1500, 20_000));
+    const QUICK: QuickCaps = Some((1500, 20_000));
 
     #[test]
     fn batch_sweep_smaller_batches_gain_more() {
@@ -250,5 +353,23 @@ mod tests {
         assert!(!lo.is_empty() && !hi.is_empty());
         let avg = |v: &[&LayerPoint]| v.iter().map(|p| p.speedup_pct).sum::<f64>() / v.len() as f64;
         assert!(avg(&hi) > avg(&lo) + 20.0, "hi {} lo {}", avg(&hi), avg(&lo));
+    }
+
+    #[test]
+    fn specs_enumerate_in_figure_order() {
+        let net = models::mlp();
+        let specs = ops_bandwidth_specs(&net, QUICK);
+        // 3 memory presets × 4 MAC dims, memory-major.
+        assert_eq!(specs.len(), 12);
+        assert_eq!(specs[0].base.base_dram.name, specs[3].base.base_dram.name);
+        assert_ne!(specs[0].base.base_dram.name, specs[4].base.base_dram.name);
+        let nets = [models::mlp(), models::resnet18()];
+        assert_eq!(batch_specs(&nets, QUICK).len(), 6);
+        assert_eq!(precision_specs(&nets, QUICK).len(), 8);
+        // Quick caps propagate to both systems of every pair.
+        for s in batch_specs(&nets, QUICK) {
+            assert_eq!(s.base.max_sim_bursts, 1500);
+            assert_eq!(s.pim.max_sim_params, 20_000);
+        }
     }
 }

@@ -15,6 +15,7 @@
 //! | [`workloads`] | `gradpim-workloads` | DNN model zoo + per-layer traffic analysis |
 //! | [`npu`] | `gradpim-npu` | Diannao-like NPU performance model |
 //! | [`sim`] | `gradpim-sim` | system co-simulation (Baseline / GradPIM-DR / GradPIM-BD / TensorDIMM / AoS / AoS-PB) |
+//! | [`engine`] | `gradpim-engine` | parallel execution engine: threaded channels, sweep scheduler, `gradpim-cli` |
 //!
 //! # Quickstart
 //!
@@ -39,6 +40,7 @@
 
 pub use gradpim_core as core;
 pub use gradpim_dram as dram;
+pub use gradpim_engine as engine;
 pub use gradpim_npu as npu;
 pub use gradpim_optim as optim;
 pub use gradpim_sim as sim;

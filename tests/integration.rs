@@ -317,3 +317,59 @@ fn adam_requires_extended_alu_device() {
     .unwrap_err();
     assert!(matches!(err, gradpim::core::GradPimError::Kernel(_)));
 }
+
+/// The parallel execution engine produces bit-identical sweep results to
+/// the sequential path, in the same order, across every sweep family —
+/// sweep points share no state, so only the wall clock may differ.
+#[test]
+fn engine_sweeps_match_sequential_exactly() {
+    use gradpim::engine::{sweeps as par, Engine};
+    use gradpim::sim::sweeps as seq;
+
+    let quick = Some((1200, 16_000));
+    let nets = [models::mlp()];
+    let engine = Engine::new(3);
+
+    assert_eq!(
+        seq::batch_sweep(&nets, quick).unwrap(),
+        par::batch_sweep(&nets, quick, &engine).unwrap()
+    );
+    assert_eq!(
+        seq::precision_sweep(&nets, quick).unwrap(),
+        par::precision_sweep(&nets, quick, &engine).unwrap()
+    );
+    assert_eq!(
+        seq::layer_scatter(&nets, quick).unwrap(),
+        par::layer_scatter(&nets, quick, &engine).unwrap()
+    );
+    // And the sequential-engine fallback is the same code path end to end.
+    assert_eq!(
+        seq::batch_sweep(&nets, quick).unwrap(),
+        par::batch_sweep(&nets, quick, &Engine::sequential()).unwrap()
+    );
+}
+
+/// Distributed scaling through the engine agrees with direct
+/// `distributed_step` calls, row by row.
+#[test]
+fn engine_distributed_scaling_matches_direct_steps() {
+    use gradpim::engine::{sweeps as par, Engine};
+    use gradpim::sim::{distributed_step, DistConfig};
+
+    let quick = Some((1200, 16_000));
+    let net = models::mlp();
+    let rows = par::distributed_scaling(&net, &[2, 4], quick, &Engine::new(2)).unwrap();
+    for row in &rows {
+        let mk = |design| {
+            let mut sys = SystemConfig::new(design);
+            sys.max_sim_bursts = 1200;
+            sys.max_sim_params = 16_000;
+            sys
+        };
+        let dist = DistConfig { nodes: row.nodes, ..DistConfig::paper_default() };
+        let base = distributed_step(&mk(Design::Baseline), &net, &dist).unwrap();
+        let pim = distributed_step(&mk(Design::GradPimBuffered), &net, &dist).unwrap();
+        assert_eq!(row.baseline, base, "nodes={}", row.nodes);
+        assert_eq!(row.gradpim, pim, "nodes={}", row.nodes);
+    }
+}

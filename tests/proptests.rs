@@ -318,6 +318,87 @@ proptest! {
     }
 }
 
+/// Drives `ops` through a fresh multi-channel memory system and drains it
+/// either sequentially (`threads = 1`) or through the threaded channel
+/// engine, then idles across a refresh window. Returns every observable
+/// output.
+fn engine_run(
+    cfg: &gradpim::dram::DramConfig,
+    ops: &[DiffOp],
+    threads: usize,
+) -> (gradpim::dram::Stats, Vec<gradpim::dram::Completion>, Vec<Vec<gradpim::dram::TraceEntry>>) {
+    use gradpim::dram::{AddressMapping, MemError, MemorySystem};
+    use gradpim::engine::Engine;
+    let eng = Engine::new(threads);
+    let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+    mem.enable_trace();
+    for op in ops {
+        loop {
+            let r = match *op {
+                DiffOp::Read(a) => mem.enqueue_read(a).map(drop),
+                DiffOp::Write(a) => mem.enqueue_write(a, None).map(drop),
+                DiffOp::Pim(rank, bg, p) => mem.enqueue_pim(0, rank, bg, p).map(drop),
+            };
+            match r {
+                Ok(()) => break,
+                Err(MemError::QueueFull) => mem.tick_until_event(),
+                Err(e) => panic!("{e}"),
+            }
+        }
+    }
+    eng.drain(&mut mem, 20_000_000).unwrap();
+    let target = mem.cycles() + cfg.trefi + 2 * cfg.trfc + 13;
+    eng.run_until(&mut mem, target);
+    (mem.stats(), mem.take_completions(), mem.take_traces())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The threaded multi-channel engine is *observably identical* to the
+    /// sequential drain: bit-identical stats, completions, and per-channel
+    /// command traces across random workloads × channel counts × PIM
+    /// placements × issue modes, with the trace protocol oracle run over
+    /// every threaded trace (it stays meaningful in release builds, where
+    /// the simulator's debug assertions are compiled out).
+    #[test]
+    fn threaded_engine_matches_sequential(
+        reads in 0usize..100,
+        writes in 0usize..60,
+        pim_cols in 0u32..32,
+        channels_sel in 0usize..3,
+        buffered in 0usize..2,
+        per_bank in 0usize..2,
+        pd_sel in 0usize..3,
+        threads in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        use gradpim::dram::{verify_trace, CommandIssueMode, DramConfig, PimPlacement};
+        let mut cfg = DramConfig::ddr4_2133();
+        cfg.channels = [1usize, 2, 4][channels_sel];
+        if buffered == 1 {
+            cfg.issue_mode = CommandIssueMode::PerRankBuffered;
+        }
+        if per_bank == 1 {
+            cfg.pim_placement = PimPlacement::PerBank;
+        }
+        cfg.powerdown_idle = [24u64, 96, u64::MAX][pd_sel];
+        let ops = diff_workload(&cfg, reads, writes, pim_cols, seed);
+        let (s_seq, c_seq, t_seq) = engine_run(&cfg, &ops, 1);
+        let (s_par, c_par, t_par) = engine_run(&cfg, &ops, threads);
+        prop_assert_eq!(&t_seq, &t_par, "command traces diverge");
+        prop_assert_eq!(&c_seq, &c_par, "completions diverge");
+        prop_assert_eq!(&s_seq, &s_par, "stats diverge");
+        // The threaded trace must also be protocol-legal per channel under
+        // the independent replay oracle.
+        for trace in &t_par {
+            if let Err(v) = verify_trace(&cfg, trace) {
+                return Err(proptest::test_runner::TestCaseError::fail(format!("{v}")));
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
