@@ -1,6 +1,7 @@
 //! Criterion group for the parallel execution engine: sweep-scheduler
 //! scaling (the `GRADPIM_THREADS=1` vs `=4` comparison the CI smoke keys
-//! on) and the threaded multi-channel drain.
+//! on), the threaded multi-channel drain, and the persistent pool's
+//! spawn-amortization win on many small batches.
 //!
 //! On a multi-core host the `threads4` timings should come in well under
 //! the `threads1` ones; the results themselves are bit-identical (asserted
@@ -73,5 +74,31 @@ fn bench_channel_drain(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_sweep_scheduler, bench_channel_drain);
+fn bench_pool_spawn_amortization(c: &mut Criterion) {
+    // The reason the pool is persistent: a run of many *small* sweeps used
+    // to pay a full thread spawn/join per `run_ordered` call. One engine
+    // reused across 100 tiny batches vs a fresh engine per batch.
+    let jobs: Vec<u64> = (0..16).collect();
+    let step = |engine: &Engine, round: u64| {
+        let out = engine.run(&jobs, |_, &j| Ok::<_, ()>(j.wrapping_mul(round + 1))).unwrap();
+        out.iter().copied().sum::<u64>()
+    };
+    let mut g = c.benchmark_group("engine_pool");
+    g.sample_size(10);
+    g.bench_function("100_small_batches_persistent", |b| {
+        let engine = Engine::new(4);
+        b.iter(|| (0..100u64).map(|r| step(&engine, r)).sum::<u64>())
+    });
+    g.bench_function("100_small_batches_fresh_pools", |b| {
+        b.iter(|| (0..100u64).map(|r| step(&Engine::new(4), r)).sum::<u64>())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_scheduler,
+    bench_channel_drain,
+    bench_pool_spawn_amortization
+);
 criterion_main!(benches);

@@ -1,8 +1,13 @@
 //! `gradpim-cli` — the experiment runner: reproduce one figure/sweep of
-//! the GradPIM evaluation through the parallel execution engine.
+//! the GradPIM evaluation through the parallel execution engine, as a
+//! human-readable table or as machine-readable CSV/JSON.
 //!
 //! ```text
 //! gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]
+//!             [--format table|csv|json] [-o PATH] [--emit-spec PATH]
+//! gradpim-cli --run-spec FILE [--threads N] [--format table|csv|json] [-o PATH]
+//! gradpim-cli check-report FILE
+//! gradpim-cli list
 //!
 //! experiments:
 //!   fig09    training-step time per design (Fig. 9)
@@ -11,62 +16,95 @@
 //!   fig12c   speedup + energy vs precision mix (Fig. 12c/d)
 //!   fig13    per-layer speedup scatter (Fig. 13)
 //!   fig14    distributed-training node scaling (Fig. 14)
-//!   list     print experiments and networks
 //! ```
 //!
+//! Every experiment runs through an [`ExperimentSpec`], so the in-process
+//! path and the `--emit-spec` → `--run-spec` process boundary execute the
+//! same code and produce bit-identical numbers. Result data goes to
+//! stdout (or `-o PATH`); progress/banner lines go to stderr, so
+//! `--format csv|json` output is pipe-clean.
+//!
 //! `--threads` (default: `GRADPIM_THREADS`, else available parallelism)
-//! sizes the sweep scheduler's worker pool; `--quick` (the default) caps
-//! simulated traffic per point, `--full` uses the library's generous
+//! sizes the engine's persistent worker pool; `--quick` (the default)
+//! caps simulated traffic per point, `--full` uses the library's generous
 //! defaults (combine with `GRADPIM_FULL=1` to remove caps entirely).
+//! `check-report` parses a previously emitted report JSON and reports its
+//! shape — a cheap integrity gate for scripted pipelines.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
-use gradpim_engine::{sweeps, Engine};
+use gradpim_engine::serialize::{Experiment, ExperimentSpec};
+use gradpim_engine::{report, Engine};
 use gradpim_sim::sweeps::QuickCaps;
-use gradpim_sim::Design;
-use gradpim_workloads::{models, Network};
-
-const EXPERIMENTS: &[(&str, &str)] = &[
-    ("fig09", "training-step time per design (Fig. 9)"),
-    ("fig12a", "speedup vs ops/bandwidth ratio (Fig. 12a)"),
-    ("fig12b", "speedup vs minibatch size (Fig. 12b)"),
-    ("fig12c", "speedup + energy vs precision mix (Fig. 12c/d)"),
-    ("fig13", "per-layer speedup scatter (Fig. 13)"),
-    ("fig14", "distributed-training node scaling (Fig. 14)"),
-];
+use gradpim_workloads::models;
 
 /// Quick-mode traffic caps: small enough for a CI smoke, large enough to
 /// keep every figure's qualitative shape.
 const QUICK: QuickCaps = Some((4 * 1024, 32 * 1024));
 
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Table,
+    Csv,
+    Json,
+}
+
+enum Mode {
+    /// Run (or `--emit-spec`) one named experiment.
+    Experiment(Experiment),
+    /// Execute a spec file produced by `--emit-spec`.
+    RunSpec(String),
+    /// Parse a report JSON and print its shape.
+    CheckReport(String),
+    /// Print experiments and networks.
+    List,
+}
+
 struct Args {
-    experiment: String,
-    quick: bool,
+    mode: Mode,
+    /// `--quick`/`--full` if given; experiments default to quick.
+    quick: Option<bool>,
     threads: Option<usize>,
     nets: Option<Vec<String>>,
+    format: Format,
+    output: Option<String>,
+    emit_spec: Option<String>,
 }
 
 fn usage() -> String {
     let mut s = String::from(
-        "usage: gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]\n\n\
+        "usage: gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]\n\
+         \u{20}                   [--format table|csv|json] [-o PATH] [--emit-spec PATH]\n\
+         \u{20}      gradpim-cli --run-spec FILE [--threads N] [--format table|csv|json] [-o PATH]\n\
+         \u{20}      gradpim-cli check-report FILE\n\
+         \u{20}      gradpim-cli list\n\n\
          experiments:\n",
     );
-    for (name, what) in EXPERIMENTS {
-        s.push_str(&format!("  {name:<8} {what}\n"));
+    for e in Experiment::ALL {
+        s.push_str(&format!("  {:<8} {}\n", e.name(), e.describe()));
     }
     s.push_str("  list     print experiments and networks\n");
+    s.push_str("  check-report FILE   validate an emitted report JSON\n");
     s
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
-    let mut args = Args { experiment: String::new(), quick: true, threads: None, nets: None };
+    let mut args = Args {
+        mode: Mode::List,
+        quick: None,
+        threads: None,
+        nets: None,
+        format: Format::Table,
+        output: None,
+        emit_spec: None,
+    };
+    let mut mode = None;
     let mut it = argv.iter();
-    args.experiment = it.next().ok_or_else(usage)?.clone();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => args.quick = true,
-            "--full" => args.quick = false,
+            "--quick" => args.quick = Some(true),
+            "--full" => args.quick = Some(false),
             "--threads" => {
                 let v = it.next().ok_or("--threads needs a value")?;
                 let n: usize = v.parse().map_err(|_| format!("bad --threads value `{v}`"))?;
@@ -79,151 +117,161 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--nets needs a comma-separated list")?;
                 args.nets = Some(v.split(',').map(str::to_string).collect());
             }
+            "--format" => {
+                let v = it.next().ok_or("--format needs table, csv, or json")?;
+                args.format = match v.as_str() {
+                    "table" => Format::Table,
+                    "csv" => Format::Csv,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown --format `{other}`")),
+                };
+            }
+            "-o" | "--output" => {
+                let v = it.next().ok_or("-o needs a path")?;
+                args.output = Some(v.clone());
+            }
+            "--emit-spec" => {
+                let v = it.next().ok_or("--emit-spec needs a path (or `-` for stdout)")?;
+                args.emit_spec = Some(v.clone());
+            }
+            "--run-spec" => {
+                let v = it.next().ok_or("--run-spec needs a spec file path")?;
+                set_mode(&mut mode, Mode::RunSpec(v.clone()))?;
+            }
+            "list" => set_mode(&mut mode, Mode::List)?,
+            "check-report" => {
+                let v = it.next().ok_or("check-report needs a report file path")?;
+                set_mode(&mut mode, Mode::CheckReport(v.clone()))?;
+            }
+            other if !other.starts_with('-') => {
+                let e = Experiment::parse(other)
+                    .ok_or_else(|| format!("unknown experiment `{other}`\n\n{}", usage()))?;
+                set_mode(&mut mode, Mode::Experiment(e))?;
+            }
             other => return Err(format!("unknown argument `{other}`\n\n{}", usage())),
+        }
+    }
+    args.mode = mode.ok_or_else(usage)?;
+    if matches!(args.mode, Mode::RunSpec(_)) {
+        // The spec file owns these knobs; rejecting beats silently
+        // running different caps/networks than the user asked for.
+        if args.nets.is_some() {
+            return Err("--run-spec takes its networks from the spec file; drop --nets".into());
+        }
+        if args.quick.is_some() {
+            return Err(
+                "--run-spec takes its traffic caps from the spec file; drop --quick/--full".into(),
+            );
         }
     }
     Ok(args)
 }
 
-fn pick_networks(requested: Option<&[String]>) -> Result<Vec<Network>, String> {
-    let all = models::all_networks();
-    let Some(names) = requested else { return Ok(all) };
-    names
-        .iter()
-        .map(|n| {
-            all.iter().find(|net| net.name.eq_ignore_ascii_case(n)).cloned().ok_or_else(|| {
-                let known: Vec<&str> = all.iter().map(|n| n.name.as_str()).collect();
-                format!("unknown network `{n}` (known: {})", known.join(", "))
-            })
-        })
-        .collect()
+fn set_mode(slot: &mut Option<Mode>, mode: Mode) -> Result<(), String> {
+    if slot.is_some() {
+        return Err(format!("more than one experiment/command given\n\n{}", usage()));
+    }
+    *slot = Some(mode);
+    Ok(())
+}
+
+/// Writes `text` to `-o PATH` if given, stdout otherwise, confirming file
+/// writes on stderr so data pipes stay clean.
+fn emit_output(output: Option<&str>, text: &str) -> Result<(), String> {
+    match output {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("gradpim-cli: wrote {path}");
+            Ok(())
+        }
+        None => {
+            print!("{text}");
+            Ok(())
+        }
+    }
 }
 
 fn run(args: &Args) -> Result<(), String> {
-    let engine = match args.threads {
-        Some(n) => Engine::new(n),
-        None => Engine::from_env(),
-    };
-    let quick = if args.quick { QUICK } else { None };
-    let nets = pick_networks(args.nets.as_deref())?;
-    let mode = if args.quick { "quick" } else { "full" };
-    println!(
-        "gradpim-cli: {} ({} mode, {} worker thread{})",
-        args.experiment,
-        mode,
-        engine.threads(),
-        if engine.threads() == 1 { "" } else { "s" }
-    );
-    let t0 = Instant::now();
-    match args.experiment.as_str() {
-        "fig09" => {
-            let pts = sweeps::design_space(&nets, &Design::ALL, quick, &engine)
-                .map_err(|e| e.to_string())?;
-            println!(
-                "{:<26} {:>12} {:>12} {:>12} {:>9}",
-                "network", "fwd/bwd ms", "update ms", "total ms", "speedup"
-            );
-            let mut base_ns = 0.0;
-            for p in &pts {
-                if p.design == Design::Baseline {
-                    base_ns = p.report.total_time_ns();
-                }
-                println!(
-                    "{:<26} {:>12.3} {:>12.3} {:>12.3} {:>8.2}x",
-                    format!("{} {}", p.report.network, p.design),
-                    p.report.fwdbwd_ns() / 1e6,
-                    p.report.update_ns() / 1e6,
-                    p.report.total_time_ns() / 1e6,
-                    base_ns / p.report.total_time_ns(),
-                );
-            }
-        }
-        "fig12a" => {
-            // The paper sweeps AlphaGoZero; every requested network gets
-            // its own sweep otherwise.
-            let targets =
-                if args.nets.is_some() { nets.clone() } else { vec![models::alphago_zero()] };
-            for net in &targets {
-                let pts =
-                    sweeps::ops_bandwidth_sweep(net, quick, &engine).map_err(|e| e.to_string())?;
-                println!("[{}]", net.name);
-                println!("{:<12} {:>8} {:>12} {:>10}", "memory", "mac dim", "ops/byte", "speedup");
-                for p in &pts {
-                    println!(
-                        "{:<12} {:>8} {:>12.2} {:>9.0}%",
-                        p.memory, p.mac_dim, p.ops_per_byte, p.speedup_pct
-                    );
-                }
-            }
-        }
-        "fig12b" => {
-            let pts = sweeps::batch_sweep(&nets, quick, &engine).map_err(|e| e.to_string())?;
-            println!("{:<14} {:>8} {:>10}", "network", "batch", "speedup");
-            for p in &pts {
-                println!("{:<14} {:>8} {:>9.0}%", p.network, p.batch, p.speedup_pct);
-            }
-        }
-        "fig12c" => {
-            let pts = sweeps::precision_sweep(&nets, quick, &engine).map_err(|e| e.to_string())?;
-            println!("{:<14} {:>8} {:>10} {:>10}", "network", "mix", "speedup", "energy");
-            for p in &pts {
-                println!(
-                    "{:<14} {:>8} {:>9.0}% {:>9.0}%",
-                    p.network,
-                    p.mix.to_string(),
-                    p.speedup_pct,
-                    p.energy_pct
-                );
-            }
-        }
-        "fig13" => {
-            let pts = sweeps::layer_scatter(&nets, quick, &engine).map_err(|e| e.to_string())?;
-            println!("{:<34} {:>12} {:>10}", "layer", "w/a ratio", "speedup");
-            for p in &pts {
-                println!(
-                    "{:<34} {:>12.3} {:>9.0}%",
-                    format!("{}:{}", p.network, p.layer),
-                    p.ratio,
-                    p.speedup_pct
-                );
-            }
-        }
-        "fig14" => {
-            // The paper scales ResNet-18; every requested network gets its
-            // own scaling table otherwise.
-            let targets = if args.nets.is_some() { nets.clone() } else { vec![models::resnet18()] };
-            for net in &targets {
-                let rows = sweeps::distributed_scaling(net, &[1, 2, 4, 8], quick, &engine)
-                    .map_err(|e| e.to_string())?;
-                println!("[{}]", net.name);
-                println!(
-                    "{:<7} {:>14} {:>14} {:>9}",
-                    "nodes", "baseline ms", "gradpim ms", "speedup"
-                );
-                for r in &rows {
-                    println!(
-                        "{:<7} {:>14.3} {:>14.3} {:>8.2}x",
-                        r.nodes,
-                        r.baseline.total_ns() / 1e6,
-                        r.gradpim.total_ns() / 1e6,
-                        r.speedup()
-                    );
-                }
-            }
-        }
-        "list" => {
+    match &args.mode {
+        Mode::List => {
             println!("experiments:");
-            for (name, what) in EXPERIMENTS {
-                println!("  {name:<8} {what}");
+            for e in Experiment::ALL {
+                println!("  {:<8} {}", e.name(), e.describe());
             }
             println!("networks:");
             for n in models::all_networks() {
                 println!("  {} ({} layers, batch {})", n.name, n.layers.len(), n.default_batch);
             }
+            return Ok(());
         }
-        other => return Err(format!("unknown experiment `{other}`\n\n{}", usage())),
+        Mode::CheckReport(path) => {
+            let doc =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let report = report::from_json(&doc)
+                .map_err(|e| format!("`{path}` is not a valid report: {e}"))?;
+            println!(
+                "{path}: valid report, {} rows x {} columns ({})",
+                report.rows.len(),
+                report.schema.columns.len(),
+                report
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            return Ok(());
+        }
+        Mode::Experiment(_) | Mode::RunSpec(_) => {}
     }
-    println!("done in {:.2}s", t0.elapsed().as_secs_f64());
+
+    let spec = match &args.mode {
+        Mode::Experiment(experiment) => ExperimentSpec {
+            experiment: *experiment,
+            quick: if args.quick.unwrap_or(true) { QUICK } else { None },
+            nets: args.nets.clone(),
+        },
+        Mode::RunSpec(path) => {
+            let doc =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            ExperimentSpec::from_json(&doc)
+                .map_err(|e| format!("`{path}` is not a valid spec: {e}"))?
+        }
+        Mode::List | Mode::CheckReport(_) => unreachable!("handled above"),
+    };
+
+    if let Some(path) = &args.emit_spec {
+        let doc = spec.to_json();
+        if path == "-" {
+            print!("{doc}");
+        } else {
+            std::fs::write(path, &doc).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            eprintln!("gradpim-cli: wrote spec for `{}` to {path}", spec.experiment);
+        }
+        return Ok(());
+    }
+
+    let engine = match args.threads {
+        Some(n) => Engine::new(n),
+        None => Engine::from_env(),
+    };
+    eprintln!(
+        "gradpim-cli: {} ({} mode, {} worker thread{})",
+        spec.experiment,
+        if spec.quick.is_some() { "quick" } else { "full" },
+        engine.threads(),
+        if engine.threads() == 1 { "" } else { "s" }
+    );
+    let t0 = Instant::now();
+    let report = spec.run(&engine).map_err(|e| e.to_string())?;
+    let text = match args.format {
+        Format::Table => report::to_table(&report),
+        Format::Csv => report::to_csv(&report),
+        Format::Json => report::to_json(&report),
+    };
+    emit_output(args.output.as_deref(), &text)?;
+    eprintln!("gradpim-cli: done in {:.2}s", t0.elapsed().as_secs_f64());
     Ok(())
 }
 

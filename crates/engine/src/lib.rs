@@ -40,26 +40,35 @@
 #![warn(missing_debug_implementations)]
 
 pub mod channels;
+mod json;
 pub mod pool;
+pub mod report;
+pub mod serialize;
 pub mod sweeps;
 
 use gradpim_dram::{MemError, MemorySystem};
 
-/// The parallel execution engine: a worker-count policy shared by the
+use pool::WorkerPool;
+
+/// The parallel execution engine: a persistent [`WorkerPool`] (spawned
+/// once, reused by every sweep, joined on drop) shared by the
 /// channel-threaded stepping and the sweep scheduler.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug)]
 pub struct Engine {
-    threads: usize,
+    pool: WorkerPool,
 }
 
 impl Engine {
     /// An engine with exactly `threads` workers (clamped to at least 1).
+    /// The pool threads are spawned now and reused by every subsequent
+    /// [`Engine::run`] call.
     pub fn new(threads: usize) -> Self {
-        Self { threads: threads.max(1) }
+        Self { pool: WorkerPool::new(threads) }
     }
 
     /// A single-threaded engine: every job runs inline on the calling
-    /// thread, in order — the classic sequential behavior.
+    /// thread, in order — the classic sequential behavior. No pool
+    /// threads are spawned.
     pub fn sequential() -> Self {
         Self::new(1)
     }
@@ -67,29 +76,31 @@ impl Engine {
     /// Resolves the worker count from the environment: `GRADPIM_THREADS`
     /// if set to an integer (`0` clamps to 1, i.e. sequential), otherwise
     /// the machine's available parallelism. A set-but-malformed value
-    /// falls back to available parallelism with a diagnostic on stderr, so
-    /// a typo never silently changes the worker count.
+    /// falls back to available parallelism — and an unqueryable machine
+    /// parallelism falls back to 1 — each with a diagnostic on stderr, so
+    /// a typo never *silently* changes the worker count. The diagnostic
+    /// is emitted at most once per process: benchmark loops that build an
+    /// engine per iteration no longer spam stderr mid-measurement.
     pub fn from_env() -> Self {
         let var = std::env::var("GRADPIM_THREADS").ok();
-        if let Some(v) = var.as_deref() {
-            if v.parse::<usize>().is_err() {
-                eprintln!(
-                    "gradpim-engine: ignoring malformed GRADPIM_THREADS={v:?} \
-                     (want an integer); using available parallelism"
-                );
-            }
+        let auto = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).ok();
+        let (threads, warning) = resolve_threads(var.as_deref(), auto);
+        if let Some(warning) = warning {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| eprintln!("gradpim-engine: {warning}"));
         }
-        Self::new(threads_from(var.as_deref()))
+        Self::new(threads)
     }
 
     /// The worker count.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pool.threads()
     }
 
-    /// Fans `jobs` over the worker pool (see [`pool::run_ordered`]):
-    /// results come back in input order, and the lowest-indexed failing
-    /// job's error wins — both independent of scheduling.
+    /// Fans `jobs` over the persistent worker pool (see
+    /// [`WorkerPool::run_ordered`]): results come back in input order, and
+    /// the lowest-indexed failing job's error wins — both independent of
+    /// scheduling.
     ///
     /// # Errors
     ///
@@ -101,7 +112,25 @@ impl Engine {
         E: Send,
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
-        pool::run_ordered(self.threads, jobs, f)
+        self.pool.run_ordered(jobs, f)
+    }
+
+    /// [`Engine::run`] with a [`pool::Cancel`] handle passed to each job,
+    /// so long jobs can re-check the failure watermark mid-flight and bail
+    /// out of doomed tail work early (see [`pool`] for the exact
+    /// guarantee).
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job.
+    pub fn run_with_cancel<T, R, E, F>(&self, jobs: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T, &pool::Cancel<'_>) -> Result<R, E> + Sync,
+    {
+        self.pool.run_ordered_with(jobs, f)
     }
 
     /// Drains `mem` with one worker per channel (see
@@ -112,23 +141,39 @@ impl Engine {
     ///
     /// [`MemError::DrainTimeout`] if work remains after `max_cycles`.
     pub fn drain(&self, mem: &mut MemorySystem, max_cycles: u64) -> Result<u64, MemError> {
-        channels::par_drain(mem, max_cycles, self.threads)
+        channels::par_drain(mem, max_cycles, self.threads())
     }
 
     /// Runs `mem` to exactly `cycle` with one worker per channel (see
     /// [`channels::par_run_until`]).
     pub fn run_until(&self, mem: &mut MemorySystem, cycle: u64) {
-        channels::par_run_until(mem, cycle, self.threads)
+        channels::par_run_until(mem, cycle, self.threads())
     }
 }
 
-/// `GRADPIM_THREADS` parsing: integers are taken verbatim, with `0`
-/// clamped to 1 (sequential) exactly like [`Engine::new`]; anything else
-/// (unset, junk) falls back to available parallelism.
-fn threads_from(var: Option<&str>) -> usize {
-    match var.and_then(|v| v.parse::<usize>().ok()) {
-        Some(n) => n.max(1),
-        None => std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+/// `GRADPIM_THREADS` resolution, factored pure so every fallback is unit-
+/// testable: integers are taken verbatim, with `0` clamped to 1
+/// (sequential) exactly like [`Engine::new`]; a set-but-malformed value
+/// falls back to `auto` (the machine's available parallelism) with a
+/// warning; an unknown `auto` falls back to 1 worker — also with a
+/// warning, since silently losing all parallelism is worth a diagnostic.
+fn resolve_threads(var: Option<&str>, auto: Option<usize>) -> (usize, Option<String>) {
+    if let Some(v) = var {
+        if let Ok(n) = v.parse::<usize>() {
+            return (n.max(1), None);
+        }
+        let (fallback, _) = resolve_threads(None, auto);
+        return (
+            fallback,
+            Some(format!(
+                "ignoring malformed GRADPIM_THREADS={v:?} (want an integer); \
+                 using {fallback} worker thread(s)"
+            )),
+        );
+    }
+    match auto {
+        Some(n) => (n.max(1), None),
+        None => (1, Some("available parallelism unknown; using 1 worker thread".into())),
     }
 }
 
@@ -138,14 +183,34 @@ mod tests {
 
     #[test]
     fn threads_parsing() {
-        assert_eq!(threads_from(Some("4")), 4);
-        assert_eq!(threads_from(Some("1")), 1);
+        assert_eq!(resolve_threads(Some("4"), Some(8)), (4, None));
+        assert_eq!(resolve_threads(Some("1"), Some(8)), (1, None));
         // 0 means sequential, matching Engine::new's clamp.
-        assert_eq!(threads_from(Some("0")), 1);
-        let auto = threads_from(None);
-        assert!(auto >= 1);
-        assert_eq!(threads_from(Some("lots")), auto);
-        assert_eq!(threads_from(Some("-3")), auto);
+        assert_eq!(resolve_threads(Some("0"), Some(8)), (1, None));
+        assert_eq!(resolve_threads(None, Some(6)), (6, None));
+    }
+
+    #[test]
+    fn malformed_threads_fall_back_with_a_warning() {
+        for bad in ["lots", "-3", "4.5", ""] {
+            let (n, warning) = resolve_threads(Some(bad), Some(8));
+            assert_eq!(n, 8, "GRADPIM_THREADS={bad:?}");
+            let warning = warning.expect("malformed value must warn");
+            assert!(warning.contains("GRADPIM_THREADS"), "{warning}");
+            assert!(warning.contains("8 worker"), "{warning}");
+        }
+    }
+
+    #[test]
+    fn unknown_parallelism_falls_back_to_one_with_a_warning() {
+        // Regression: this fallback used to be silent (and the malformed-
+        // value warning fired on every call, spamming criterion runs).
+        let (n, warning) = resolve_threads(None, None);
+        assert_eq!(n, 1);
+        assert!(warning.expect("fallback must warn").contains("available parallelism"));
+        let (n, warning) = resolve_threads(Some("junk"), None);
+        assert_eq!(n, 1);
+        assert!(warning.expect("fallback must warn").contains("1 worker"));
     }
 
     #[test]

@@ -1,27 +1,358 @@
-//! A dependency-free scoped worker pool with deterministic result order.
+//! A dependency-free persistent worker pool with deterministic result
+//! order.
 //!
-//! [`run_ordered`] fans a slice of independent jobs across
-//! `std::thread::scope` workers pulling from a shared atomic cursor, and
-//! collects results **in input order** regardless of which worker finished
-//! which job when. Error semantics are deterministic too: the error of the
-//! *lowest-indexed* failing job is returned — exactly the error a
-//! sequential left-to-right executor would have stopped on (later jobs
-//! have no observable side effects, so whether they ran is invisible).
-//! Once a failure is observed, jobs with a *higher* index are skipped
-//! (they can never out-rank it), so a sweep that fails early does not burn
-//! minutes simulating points whose results will be discarded; jobs below
-//! the failure watermark always run, keeping the returned error identical
-//! under any schedule.
+//! [`WorkerPool`] spawns its threads **once** (the [`crate::Engine`] holds
+//! one for its whole lifetime) and feeds them batches over a channel, so a
+//! run of many small sweeps pays the thread-spawn cost a single time
+//! instead of per call. [`WorkerPool::run_ordered`] fans a slice of
+//! independent jobs across the pool (the calling thread participates as
+//! one worker) and collects results **in input order** regardless of which
+//! worker finished which job when.
+//!
+//! # Determinism and error semantics
+//!
+//! The error of the *lowest-indexed* failing job is returned — exactly the
+//! error a sequential left-to-right executor would have stopped on (later
+//! jobs have no observable side effects, so whether they ran is
+//! invisible). A panicking job behaves the same way: the original panic
+//! payload of the lowest-indexed panicking job is re-raised on the caller
+//! via [`std::panic::resume_unwind`] (never masked by a secondary
+//! "poisoned mutex" panic), and when both a panic and an `Err` occur, the
+//! one with the lower job index wins — again matching a sequential run.
+//!
+//! # Cancellation guarantee (precise)
+//!
+//! Once a failure (error or panic) at index `k` is observed, *not-yet-
+//! started* jobs with index `> k` are skipped so a sweep that fails early
+//! does not burn minutes simulating points whose results will be
+//! discarded. The skip is **best-effort**: the check races with failure
+//! recording, so a higher-indexed job may still start (or already be
+//! running) after a lower failure lands. What *is* guaranteed:
+//!
+//! * every job with index below the final failure watermark runs to
+//!   completion, keeping the returned error identical under any schedule;
+//! * a job that observes [`Cancel::should_cancel`] is doomed — some
+//!   lower-indexed job has already failed, so whatever the cancelled job
+//!   returns is never observed.
+//!
+//! Long-running jobs should poll the [`Cancel`] handle passed by
+//! [`WorkerPool::run_ordered_with`] at convenient checkpoints to shed the
+//! remaining tail work early; `run_ordered` ignores it.
 
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
 
-/// Runs `f` over every job on up to `threads` scoped workers and returns
-/// the results in input order.
+/// An erased batch-participation closure shipped to a pool thread. The
+/// `'static` bound is a lie told through [`std::mem::transmute`]; the
+/// batch latch guarantees the borrowed state outlives the task.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+thread_local! {
+    /// Whether this thread is currently inside a batch's work loop. A
+    /// *nested* `run_ordered*` call from within a job must not fan out:
+    /// every pool thread may already be occupied by the outer batch, so
+    /// the nested helper tasks could never be dequeued and the nested
+    /// caller would wait on its latch forever. Nested batches run inline
+    /// instead — same results, just sequential.
+    static IN_BATCH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Locks a mutex, ignoring poison: every guarded value in this module
+/// stays consistent across a panic (plain stores), and panic payloads are
+/// propagated explicitly instead of through poison.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Cooperative-cancellation view handed to each running job (see the
+/// module docs for the exact guarantee).
+#[derive(Debug)]
+pub struct Cancel<'a> {
+    index: usize,
+    failed: &'a AtomicUsize,
+}
+
+impl Cancel<'_> {
+    /// True once a lower-indexed job has failed, i.e. this job's result
+    /// can no longer be observed: the overall call will return that
+    /// failure, so a long job may bail out with any value.
+    pub fn should_cancel(&self) -> bool {
+        self.index > self.failed.load(Ordering::Relaxed)
+    }
+}
+
+/// Counts outstanding pool-side participants of one batch; the caller
+/// blocks on it before touching the batch state again (and before the
+/// borrowed stack frame can unwind).
+struct Latch {
+    left: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(n: usize) -> Self {
+        Self { left: Mutex::new(n), done: Condvar::new() }
+    }
+
+    fn arrive(&self) {
+        let mut left = lock_unpoisoned(&self.left);
+        *left -= 1;
+        if *left == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait(&self) {
+        let mut left = lock_unpoisoned(&self.left);
+        while *left > 0 {
+            left = self.done.wait(left).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// Decrements the latch even if the guarded scope unwinds.
+struct ArriveOnDrop<'a>(&'a Latch);
+
+impl Drop for ArriveOnDrop<'_> {
+    fn drop(&mut self) {
+        self.0.arrive();
+    }
+}
+
+/// A persistent, channel-fed worker pool: `threads - 1` pool threads
+/// spawned once (the caller is the remaining worker of every batch),
+/// joined when the pool drops.
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+    /// `None` for sequential pools (`threads <= 1`); dropped before join.
+    tx: Option<Sender<Task>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// A pool sized for `threads` concurrent workers (clamped to at least
+    /// 1). `threads - 1` OS threads are spawned now and reused by every
+    /// subsequent `run_ordered*` call; with `threads <= 1` nothing is
+    /// spawned and every batch runs inline on the caller.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        if threads == 1 {
+            return Self { threads, tx: None, workers: Vec::new() };
+        }
+        let (tx, rx) = channel::<Task>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..threads - 1)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("gradpim-pool-{i}"))
+                    .spawn(move || worker_main(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { threads, tx: Some(tx), workers }
+    }
+
+    /// The concurrent worker count (pool threads + the calling thread).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `f` over every job on the pool and returns the results in
+    /// input order; see the module docs for the full semantics.
+    ///
+    /// With `threads <= 1` (or fewer than two jobs) the jobs run inline on
+    /// the caller's thread, sequentially and in order, with fail-fast
+    /// error propagation — byte-for-byte the single-threaded behavior.
+    /// A *nested* call from inside a running job also runs inline (the
+    /// pool threads may all be busy with the outer batch), never
+    /// deadlocks.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job (identical to what a
+    /// sequential in-order executor returns).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the original payload of the lowest-indexed panicking job.
+    pub fn run_ordered<T, R, E, F>(&self, jobs: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        self.run_ordered_with(jobs, |i, job, _| f(i, job))
+    }
+
+    /// [`WorkerPool::run_ordered`] with a [`Cancel`] handle passed to each
+    /// job so long jobs can re-check the failure watermark mid-flight and
+    /// shed doomed tail work early (see the module docs for the exact
+    /// guarantee).
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the original payload of the lowest-indexed panicking job.
+    pub fn run_ordered_with<T, R, E, F>(&self, jobs: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T, &Cancel<'_>) -> Result<R, E> + Sync,
+    {
+        if self.threads <= 1 || jobs.len() <= 1 || IN_BATCH.get() {
+            // Inline: fail-fast, so the watermark can never drop below a
+            // running job's index and cancellation never triggers.
+            let never_failed = AtomicUsize::new(usize::MAX);
+            return jobs
+                .iter()
+                .enumerate()
+                .map(|(i, job)| f(i, job, &Cancel { index: i, failed: &never_failed }))
+                .collect();
+        }
+
+        // Shared batch state, borrowed by every participant. The latch is
+        // awaited before this frame returns (or unwinds), which is what
+        // makes the lifetime-erased `Task` handoff below sound.
+        let cursor = AtomicUsize::new(0);
+        // Lowest failing (error or panic) index observed so far; only ever
+        // decreases. Jobs above it are skipped best-effort (their outcome
+        // could never be the returned failure), and every slot below the
+        // final watermark is guaranteed to hold an Ok.
+        let failed = AtomicUsize::new(usize::MAX);
+        // Lowest-indexed panic payload, kept for resume_unwind.
+        let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
+        let slots: Vec<Mutex<Option<Result<R, E>>>> =
+            jobs.iter().map(|_| Mutex::new(None)).collect();
+
+        let work = || {
+            IN_BATCH.set(true);
+            loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if i > failed.load(Ordering::Relaxed) {
+                    continue;
+                }
+                let cancel = Cancel { index: i, failed: &failed };
+                // Catch panics per job: the payload must reach the caller
+                // intact (a poisoned-slot panic would mask it), and the
+                // worker must stay alive for the rest of the batch.
+                match panic::catch_unwind(AssertUnwindSafe(|| f(i, job, &cancel))) {
+                    Ok(res) => {
+                        if res.is_err() {
+                            failed.fetch_min(i, Ordering::Relaxed);
+                        }
+                        *lock_unpoisoned(&slots[i]) = Some(res);
+                    }
+                    Err(payload) => {
+                        failed.fetch_min(i, Ordering::Relaxed);
+                        let mut first = lock_unpoisoned(&panicked);
+                        if first.as_ref().is_none_or(|(p, _)| i < *p) {
+                            *first = Some((i, payload));
+                        }
+                    }
+                }
+            }
+            IN_BATCH.set(false);
+        };
+
+        let helpers = self.threads.min(jobs.len()) - 1;
+        let latch = Latch::new(helpers);
+        let tx = self.tx.as_ref().expect("threads > 1 pools always hold a sender");
+        for _ in 0..helpers {
+            let task: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
+                let _arrive = ArriveOnDrop(&latch);
+                work();
+            });
+            // SAFETY: the task borrows `work`, `latch`, and through them
+            // the batch state and `jobs`/`f` in this frame. `latch.wait()`
+            // below does not return until every sent task has finished
+            // (ArriveOnDrop fires even on unwind, and `work` itself
+            // catches job panics), so the borrows never dangle. The pool
+            // threads outlive this call because `self` is borrowed.
+            let task = unsafe { erase_task_lifetime(task) };
+            tx.send(task).expect("pool workers outlive the pool handle");
+        }
+        work();
+        latch.wait();
+
+        // All participants are done; the batch state is exclusively ours
+        // again. Failure resolution is a sequential in-order scan, so the
+        // lowest-indexed failure wins whether it was an Err or a panic.
+        let first_panic = panicked.into_inner().unwrap_or_else(PoisonError::into_inner);
+        let panic_index = first_panic.as_ref().map(|(p, _)| *p);
+        let mut first_panic = first_panic;
+        let mut out = Vec::with_capacity(jobs.len());
+        for (i, slot) in slots.into_iter().enumerate() {
+            if panic_index == Some(i) {
+                let (_, payload) = first_panic.take().expect("panic payload present");
+                panic::resume_unwind(payload);
+            }
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(Ok(r)) => out.push(r),
+                Some(Err(e)) => return Err(e),
+                // A skipped job: only possible past the lowest failing
+                // index, whose own slot (or panic record) is reached first.
+                None => unreachable!("empty result slot before the first failure"),
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Erases the borrow lifetime of a batch task so it can cross the pool
+/// channel.
 ///
-/// With `threads <= 1` (or fewer than two jobs) the jobs run inline on the
-/// caller's thread, sequentially and in order, with fail-fast error
-/// propagation — byte-for-byte today's single-threaded behavior.
+/// # Safety
+///
+/// The caller must not let the borrowed frame return or unwind past the
+/// task's completion — `run_ordered_with` enforces this with its batch
+/// latch.
+unsafe fn erase_task_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
+    unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Box<dyn FnOnce() + Send + 'static>>(
+            task,
+        )
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends every worker's recv loop; then join.
+        drop(self.tx.take());
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Pool-thread main loop: pull tasks until the channel closes. Tasks are
+/// unwind-proof by construction (batch closures catch job panics), but a
+/// stray panic must not kill the worker — later batches would deadlock on
+/// their latch waiting for a thread that no longer exists.
+fn worker_main(rx: &Mutex<Receiver<Task>>) {
+    loop {
+        let task = match lock_unpoisoned(rx).recv() {
+            Ok(task) => task,
+            Err(_) => return, // pool dropped
+        };
+        let _ = panic::catch_unwind(AssertUnwindSafe(task));
+    }
+}
+
+/// One-shot convenience: runs `f` over `jobs` on a transient pool of up to
+/// `threads` workers (see [`WorkerPool::run_ordered`] for the semantics).
+/// Call sites that run many batches should hold a [`WorkerPool`] (or a
+/// [`crate::Engine`], which owns one) to amortize the thread spawns.
 ///
 /// # Errors
 ///
@@ -30,7 +361,7 @@ use std::sync::Mutex;
 ///
 /// # Panics
 ///
-/// Propagates panics from `f` (the scope joins all workers first).
+/// Re-raises the original payload of the lowest-indexed panicking job.
 pub fn run_ordered<T, R, E, F>(threads: usize, jobs: &[T], f: F) -> Result<Vec<R>, E>
 where
     T: Sync,
@@ -38,42 +369,7 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    if threads <= 1 || jobs.len() <= 1 {
-        return jobs.iter().enumerate().map(|(i, job)| f(i, job)).collect();
-    }
-    let cursor = AtomicUsize::new(0);
-    // Lowest failing index observed so far; only ever decreases. Jobs above
-    // it are skipped (their outcome could never be the returned error), so
-    // every slot below the final watermark is guaranteed to hold an Ok.
-    let failed = AtomicUsize::new(usize::MAX);
-    let slots: Vec<Mutex<Option<Result<R, E>>>> = jobs.iter().map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|s| {
-        for _ in 0..threads.min(jobs.len()) {
-            s.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                if i > failed.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let res = f(i, job);
-                if res.is_err() {
-                    failed.fetch_min(i, Ordering::Relaxed);
-                }
-                *slots[i].lock().expect("result slot poisoned") = Some(res);
-            });
-        }
-    });
-    let mut out = Vec::with_capacity(jobs.len());
-    for slot in slots {
-        match slot.into_inner().expect("result slot poisoned") {
-            Some(Ok(r)) => out.push(r),
-            Some(Err(e)) => return Err(e),
-            // A skipped job: only possible past the lowest failing index,
-            // whose own slot holds Some(Err) and is reached first.
-            None => unreachable!("empty result slot before the first error"),
-        }
-    }
-    Ok(out)
+    WorkerPool::new(threads).run_ordered(jobs, f)
 }
 
 #[cfg(test)]
@@ -173,5 +469,209 @@ mod tests {
         let jobs: [u8; 0] = [];
         let out: Vec<u8> = run_ordered(4, &jobs, |_, &j| Ok::<_, ()>(j)).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn pool_is_reused_across_batches() {
+        // The point of the persistent pool: many small batches on the same
+        // threads. Results must stay deterministic batch after batch.
+        let pool = WorkerPool::new(4);
+        for round in 0..50usize {
+            let jobs: Vec<usize> = (0..8).collect();
+            let out = pool.run_ordered(&jobs, |_, &j| Ok::<_, ()>(j + round)).unwrap();
+            assert_eq!(out, (0..8).map(|j| j + round).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.threads(), 4);
+    }
+
+    #[test]
+    fn panicking_job_propagates_the_original_payload() {
+        // Regression: a panicking job used to poison its slot mutex and
+        // the collection loop then died on a secondary "result slot
+        // poisoned" panic, masking the real payload.
+        let jobs: Vec<usize> = (0..16).collect();
+        for threads in [1usize, 4] {
+            let pool = WorkerPool::new(threads);
+            let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_ordered(&jobs, |_, &j| {
+                    if j == 6 {
+                        panic!("original payload from job {j}");
+                    }
+                    Ok::<_, ()>(j)
+                })
+            }))
+            .unwrap_err();
+            let msg = caught
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert_eq!(msg, "original payload from job 6", "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_across_panics() {
+        let jobs: Vec<usize> = (0..32).collect();
+        // Make the higher-indexed panic land first.
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(4, &jobs, |_, &j| {
+                if j == 3 {
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                    panic!("panic at 3");
+                }
+                if j == 20 {
+                    panic!("panic at 20");
+                }
+                std::thread::sleep(std::time::Duration::from_micros(100));
+                Ok::<_, ()>(j)
+            })
+        }))
+        .unwrap_err();
+        let msg = caught.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "panic at 3");
+    }
+
+    #[test]
+    fn lower_indexed_error_beats_higher_indexed_panic() {
+        // Sequential semantics: job 2 errors before job 9 would ever run,
+        // so the error is returned and the panic payload is discarded.
+        let jobs: Vec<usize> = (0..16).collect();
+        let res = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(4, &jobs, |_, &j| {
+                if j == 2 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    return Err("error at 2");
+                }
+                if j == 9 {
+                    panic!("panic at 9");
+                }
+                Ok(j)
+            })
+        }))
+        .expect("an error below a panic must not re-panic");
+        assert_eq!(res.unwrap_err(), "error at 2");
+    }
+
+    #[test]
+    fn lower_indexed_panic_beats_higher_indexed_error() {
+        let jobs: Vec<usize> = (0..16).collect();
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_ordered(4, &jobs, |_, &j| {
+                if j == 1 {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    panic!("panic at 1");
+                }
+                if j == 8 {
+                    return Err("error at 8");
+                }
+                Ok(j)
+            })
+        }))
+        .unwrap_err();
+        assert_eq!(caught.downcast_ref::<&str>().copied().unwrap_or_default(), "panic at 1");
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_batch() {
+        // A panic in one batch must not kill pool threads or wedge the
+        // next batch's latch.
+        let pool = WorkerPool::new(3);
+        let jobs: Vec<usize> = (0..8).collect();
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run_ordered(&jobs, |_, &j| {
+                if j == 0 {
+                    panic!("first batch dies");
+                }
+                Ok::<_, ()>(j)
+            })
+        }));
+        let out = pool.run_ordered(&jobs, |_, &j| Ok::<_, ()>(j * 2)).unwrap();
+        assert_eq!(out, (0..8).map(|j| j * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn long_jobs_observe_cancellation() {
+        // Job 0 fails once another job is in flight; the in-flight job is
+        // "long" and polls the cancel hook, so at least one observer must
+        // see cancellation promptly.
+        let pool = WorkerPool::new(4);
+        let jobs: Vec<usize> = (0..12).collect();
+        let cancelled = AtomicU32::new(0);
+        let started = AtomicU32::new(0);
+        let err = pool
+            .run_ordered_with(&jobs, |_, &j, cancel| {
+                if j == 0 {
+                    // Fail only after a long job has started, so the test
+                    // cannot race into skipping every other job outright.
+                    while started.load(Ordering::Relaxed) == 0 {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
+                    }
+                    return Err("job 0 failed");
+                }
+                started.fetch_add(1, Ordering::Relaxed);
+                for _ in 0..10_000 {
+                    if cancel.should_cancel() {
+                        cancelled.fetch_add(1, Ordering::Relaxed);
+                        // A cancelled job's value is never observed.
+                        return Ok(usize::MAX);
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                }
+                Ok(j)
+            })
+            .unwrap_err();
+        assert_eq!(err, "job 0 failed");
+        assert!(cancelled.load(Ordering::Relaxed) > 0, "no long job saw the cancel signal");
+    }
+
+    #[test]
+    fn inline_jobs_are_never_cancelled() {
+        // threads=1 is fail-fast: the watermark can never be below a
+        // running job, so should_cancel is always false.
+        let pool = WorkerPool::new(1);
+        let jobs: Vec<usize> = (0..4).collect();
+        let out = pool
+            .run_ordered_with(&jobs, |_, &j, cancel| {
+                assert!(!cancel.should_cancel());
+                Ok::<_, ()>(j)
+            })
+            .unwrap();
+        assert_eq!(out, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_runs_from_inside_a_job_complete_inline() {
+        // Regression: a nested run on the persistent pool used to
+        // deadlock — with every pool thread occupied by the outer batch,
+        // the nested helper task was never dequeued and the nested caller
+        // waited on its latch forever. Nested batches now run inline.
+        let pool = WorkerPool::new(2);
+        let outer: Vec<usize> = (0..4).collect();
+        let out = pool
+            .run_ordered(&outer, |_, &j| {
+                let inner: Vec<usize> = (0..3).collect();
+                let sums = pool.run_ordered(&inner, |_, &k| Ok::<_, ()>(k * 10))?;
+                Ok::<_, ()>(j + sums.iter().sum::<usize>())
+            })
+            .unwrap();
+        assert_eq!(out, vec![30, 31, 32, 33]);
+    }
+
+    #[test]
+    fn concurrent_batches_share_one_pool() {
+        // Two threads driving the same pool concurrently: batches
+        // interleave on the workers but each keeps its own ordering.
+        let pool = WorkerPool::new(4);
+        std::thread::scope(|s| {
+            for round in 0..4usize {
+                let pool = &pool;
+                s.spawn(move || {
+                    let jobs: Vec<usize> = (0..32).collect();
+                    let out = pool.run_ordered(&jobs, |_, &j| Ok::<_, ()>(j * round)).unwrap();
+                    assert_eq!(out, (0..32).map(|j| j * round).collect::<Vec<_>>());
+                });
+            }
+        });
     }
 }

@@ -1,0 +1,430 @@
+//! Sweep-*spec* serialization: the process/host distribution boundary.
+//!
+//! An [`ExperimentSpec`] names one experiment of the evaluation (Fig. 9,
+//! 12a–c/d, 13, 14) plus its knobs (quick-mode traffic caps, network
+//! subset) and round-trips through the same dependency-free JSON as the
+//! result reports, so a driving process can *emit* specs
+//! (`gradpim-cli --emit-spec`), farm them out to worker processes — and
+//! later hosts — and *execute* them (`gradpim-cli --run-spec`) with
+//! bit-identical results to an in-process run: [`ExperimentSpec::run`]
+//! goes through exactly the same sweep enumerations and simulations as
+//! the direct API, so the numbers cannot drift across the boundary.
+//!
+//! ```
+//! use gradpim_engine::serialize::{Experiment, ExperimentSpec};
+//! use gradpim_engine::Engine;
+//!
+//! let spec = ExperimentSpec {
+//!     experiment: Experiment::Fig12b,
+//!     quick: Some((1500, 20_000)), // doc-sized traffic caps
+//!     nets: Some(vec!["MLP1".into()]),
+//! };
+//! let wire = spec.to_json();
+//! let back = ExperimentSpec::from_json(&wire)?;
+//! assert_eq!(back, spec);
+//! let report = back.run(&Engine::sequential())?;
+//! assert_eq!(report.rows.len(), 3); // three batch sizes
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use gradpim_sim::report::Report;
+use gradpim_sim::sweeps::QuickCaps;
+use gradpim_sim::{Design, PhaseError};
+use gradpim_workloads::{models, Network};
+
+use crate::json::{self, Json};
+use crate::report::ParseError;
+use crate::{sweeps, Engine};
+
+/// One experiment of the paper's evaluation, as named on the
+/// `gradpim-cli` command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Experiment {
+    /// Training-step time per design (Fig. 9).
+    Fig09,
+    /// Speedup vs ops/bandwidth ratio (Fig. 12a).
+    Fig12a,
+    /// Speedup vs minibatch size (Fig. 12b).
+    Fig12b,
+    /// Speedup + energy vs precision mix (Fig. 12c/d).
+    Fig12c,
+    /// Per-layer speedup scatter (Fig. 13).
+    Fig13,
+    /// Distributed-training node scaling (Fig. 14).
+    Fig14,
+}
+
+impl Experiment {
+    /// Every experiment, in figure order.
+    pub const ALL: [Experiment; 6] = [
+        Experiment::Fig09,
+        Experiment::Fig12a,
+        Experiment::Fig12b,
+        Experiment::Fig12c,
+        Experiment::Fig13,
+        Experiment::Fig14,
+    ];
+
+    /// The CLI/spec-file name (`fig09` … `fig14`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Experiment::Fig09 => "fig09",
+            Experiment::Fig12a => "fig12a",
+            Experiment::Fig12b => "fig12b",
+            Experiment::Fig12c => "fig12c",
+            Experiment::Fig13 => "fig13",
+            Experiment::Fig14 => "fig14",
+        }
+    }
+
+    /// Parses the [`Experiment::name`] spelling back.
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|e| e.name() == s)
+    }
+
+    /// A one-line description for `gradpim-cli list` and usage text.
+    pub fn describe(self) -> &'static str {
+        match self {
+            Experiment::Fig09 => "training-step time per design (Fig. 9)",
+            Experiment::Fig12a => "speedup vs ops/bandwidth ratio (Fig. 12a)",
+            Experiment::Fig12b => "speedup vs minibatch size (Fig. 12b)",
+            Experiment::Fig12c => "speedup + energy vs precision mix (Fig. 12c/d)",
+            Experiment::Fig13 => "per-layer speedup scatter (Fig. 13)",
+            Experiment::Fig14 => "distributed-training node scaling (Fig. 14)",
+        }
+    }
+}
+
+impl fmt::Display for Experiment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One self-contained, serializable unit of sweep work: which experiment,
+/// which traffic caps, which networks. See the module docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentSpec {
+    /// The experiment to run.
+    pub experiment: Experiment,
+    /// Traffic-scaling caps: `Some((bursts, params))` for quick mode,
+    /// `None` for the library's full defaults.
+    pub quick: QuickCaps,
+    /// Networks to evaluate, by name (case-insensitive); `None` uses the
+    /// experiment's paper default (all networks; AlphaGoZero for fig12a;
+    /// ResNet-18 for fig14).
+    pub nets: Option<Vec<String>>,
+}
+
+impl ExperimentSpec {
+    /// Serializes the spec as a small JSON document. Deterministic, and
+    /// [`ExperimentSpec::from_json`] of the result is `==` to `self`
+    /// (round-trip is byte-identical).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"experiment\": ");
+        json::escape_into(&mut out, self.experiment.name());
+        out.push_str(",\n  \"quick\": ");
+        match self.quick {
+            Some((bursts, params)) => out.push_str(&format!("[{bursts}, {params}]")),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\n  \"nets\": ");
+        match &self.nets {
+            Some(nets) => {
+                out.push('[');
+                for (i, net) in nets.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    json::escape_into(&mut out, net);
+                }
+                out.push(']');
+            }
+            None => out.push_str("null"),
+        }
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// Parses a [`ExperimentSpec::to_json`] document back.
+    ///
+    /// # Errors
+    ///
+    /// A [`ParseError`] on malformed JSON or an unknown shape (unknown
+    /// experiment name, wrong `quick` arity, non-string network names…).
+    pub fn from_json(input: &str) -> Result<Self, ParseError> {
+        let shape = |message: String| ParseError { offset: 0, message };
+        let doc = json::parse(input)?;
+        let Json::Obj(members) = &doc else {
+            return Err(shape(format!("expected a spec object, got {}", doc.type_name())));
+        };
+        for (key, _) in members {
+            if !matches!(key.as_str(), "experiment" | "quick" | "nets") {
+                return Err(shape(format!("unknown spec key `{key}`")));
+            }
+        }
+        let Some(Json::Str(name)) = doc.get("experiment") else {
+            return Err(shape("spec is missing a string `experiment`".into()));
+        };
+        let experiment =
+            Experiment::parse(name).ok_or_else(|| shape(format!("unknown experiment `{name}`")))?;
+        let quick = match doc.get("quick") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(caps)) => {
+                let [Json::Num(bursts), Json::Num(params)] = caps.as_slice() else {
+                    return Err(shape("`quick` must be [max_bursts, max_params]".into()));
+                };
+                let bursts = bursts
+                    .parse::<u64>()
+                    .map_err(|_| shape(format!("bad burst cap `{bursts}`")))?;
+                let params = params
+                    .parse::<usize>()
+                    .map_err(|_| shape(format!("bad param cap `{params}`")))?;
+                Some((bursts, params))
+            }
+            Some(v) => {
+                return Err(shape(format!(
+                    "`quick` must be an array or null, got {}",
+                    v.type_name()
+                )))
+            }
+        };
+        let nets = match doc.get("nets") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(names)) => Some(
+                names
+                    .iter()
+                    .map(|n| match n {
+                        Json::Str(s) => Ok(s.clone()),
+                        other => Err(shape(format!(
+                            "network names must be strings, got {}",
+                            other.type_name()
+                        ))),
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            ),
+            Some(v) => {
+                return Err(shape(format!(
+                    "`nets` must be an array or null, got {}",
+                    v.type_name()
+                )))
+            }
+        };
+        Ok(Self { experiment, quick, nets })
+    }
+
+    /// Resolves the spec's network names against the model zoo
+    /// (case-insensitive), or the experiment's paper default when no
+    /// names were given.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownNetwork`] naming the first unresolvable name.
+    pub fn resolve_networks(&self) -> Result<Vec<Network>, SpecError> {
+        let all = models::all_networks();
+        let Some(names) = &self.nets else {
+            return Ok(match self.experiment {
+                // The paper sweeps AlphaGoZero in Fig. 12a and scales
+                // ResNet-18 in Fig. 14.
+                Experiment::Fig12a => vec![models::alphago_zero()],
+                Experiment::Fig14 => vec![models::resnet18()],
+                _ => all,
+            });
+        };
+        names
+            .iter()
+            .map(|name| {
+                all.iter()
+                    .find(|net| net.name.eq_ignore_ascii_case(name))
+                    .cloned()
+                    .ok_or_else(|| SpecError::UnknownNetwork(name.clone()))
+            })
+            .collect()
+    }
+
+    /// Executes the spec on `engine` and returns the structured results.
+    /// Same enumerations, same simulations, same f64 arithmetic as the
+    /// direct sweep APIs — a spec that crossed a process boundary yields
+    /// **bit-identical** rows to an in-process run.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownNetwork`] before any simulation starts, or the
+    /// first (input-order) [`SpecError::Phase`] from the sweep.
+    pub fn run(&self, engine: &Engine) -> Result<Report, SpecError> {
+        let nets = self.resolve_networks()?;
+        let quick = self.quick;
+        Ok(match self.experiment {
+            Experiment::Fig09 => {
+                let pts = sweeps::design_space(&nets, &Design::ALL, quick, engine)?;
+                sweeps::design_space_report(&pts)
+            }
+            Experiment::Fig12a => {
+                use gradpim_sim::report::ToRow;
+                // Start from the schema so `nets: []` yields an empty
+                // report like every other experiment, not a panic.
+                let mut report = Report::new(gradpim_sim::sweeps::OpsBwPoint::schema());
+                for net in &nets {
+                    report.extend(Report::from_points(&sweeps::ops_bandwidth_sweep(
+                        net, quick, engine,
+                    )?));
+                }
+                report
+            }
+            Experiment::Fig12b => Report::from_points(&sweeps::batch_sweep(&nets, quick, engine)?),
+            Experiment::Fig12c => {
+                Report::from_points(&sweeps::precision_sweep(&nets, quick, engine)?)
+            }
+            Experiment::Fig13 => Report::from_points(&sweeps::layer_scatter(&nets, quick, engine)?),
+            Experiment::Fig14 => {
+                let mut rows = Vec::new();
+                for net in &nets {
+                    rows.extend(sweeps::distributed_scaling(net, &[1, 2, 4, 8], quick, engine)?);
+                }
+                Report::from_points(&rows)
+            }
+        })
+    }
+}
+
+/// Why a spec could not be executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// A requested network name matched nothing in the model zoo.
+    UnknownNetwork(String),
+    /// A simulation failed; the lowest-indexed sweep point's error.
+    Phase(PhaseError),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownNetwork(name) => {
+                let known: Vec<String> =
+                    models::all_networks().iter().map(|n| n.name.clone()).collect();
+                write!(f, "unknown network `{name}` (known: {})", known.join(", "))
+            }
+            SpecError::Phase(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl From<PhaseError> for SpecError {
+    fn from(e: PhaseError) -> Self {
+        SpecError::Phase(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gradpim_sim::report::Value;
+
+    const QUICK: QuickCaps = Some((1500, 20_000));
+
+    #[test]
+    fn spec_json_round_trips_byte_identically() {
+        for spec in [
+            ExperimentSpec { experiment: Experiment::Fig12a, quick: QUICK, nets: None },
+            ExperimentSpec { experiment: Experiment::Fig09, quick: None, nets: None },
+            ExperimentSpec {
+                experiment: Experiment::Fig14,
+                quick: Some((u64::MAX, usize::MAX)),
+                nets: Some(vec!["MLP1".into(), "ResNet18".into()]),
+            },
+        ] {
+            let doc = spec.to_json();
+            let back = ExperimentSpec::from_json(&doc).unwrap();
+            assert_eq!(back, spec);
+            assert_eq!(back.to_json(), doc);
+        }
+    }
+
+    #[test]
+    fn spec_json_rejects_malformed_documents() {
+        for (doc, what) in [
+            ("[]", "expected a spec object"),
+            ("{\"quick\": null}", "missing a string `experiment`"),
+            ("{\"experiment\": \"fig99\"}", "unknown experiment"),
+            ("{\"experiment\": \"fig09\", \"bogus\": 1}", "unknown spec key"),
+            ("{\"experiment\": \"fig09\", \"quick\": [1]}", "`quick` must be"),
+            ("{\"experiment\": \"fig09\", \"quick\": [1, -2]}", "bad param cap"),
+            ("{\"experiment\": \"fig09\", \"nets\": [1]}", "must be strings"),
+        ] {
+            let err = ExperimentSpec::from_json(doc).unwrap_err();
+            assert!(err.message.contains(what), "{doc}: got `{err}`, wanted `{what}`");
+        }
+    }
+
+    #[test]
+    fn experiment_names_round_trip() {
+        for e in Experiment::ALL {
+            assert_eq!(Experiment::parse(e.name()), Some(e));
+            assert_eq!(e.to_string(), e.name());
+        }
+        assert_eq!(Experiment::parse("fig10"), None);
+    }
+
+    #[test]
+    fn unknown_network_fails_before_simulating() {
+        let spec = ExperimentSpec {
+            experiment: Experiment::Fig12b,
+            quick: QUICK,
+            nets: Some(vec!["NotANet".into()]),
+        };
+        let err = spec.run(&Engine::sequential()).unwrap_err();
+        assert!(matches!(err, SpecError::UnknownNetwork(ref n) if n == "NotANet"), "{err}");
+        assert!(err.to_string().contains("known:"));
+    }
+
+    #[test]
+    fn spec_run_matches_in_process_sweep_bit_identically() {
+        // The acceptance property: a spec that round-tripped through JSON
+        // reproduces the in-process sequential numbers bit for bit.
+        let spec = ExperimentSpec {
+            experiment: Experiment::Fig12b,
+            quick: QUICK,
+            nets: Some(vec!["mlp1".into()]), // case-insensitive on purpose
+        };
+        let spec = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+        let engine = Engine::sequential();
+        let via_spec = spec.run(&engine).unwrap();
+        let nets = [gradpim_workloads::models::mlp()];
+        let direct = gradpim_sim::sweeps::batch_report(&nets, QUICK).unwrap();
+        assert_eq!(via_spec, direct);
+        // And the same rows through a threaded engine.
+        let threaded = spec.run(&Engine::new(3)).unwrap();
+        assert_eq!(threaded, direct);
+    }
+
+    #[test]
+    fn empty_nets_yield_an_empty_report_not_a_panic() {
+        // Regression: `"nets": []` is well-formed external input; fig12a
+        // used to panic on it while every other experiment returned an
+        // empty report.
+        for experiment in Experiment::ALL {
+            let spec = ExperimentSpec { experiment, quick: QUICK, nets: Some(Vec::new()) };
+            let spec = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+            let report = spec.run(&Engine::sequential()).unwrap();
+            assert!(report.rows.is_empty(), "{experiment}");
+            assert!(!report.schema.columns.is_empty(), "{experiment} lost its schema");
+        }
+    }
+
+    #[test]
+    fn fig14_report_carries_network_and_nodes() {
+        let spec = ExperimentSpec {
+            experiment: Experiment::Fig14,
+            quick: QUICK,
+            nets: Some(vec!["MLP1".into()]),
+        };
+        let report = spec.run(&Engine::sequential()).unwrap();
+        assert_eq!(report.rows.len(), 4); // nodes 1, 2, 4, 8
+        assert_eq!(report.rows[0].values[0], Value::Str("MLP1".into()));
+        assert_eq!(report.rows[3].values[1], Value::Int(8));
+    }
+}

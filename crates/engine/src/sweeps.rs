@@ -9,6 +9,7 @@
 //! calls are byte-for-byte the classic sequential sweeps.
 
 use gradpim_sim::distributed::{scaling_specs, DistReport, DistSpec};
+use gradpim_sim::report::{Kind, Report, Schema, SweepRow, ToRow};
 use gradpim_sim::sweeps::{
     batch_specs, layer_specs, ops_bandwidth_specs, precision_specs, BatchPoint, BatchSpec,
     LayerPoint, LayerSpec, OpsBwPoint, OpsBwSpec, PrecisionPoint, PrecisionSpec, QuickCaps,
@@ -80,6 +81,41 @@ pub struct DesignPoint {
     pub report: TrainingReport,
 }
 
+/// Fig. 9 as a structured [`Report`]: one row per (network, design) point
+/// with the phase times and — when the point's network has a
+/// [`Design::Baseline`] row earlier in `points`, as [`design_space`] with
+/// [`Design::ALL`] always produces — the speedup over that baseline
+/// (`NaN` otherwise).
+pub fn design_space_report(points: &[DesignPoint]) -> Report {
+    let mut report = Report::new(Schema::new([
+        ("network", Kind::Str),
+        ("design", Kind::Str),
+        ("fwdbwd_ns", Kind::Float),
+        ("update_ns", Kind::Float),
+        ("total_ns", Kind::Float),
+        ("speedup", Kind::Float),
+    ]));
+    let mut baseline: Option<(&str, f64)> = None;
+    for p in points {
+        if p.design == Design::Baseline {
+            baseline = Some((&p.report.network, p.report.total_time_ns()));
+        }
+        let speedup = match baseline {
+            Some((net, base_ns)) if net == p.report.network => base_ns / p.report.total_time_ns(),
+            _ => f64::NAN,
+        };
+        report.push(SweepRow::new([
+            p.report.network.as_str().into(),
+            p.design.to_string().into(),
+            p.report.fwdbwd_ns().into(),
+            p.report.update_ns().into(),
+            p.report.total_time_ns().into(),
+            speedup.into(),
+        ]));
+    }
+    report
+}
+
 /// Fig. 9 in parallel: every (network × design) training step, in
 /// network-major order.
 ///
@@ -110,6 +146,8 @@ pub fn design_space(
 /// One row of a Fig. 14-style node-scaling study.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScalingRow {
+    /// Network under training.
+    pub network: String,
     /// Data-parallel node count.
     pub nodes: usize,
     /// Baseline distributed step.
@@ -123,6 +161,36 @@ impl ScalingRow {
     /// count.
     pub fn speedup(&self) -> f64 {
         self.baseline.total_ns() / self.gradpim.total_ns()
+    }
+}
+
+impl ToRow for ScalingRow {
+    fn schema() -> Schema {
+        Schema::new([
+            ("network", Kind::Str),
+            ("nodes", Kind::Int),
+            ("base_fwdbwd_ns", Kind::Float),
+            ("base_comm_ns", Kind::Float),
+            ("base_update_ns", Kind::Float),
+            ("pim_fwdbwd_ns", Kind::Float),
+            ("pim_comm_ns", Kind::Float),
+            ("pim_update_ns", Kind::Float),
+            ("speedup", Kind::Float),
+        ])
+    }
+
+    fn row(&self) -> SweepRow {
+        SweepRow::new([
+            self.network.as_str().into(),
+            self.nodes.into(),
+            self.baseline.fwdbwd_ns.into(),
+            self.baseline.comm_ns.into(),
+            self.baseline.update_ns.into(),
+            self.gradpim.fwdbwd_ns.into(),
+            self.gradpim.comm_ns.into(),
+            self.gradpim.update_ns.into(),
+            self.speedup().into(),
+        ])
     }
 }
 
@@ -144,7 +212,12 @@ pub fn distributed_scaling(
     Ok(node_counts
         .iter()
         .zip(reports.chunks_exact(2))
-        .map(|(&nodes, pair)| ScalingRow { nodes, baseline: pair[0], gradpim: pair[1] })
+        .map(|(&nodes, pair)| ScalingRow {
+            network: net.name.clone(),
+            nodes,
+            baseline: pair[0],
+            gradpim: pair[1],
+        })
         .collect())
 }
 

@@ -30,6 +30,7 @@ pub mod config;
 pub mod distributed;
 pub mod functional;
 pub mod phase;
+pub mod report;
 pub mod sweeps;
 pub mod train;
 
@@ -37,4 +38,5 @@ pub use config::{Design, SystemConfig};
 pub use distributed::{distributed_step, DistConfig, DistReport, DistSpec};
 pub use functional::{synthetic_dataset, PimTrainer};
 pub use phase::{PhaseError, PhaseResult};
+pub use report::{Column, Kind, Report, Schema, SweepRow, ToRow, Value};
 pub use train::{speedup_over_baseline, BlockReport, TrainingReport, TrainingSim};

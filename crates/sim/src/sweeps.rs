@@ -19,6 +19,7 @@ use gradpim_workloads::{Layer, Network};
 
 use crate::config::{Design, SystemConfig};
 use crate::phase::PhaseError;
+use crate::report::{Kind, Report, Schema, SweepRow, ToRow};
 use crate::train::TrainingSim;
 
 /// Traffic-scaling caps shared by every sweep: `Some((bursts, params))`
@@ -37,6 +38,8 @@ fn design_pair(quick: QuickCaps) -> (SystemConfig, SystemConfig) {
 /// One point of the Fig. 12a ops/bandwidth sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OpsBwPoint {
+    /// Network name (the paper sweeps AlphaGoZero).
+    pub network: String,
     /// Memory preset name (DDR4-2133 / DDR4-3200 / HBM2).
     pub memory: String,
     /// MAC-array dimension.
@@ -45,6 +48,28 @@ pub struct OpsBwPoint {
     pub ops_per_byte: f64,
     /// GradPIM-BD speedup over baseline, in percent (y-axis; 100 = parity).
     pub speedup_pct: f64,
+}
+
+impl ToRow for OpsBwPoint {
+    fn schema() -> Schema {
+        Schema::new([
+            ("network", Kind::Str),
+            ("memory", Kind::Str),
+            ("mac_dim", Kind::Int),
+            ("ops_per_byte", Kind::Float),
+            ("speedup_pct", Kind::Float),
+        ])
+    }
+
+    fn row(&self) -> SweepRow {
+        SweepRow::new([
+            self.network.as_str().into(),
+            self.memory.as_str().into(),
+            self.mac_dim.into(),
+            self.ops_per_byte.into(),
+            self.speedup_pct.into(),
+        ])
+    }
 }
 
 /// One independent simulation job of the Fig. 12a sweep.
@@ -65,6 +90,7 @@ impl OpsBwSpec {
         let tb = TrainingSim::new(self.base.clone()).run(&self.net)?;
         let tp = TrainingSim::new(self.pim.clone()).run(&self.net)?;
         Ok(OpsBwPoint {
+            network: self.net.name.clone(),
             memory: self.base.base_dram.name.clone(),
             mac_dim: self.base.npu.mac_dim,
             ops_per_byte: self.base.npu.ops_per_byte(self.base.base_dram.peak_external_bw()),
@@ -101,6 +127,15 @@ pub fn ops_bandwidth_sweep(net: &Network, quick: QuickCaps) -> Result<Vec<OpsBwP
     ops_bandwidth_specs(net, quick).iter().map(OpsBwSpec::run).collect()
 }
 
+/// Fig. 12a as a structured [`Report`] (same points, tabular form).
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn ops_bandwidth_report(net: &Network, quick: QuickCaps) -> Result<Report, PhaseError> {
+    Ok(Report::from_points(&ops_bandwidth_sweep(net, quick)?))
+}
+
 /// One row of the Fig. 12b minibatch sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BatchPoint {
@@ -110,6 +145,16 @@ pub struct BatchPoint {
     pub batch: usize,
     /// Speedup over baseline, percent.
     pub speedup_pct: f64,
+}
+
+impl ToRow for BatchPoint {
+    fn schema() -> Schema {
+        Schema::new([("network", Kind::Str), ("batch", Kind::Int), ("speedup_pct", Kind::Float)])
+    }
+
+    fn row(&self) -> SweepRow {
+        SweepRow::new([self.network.as_str().into(), self.batch.into(), self.speedup_pct.into()])
+    }
 }
 
 /// One independent simulation job of the Fig. 12b sweep.
@@ -161,6 +206,15 @@ pub fn batch_sweep(nets: &[Network], quick: QuickCaps) -> Result<Vec<BatchPoint>
     batch_specs(nets, quick).iter().map(BatchSpec::run).collect()
 }
 
+/// Fig. 12b as a structured [`Report`] (same points, tabular form).
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn batch_report(nets: &[Network], quick: QuickCaps) -> Result<Report, PhaseError> {
+    Ok(Report::from_points(&batch_sweep(nets, quick)?))
+}
+
 /// One row of the Fig. 12c/d precision sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrecisionPoint {
@@ -172,6 +226,26 @@ pub struct PrecisionPoint {
     pub speedup_pct: f64,
     /// Memory energy relative to the same-precision baseline, percent.
     pub energy_pct: f64,
+}
+
+impl ToRow for PrecisionPoint {
+    fn schema() -> Schema {
+        Schema::new([
+            ("network", Kind::Str),
+            ("mix", Kind::Str),
+            ("speedup_pct", Kind::Float),
+            ("energy_pct", Kind::Float),
+        ])
+    }
+
+    fn row(&self) -> SweepRow {
+        SweepRow::new([
+            self.network.as_str().into(),
+            self.mix.to_string().into(),
+            self.speedup_pct.into(),
+            self.energy_pct.into(),
+        ])
+    }
 }
 
 /// One independent simulation job of the Fig. 12c/d sweep.
@@ -228,6 +302,15 @@ pub fn precision_sweep(
     precision_specs(nets, quick).iter().map(PrecisionSpec::run).collect()
 }
 
+/// Fig. 12c/d as a structured [`Report`] (same points, tabular form).
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn precision_report(nets: &[Network], quick: QuickCaps) -> Result<Report, PhaseError> {
+    Ok(Report::from_points(&precision_sweep(nets, quick)?))
+}
+
 /// One point of the Fig. 13 layer-characterization scatter.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerPoint {
@@ -239,6 +322,26 @@ pub struct LayerPoint {
     pub ratio: f64,
     /// Per-layer speedup over baseline, percent.
     pub speedup_pct: f64,
+}
+
+impl ToRow for LayerPoint {
+    fn schema() -> Schema {
+        Schema::new([
+            ("network", Kind::Str),
+            ("layer", Kind::Str),
+            ("ratio", Kind::Float),
+            ("speedup_pct", Kind::Float),
+        ])
+    }
+
+    fn row(&self) -> SweepRow {
+        SweepRow::new([
+            self.network.as_str().into(),
+            self.layer.as_str().into(),
+            self.ratio.into(),
+            self.speedup_pct.into(),
+        ])
+    }
 }
 
 /// One independent simulation job of the Fig. 13 scatter (a single-layer
@@ -309,6 +412,15 @@ pub fn layer_scatter(nets: &[Network], quick: QuickCaps) -> Result<Vec<LayerPoin
     layer_specs(nets, quick).iter().map(LayerSpec::run).collect()
 }
 
+/// Fig. 13 as a structured [`Report`] (same points, tabular form).
+///
+/// # Errors
+///
+/// Propagates the first [`PhaseError`] from any simulated point.
+pub fn layer_report(nets: &[Network], quick: QuickCaps) -> Result<Report, PhaseError> {
+    Ok(Report::from_points(&layer_scatter(nets, quick)?))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +465,21 @@ mod tests {
         assert!(!lo.is_empty() && !hi.is_empty());
         let avg = |v: &[&LayerPoint]| v.iter().map(|p| p.speedup_pct).sum::<f64>() / v.len() as f64;
         assert!(avg(&hi) > avg(&lo) + 20.0, "hi {} lo {}", avg(&hi), avg(&lo));
+    }
+
+    #[test]
+    fn reports_are_tabular_views_of_points() {
+        use crate::report::Value;
+        let nets = [models::mlp()];
+        let pts = batch_sweep(&nets, QUICK).unwrap();
+        let rep = batch_report(&nets, QUICK).unwrap();
+        assert_eq!(rep.rows.len(), pts.len());
+        let names: Vec<&str> = rep.schema.columns.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, ["network", "batch", "speedup_pct"]);
+        // Cells are the point fields verbatim — bit-identical f64s included.
+        assert_eq!(rep.rows[0].values[0], Value::Str(pts[0].network.clone()));
+        assert_eq!(rep.rows[0].values[1], Value::Int(pts[0].batch as i64));
+        assert_eq!(rep.rows[0].values[2], Value::Float(pts[0].speedup_pct));
     }
 
     #[test]

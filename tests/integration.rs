@@ -349,6 +349,37 @@ fn engine_sweeps_match_sequential_exactly() {
     );
 }
 
+/// The structured-results pipeline end to end: a sweep spec that
+/// round-trips through its JSON serialization reproduces the in-process
+/// sequential numbers bit for bit (on both a sequential and a threaded
+/// engine), and the result report round-trips byte-identically through
+/// the JSON emitter.
+#[test]
+fn spec_pipeline_reproduces_in_process_numbers_bit_identically() {
+    use gradpim::engine::serialize::{Experiment, ExperimentSpec};
+    use gradpim::engine::{report, Engine};
+
+    let quick = Some((1200, 16_000));
+    let spec = ExperimentSpec { experiment: Experiment::Fig12a, quick, nets: None };
+    let spec = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+    let via_spec = spec.run(&Engine::sequential()).unwrap();
+    let direct =
+        gradpim::sim::sweeps::ops_bandwidth_report(&models::alphago_zero(), quick).unwrap();
+    assert_eq!(via_spec, direct, "spec path diverged from the direct sweep");
+    assert_eq!(spec.run(&Engine::new(4)).unwrap(), direct, "threaded engine diverged");
+
+    // Emit → parse → emit is a byte no-op on real sweep numbers.
+    let doc = report::to_json(&direct);
+    let parsed = report::from_json(&doc).unwrap();
+    assert_eq!(parsed, direct);
+    assert_eq!(report::to_json(&parsed), doc);
+
+    // CSV: one header plus one line per row, same cell text as the JSON.
+    let csv = report::to_csv(&direct);
+    assert_eq!(csv.lines().count(), direct.rows.len() + 1);
+    assert!(csv.starts_with("network,memory,mac_dim,ops_per_byte,speedup_pct\n"));
+}
+
 /// Distributed scaling through the engine agrees with direct
 /// `distributed_step` calls, row by row.
 #[test]

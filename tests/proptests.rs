@@ -399,6 +399,96 @@ proptest! {
     }
 }
 
+/// Characters a report cell might plausibly (or adversarially) contain:
+/// CSV/JSON metacharacters, control characters, multi-byte UTF-8.
+const TRICKY_CHARS: &[char] = &[
+    'a', 'B', '7', ' ', '"', '\\', ',', '\n', '\r', '\t', '\u{1}', ':', '{', '[', ']', '}', 'é',
+    '—', '🎯',
+];
+
+/// Builds a pseudo-random report from a seed: random column kinds and
+/// names (including empty and metacharacter-laden ones), full-range i64
+/// cells, and finite-but-arbitrary f64 bit patterns.
+fn arbitrary_report(cols: usize, rows: usize, seed: u64) -> gradpim::sim::Report {
+    use gradpim::sim::{Column, Kind, Report, Schema, SweepRow, Value};
+
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 >> 12;
+            self.0 ^= self.0 << 25;
+            self.0 ^= self.0 >> 27;
+            self.0
+        }
+
+        fn tricky_string(&mut self, max_len: u64) -> String {
+            let len = self.next() % (max_len + 1);
+            (0..len)
+                .map(|_| TRICKY_CHARS[(self.next() % TRICKY_CHARS.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(101));
+    let kinds = [Kind::Str, Kind::Int, Kind::Float];
+    let schema = Schema {
+        columns: (0..cols)
+            .map(|_| Column { name: rng.tricky_string(8), kind: kinds[(rng.next() % 3) as usize] })
+            .collect(),
+    };
+    let mut report = Report::new(schema);
+    for _ in 0..rows {
+        let values = (0..report.schema.columns.len())
+            .map(|c| match report.schema.columns[c].kind {
+                Kind::Str => Value::Str(rng.tricky_string(12)),
+                Kind::Int => Value::Int(rng.next() as i64),
+                Kind::Float => Value::Float(loop {
+                    let x = f64::from_bits(rng.next());
+                    if x.is_finite() {
+                        break x;
+                    }
+                }),
+            })
+            .collect();
+        report.rows.push(SweepRow { values });
+    }
+    report
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Report JSON round-trips for arbitrary schemas and rows: parse is
+    /// the exact inverse of emit (`parsed == original`), and re-emitting
+    /// is byte-identical — over metacharacter-laden strings, full-range
+    /// integers, and arbitrary finite f64 bit patterns.
+    #[test]
+    fn report_json_round_trips_for_arbitrary_rows(
+        cols in 1usize..6,
+        rows in 0usize..16,
+        seed in 0u64..1_000_000,
+    ) {
+        use gradpim::engine::report::{from_json, to_csv, to_json};
+        let report = arbitrary_report(cols, rows, seed);
+        let doc = to_json(&report);
+        let parsed = match from_json(&doc) {
+            Ok(p) => p,
+            Err(e) => {
+                return Err(proptest::test_runner::TestCaseError::fail(format!(
+                    "emitted JSON failed to parse: {e}\n{doc}"
+                )))
+            }
+        };
+        prop_assert_eq!(&parsed, &report);
+        prop_assert_eq!(to_json(&parsed), doc);
+        // CSV stays line-aligned even with embedded newlines: quoted
+        // fields keep them, so count logical records via the emitter's
+        // own invariant instead — header + rows, each ending in \n.
+        let csv = to_csv(&report);
+        prop_assert!(csv.ends_with('\n'));
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
