@@ -1,0 +1,86 @@
+//! Criterion group for the multi-process sharding layer: the pure
+//! split/merge overhead (what the coordinator adds on top of the
+//! simulations) and the in-process sharded pipeline against the direct
+//! run, asserting bit-identity on every iteration.
+//!
+//! The split/merge path must stay cheap — it runs once per sharded
+//! experiment and is pure bookkeeping; a regression here taxes every
+//! `--shards` invocation no matter how the workers are transported.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gradpim_engine::dist::{merge_shard_reports, run_sharded, InProcess, ShardOptions};
+use gradpim_engine::serialize::{Experiment, ExperimentSpec};
+use gradpim_engine::Engine;
+use gradpim_sim::report::{Kind, Report, Schema, SweepRow};
+
+fn bench_split_merge_overhead(c: &mut Criterion) {
+    // A synthetic 4096-group experiment over 8 shards: spec splitting
+    // plus the row-set interleave, no simulation at all.
+    let shards = 8usize;
+    let layout: Vec<usize> = (0..4096).map(|g| 1 + g % 3).collect();
+    let schema = Schema::new([("group", Kind::Int), ("value", Kind::Float)]);
+    let shard_reports: Vec<Report> = (0..shards)
+        .map(|s| {
+            let mut r = Report::new(schema.clone());
+            for (g, &rows) in layout.iter().enumerate() {
+                if g % shards == s {
+                    for k in 0..rows {
+                        r.push(SweepRow::new([(g * 8 + k).into(), (g as f64).into()]));
+                    }
+                }
+            }
+            r
+        })
+        .collect();
+    let total: usize = layout.iter().sum();
+
+    let mut g = c.benchmark_group("engine_dist");
+    g.sample_size(10);
+    g.bench_function("merge_4096_groups_8_shards", |b| {
+        b.iter(|| {
+            let merged = merge_shard_reports(&layout, &shard_reports).unwrap();
+            assert_eq!(merged.rows.len(), total);
+            merged.rows.len()
+        })
+    });
+    let spec = ExperimentSpec::new(Experiment::Fig12b, Some((1500, 20_000)), None);
+    g.bench_function("shard_specs_and_layout", |b| {
+        b.iter(|| {
+            let subs = spec.shard_specs(8);
+            let layout = spec.layout().unwrap();
+            (subs.len(), layout.len())
+        })
+    });
+    g.finish();
+}
+
+fn bench_inprocess_sharded_pipeline(c: &mut Criterion) {
+    // The whole split→run-each→merge pipeline (in-process executor, so
+    // no fork/exec noise) vs the direct run of the same spec. The two
+    // must stay bit-identical; the gap is the coordinator's overhead.
+    let spec =
+        ExperimentSpec::new(Experiment::Fig12b, Some((1500, 20_000)), Some(vec!["MLP1".into()]));
+    let engine = Engine::new(4);
+    let expect = spec.run(&Engine::sequential()).unwrap();
+
+    let mut g = c.benchmark_group("engine_dist");
+    g.sample_size(10);
+    g.bench_function("fig12b_direct", |b| {
+        b.iter(|| {
+            let report = spec.run(&engine).unwrap();
+            assert_eq!(report, expect, "direct run diverged");
+            report.rows.len()
+        })
+    });
+    g.bench_function("fig12b_sharded3_inprocess", |b| {
+        b.iter(|| {
+            let report = run_sharded(&spec, ShardOptions::new(3), &InProcess, &engine).unwrap();
+            assert_eq!(report, expect, "sharded run diverged");
+            report.rows.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_split_merge_overhead, bench_inprocess_sharded_pipeline);
+criterion_main!(benches);

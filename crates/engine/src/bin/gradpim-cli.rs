@@ -4,8 +4,11 @@
 //!
 //! ```text
 //! gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]
+//!             [--shards N [--shard-retries K]]
 //!             [--format table|csv|json] [-o PATH] [--emit-spec PATH]
-//! gradpim-cli --run-spec FILE [--threads N] [--format table|csv|json] [-o PATH]
+//! gradpim-cli --run-spec FILE [--shards N [--shard-retries K]] [--threads N]
+//!             [--format table|csv|json] [-o PATH]
+//! gradpim-cli shard-worker FILE|- [--threads N] [-o PATH]
 //! gradpim-cli check-report FILE
 //! gradpim-cli list
 //!
@@ -20,9 +23,19 @@
 //!
 //! Every experiment runs through an [`ExperimentSpec`], so the in-process
 //! path and the `--emit-spec` → `--run-spec` process boundary execute the
-//! same code and produce bit-identical numbers. Result data goes to
-//! stdout (or `-o PATH`); progress/banner lines go to stderr, so
+//! same code and produce bit-identical numbers. `--shards N` farms the
+//! spec's row groups across `N` worker *processes* (this binary
+//! re-invoked as `shard-worker`, or the program named by
+//! `GRADPIM_SHARD_WORKER`), retries crashed workers up to
+//! `--shard-retries K` times each, and merges the row sets — still
+//! bit-identical to the unsharded run. Result data goes to stdout (or
+//! `-o PATH`); progress/banner lines go to stderr, so
 //! `--format csv|json` output is pipe-clean.
+//!
+//! Exit codes: `0` success, `1` runtime failure (bad spec file, unknown
+//! network, simulation error), `2` usage error, `3` shard-pipeline
+//! failure (a worker exhausted its retries, or shard output could not be
+//! merged).
 //!
 //! `--threads` (default: `GRADPIM_THREADS`, else available parallelism)
 //! sizes the engine's persistent worker pool; `--quick` (the default)
@@ -31,9 +44,11 @@
 //! `check-report` parses a previously emitted report JSON and reports its
 //! shape — a cheap integrity gate for scripted pipelines.
 
+use std::io::Read as _;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use gradpim_engine::dist::{self, DistError, ProcessWorker, ShardOptions};
 use gradpim_engine::serialize::{Experiment, ExperimentSpec};
 use gradpim_engine::{report, Engine};
 use gradpim_sim::sweeps::QuickCaps;
@@ -42,6 +57,13 @@ use gradpim_workloads::models;
 /// Quick-mode traffic caps: small enough for a CI smoke, large enough to
 /// keep every figure's qualitative shape.
 const QUICK: QuickCaps = Some((4 * 1024, 32 * 1024));
+
+/// Exit code for usage errors.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for shard-pipeline failures (vs 1 for ordinary runtime
+/// failures) so scripted drivers can tell "respawn/retry elsewhere" from
+/// "the request itself is bad".
+const EXIT_SHARD: u8 = 3;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Format {
@@ -55,6 +77,9 @@ enum Mode {
     Experiment(Experiment),
     /// Execute a spec file produced by `--emit-spec`.
     RunSpec(String),
+    /// Worker mode: execute one shard sub-spec (`-` = stdin) and print
+    /// its report JSON.
+    ShardWorker(String),
     /// Parse a report JSON and print its shape.
     CheckReport(String),
     /// Print experiments and networks.
@@ -70,13 +95,31 @@ struct Args {
     format: Format,
     output: Option<String>,
     emit_spec: Option<String>,
+    shards: Option<usize>,
+    shard_retries: Option<usize>,
+}
+
+/// A runtime failure, split by exit code (usage errors never reach this
+/// type — they fail in [`parse_args`]).
+enum CliError {
+    /// Ordinary runtime failure → exit 1.
+    Run(String),
+    /// Shard-pipeline failure → exit [`EXIT_SHARD`].
+    Shard(String),
+}
+
+fn rt(e: impl ToString) -> CliError {
+    CliError::Run(e.to_string())
 }
 
 fn usage() -> String {
     let mut s = String::from(
         "usage: gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]\n\
+         \u{20}                   [--shards N [--shard-retries K]]\n\
          \u{20}                   [--format table|csv|json] [-o PATH] [--emit-spec PATH]\n\
-         \u{20}      gradpim-cli --run-spec FILE [--threads N] [--format table|csv|json] [-o PATH]\n\
+         \u{20}      gradpim-cli --run-spec FILE [--shards N [--shard-retries K]] [--threads N]\n\
+         \u{20}                   [--format table|csv|json] [-o PATH]\n\
+         \u{20}      gradpim-cli shard-worker FILE|- [--threads N] [-o PATH]\n\
          \u{20}      gradpim-cli check-report FILE\n\
          \u{20}      gradpim-cli list\n\n\
          experiments:\n",
@@ -86,6 +129,7 @@ fn usage() -> String {
     }
     s.push_str("  list     print experiments and networks\n");
     s.push_str("  check-report FILE   validate an emitted report JSON\n");
+    s.push_str("  shard-worker FILE|-   run one shard sub-spec, report JSON on stdout\n");
     s
 }
 
@@ -98,6 +142,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         format: Format::Table,
         output: None,
         emit_spec: None,
+        shards: None,
+        shard_retries: None,
     };
     let mut mode = None;
     let mut it = argv.iter();
@@ -112,6 +158,21 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     return Err("--threads must be positive".into());
                 }
                 args.threads = Some(n);
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a worker-process count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shards value `{v}`"))?;
+                if n == 0 {
+                    return Err("--shards must be at least 1 (got 0); \
+                                use --shards 1 for a single worker process"
+                        .into());
+                }
+                args.shards = Some(n);
+            }
+            "--shard-retries" => {
+                let v = it.next().ok_or("--shard-retries needs a retry count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad --shard-retries value `{v}`"))?;
+                args.shard_retries = Some(n);
             }
             "--nets" => {
                 let v = it.next().ok_or("--nets needs a comma-separated list")?;
@@ -143,6 +204,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("check-report needs a report file path")?;
                 set_mode(&mut mode, Mode::CheckReport(v.clone()))?;
             }
+            "shard-worker" => {
+                let v = it.next().ok_or("shard-worker needs a spec file path (or `-`)")?;
+                set_mode(&mut mode, Mode::ShardWorker(v.clone()))?;
+            }
             other if !other.starts_with('-') => {
                 let e = Experiment::parse(other)
                     .ok_or_else(|| format!("unknown experiment `{other}`\n\n{}", usage()))?;
@@ -152,17 +217,35 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
     }
     args.mode = mode.ok_or_else(usage)?;
-    if matches!(args.mode, Mode::RunSpec(_)) {
+    if matches!(args.mode, Mode::RunSpec(_) | Mode::ShardWorker(_)) {
         // The spec file owns these knobs; rejecting beats silently
         // running different caps/networks than the user asked for.
         if args.nets.is_some() {
-            return Err("--run-spec takes its networks from the spec file; drop --nets".into());
+            return Err("the spec file owns the networks; drop --nets".into());
         }
         if args.quick.is_some() {
-            return Err(
-                "--run-spec takes its traffic caps from the spec file; drop --quick/--full".into(),
-            );
+            return Err("the spec file owns the traffic caps; drop --quick/--full".into());
         }
+    }
+    if matches!(args.mode, Mode::ShardWorker(_)) {
+        if args.format != Format::Table {
+            return Err("shard-worker always emits report JSON; drop --format".into());
+        }
+        if args.shards.is_some() {
+            return Err("shard-worker runs exactly its sub-spec; drop --shards".into());
+        }
+        if args.emit_spec.is_some() {
+            return Err("shard-worker executes a spec; drop --emit-spec".into());
+        }
+    }
+    if args.shard_retries.is_some() && args.shards.is_none() {
+        return Err("--shard-retries needs --shards".into());
+    }
+    if args.shards.is_some() && matches!(args.mode, Mode::List | Mode::CheckReport(_)) {
+        return Err("--shards applies to experiments and --run-spec only".into());
+    }
+    if args.shards.is_some() && args.emit_spec.is_some() {
+        return Err("--emit-spec writes the spec without running it; drop --shards".into());
     }
     Ok(args)
 }
@@ -177,10 +260,11 @@ fn set_mode(slot: &mut Option<Mode>, mode: Mode) -> Result<(), String> {
 
 /// Writes `text` to `-o PATH` if given, stdout otherwise, confirming file
 /// writes on stderr so data pipes stay clean.
-fn emit_output(output: Option<&str>, text: &str) -> Result<(), String> {
+fn emit_output(output: Option<&str>, text: &str) -> Result<(), CliError> {
     match output {
         Some(path) => {
-            std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            std::fs::write(path, text)
+                .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
             eprintln!("gradpim-cli: wrote {path}");
             Ok(())
         }
@@ -191,7 +275,14 @@ fn emit_output(output: Option<&str>, text: &str) -> Result<(), String> {
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn engine_for(args: &Args) -> Engine {
+    match args.threads {
+        Some(n) => Engine::new(n),
+        None => Engine::from_env(),
+    }
+}
+
+fn run(args: &Args) -> Result<(), CliError> {
     match &args.mode {
         Mode::List => {
             println!("experiments:");
@@ -205,10 +296,10 @@ fn run(args: &Args) -> Result<(), String> {
             return Ok(());
         }
         Mode::CheckReport(path) => {
-            let doc =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let doc = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
             let report = report::from_json(&doc)
-                .map_err(|e| format!("`{path}` is not a valid report: {e}"))?;
+                .map_err(|e| CliError::Run(format!("`{path}` is not a valid report: {e}")))?;
             println!(
                 "{path}: valid report, {} rows x {} columns ({})",
                 report.rows.len(),
@@ -223,22 +314,23 @@ fn run(args: &Args) -> Result<(), String> {
             );
             return Ok(());
         }
+        Mode::ShardWorker(path) => return run_shard_worker(path, args),
         Mode::Experiment(_) | Mode::RunSpec(_) => {}
     }
 
     let spec = match &args.mode {
-        Mode::Experiment(experiment) => ExperimentSpec {
-            experiment: *experiment,
-            quick: if args.quick.unwrap_or(true) { QUICK } else { None },
-            nets: args.nets.clone(),
-        },
+        Mode::Experiment(experiment) => ExperimentSpec::new(
+            *experiment,
+            if args.quick.unwrap_or(true) { QUICK } else { None },
+            args.nets.clone(),
+        ),
         Mode::RunSpec(path) => {
-            let doc =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let doc = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
             ExperimentSpec::from_json(&doc)
-                .map_err(|e| format!("`{path}` is not a valid spec: {e}"))?
+                .map_err(|e| CliError::Run(format!("`{path}` is not a valid spec: {e}")))?
         }
-        Mode::List | Mode::CheckReport(_) => unreachable!("handled above"),
+        Mode::List | Mode::CheckReport(_) | Mode::ShardWorker(_) => unreachable!("handled above"),
     };
 
     if let Some(path) = &args.emit_spec {
@@ -246,25 +338,52 @@ fn run(args: &Args) -> Result<(), String> {
         if path == "-" {
             print!("{doc}");
         } else {
-            std::fs::write(path, &doc).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            std::fs::write(path, &doc)
+                .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
             eprintln!("gradpim-cli: wrote spec for `{}` to {path}", spec.experiment);
         }
         return Ok(());
     }
 
-    let engine = match args.threads {
-        Some(n) => Engine::new(n),
-        None => Engine::from_env(),
-    };
-    eprintln!(
-        "gradpim-cli: {} ({} mode, {} worker thread{})",
-        spec.experiment,
-        if spec.quick.is_some() { "quick" } else { "full" },
-        engine.threads(),
-        if engine.threads() == 1 { "" } else { "s" }
-    );
     let t0 = Instant::now();
-    let report = spec.run(&engine).map_err(|e| e.to_string())?;
+    let report = match args.shards {
+        Some(shards) => {
+            let opts = ShardOptions::new(shards)
+                .retries(args.shard_retries.unwrap_or(ShardOptions::DEFAULT_RETRIES));
+            let worker = ProcessWorker::from_env()
+                .map_err(|e| CliError::Run(format!("cannot locate the worker program: {e}")))?
+                .threads(args.threads);
+            // Coordinator jobs are cheap poll-waits on child processes,
+            // not simulation work: size this pool by the shard count so
+            // every worker process runs concurrently even when the
+            // simulation thread knob (--threads / GRADPIM_THREADS) is 1
+            // — that knob is forwarded to the workers instead.
+            let coordinator = Engine::new(shards);
+            eprintln!(
+                "gradpim-cli: {} ({} mode) across {} worker process{} (retry budget {})",
+                spec.experiment,
+                if spec.quick.is_some() { "quick" } else { "full" },
+                shards,
+                if shards == 1 { "" } else { "es" },
+                opts.retries,
+            );
+            dist::run_sharded(&spec, opts, &worker, &coordinator).map_err(|e| match e {
+                DistError::Worker { .. } | DistError::Merge(_) => CliError::Shard(e.to_string()),
+                other => CliError::Run(other.to_string()),
+            })?
+        }
+        None => {
+            let engine = engine_for(args);
+            eprintln!(
+                "gradpim-cli: {} ({} mode, {} worker thread{})",
+                spec.experiment,
+                if spec.quick.is_some() { "quick" } else { "full" },
+                engine.threads(),
+                if engine.threads() == 1 { "" } else { "s" }
+            );
+            spec.run(&engine).map_err(rt)?
+        }
+    };
     let text = match args.format {
         Format::Table => report::to_table(&report),
         Format::Csv => report::to_csv(&report),
@@ -275,20 +394,57 @@ fn run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Worker mode: read a (usually sharded) spec, execute it, and emit the
+/// report JSON — the child half of the `--shards` pipeline.
+fn run_shard_worker(path: &str, args: &Args) -> Result<(), CliError> {
+    let doc = if path == "-" {
+        let mut s = String::new();
+        std::io::stdin()
+            .read_to_string(&mut s)
+            .map_err(|e| CliError::Run(format!("cannot read the spec from stdin: {e}")))?;
+        s
+    } else {
+        std::fs::read_to_string(path)
+            .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?
+    };
+    let spec = ExperimentSpec::from_json(&doc).map_err(|e| {
+        CliError::Run(format!(
+            "{} is not a valid spec: {e}",
+            if path == "-" { "stdin" } else { path }
+        ))
+    })?;
+    let engine = engine_for(args);
+    match spec.shard {
+        Some(shard) => eprintln!(
+            "gradpim-cli: shard-worker {} shard {shard} ({} worker thread{})",
+            spec.experiment,
+            engine.threads(),
+            if engine.threads() == 1 { "" } else { "s" }
+        ),
+        None => eprintln!("gradpim-cli: shard-worker {} (whole spec)", spec.experiment),
+    }
+    let report = spec.run(&engine).map_err(rt)?;
+    emit_output(args.output.as_deref(), &report::to_json(&report))
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_args(&argv) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Run(e)) => {
             eprintln!("gradpim-cli: {e}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Shard(e)) => {
+            eprintln!("gradpim-cli: {e}");
+            ExitCode::from(EXIT_SHARD)
         }
     }
 }

@@ -15,6 +15,12 @@
 //!   pool with deterministic, input-ordered result collection and
 //!   input-order-first error propagation; [`sweeps`] wires the
 //!   `gradpim_sim` spec enumerations through it.
+//! * **Across processes** — the [`dist`] module splits one
+//!   [`serialize::ExperimentSpec`] into per-shard sub-specs, launches
+//!   worker processes (`gradpim-cli shard-worker`), retries crashed
+//!   shards, and merges the row sets back into figure order — still
+//!   bit-identical to the sequential run, and one transport swap away
+//!   from cross-host distribution.
 //!
 //! [`Engine`] carries the one knob — the worker count — resolved from
 //! `GRADPIM_THREADS` (falling back to the machine's available
@@ -40,6 +46,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod channels;
+pub mod dist;
 mod json;
 pub mod pool;
 pub mod report;

@@ -84,6 +84,16 @@ impl Cancel<'_> {
     }
 }
 
+impl Cancel<'static> {
+    /// A handle that never reports cancellation — for driving a
+    /// cancel-aware job (e.g. a [`crate::dist::ShardExec`] worker launch)
+    /// outside a pool batch, where no failure watermark exists.
+    pub fn never() -> Self {
+        static NEVER_FAILED: AtomicUsize = AtomicUsize::new(usize::MAX);
+        Cancel { index: 0, failed: &NEVER_FAILED }
+    }
+}
+
 /// Counts outstanding pool-side participants of one batch; the caller
 /// blocks on it before touching the batch state again (and before the
 /// borrowed stack frame can unwind).
@@ -623,6 +633,12 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, "job 0 failed");
         assert!(cancelled.load(Ordering::Relaxed) > 0, "no long job saw the cancel signal");
+    }
+
+    #[test]
+    fn never_handle_never_cancels() {
+        let cancel = Cancel::never();
+        assert!(!cancel.should_cancel());
     }
 
     #[test]

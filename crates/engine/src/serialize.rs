@@ -14,11 +14,11 @@
 //! use gradpim_engine::serialize::{Experiment, ExperimentSpec};
 //! use gradpim_engine::Engine;
 //!
-//! let spec = ExperimentSpec {
-//!     experiment: Experiment::Fig12b,
-//!     quick: Some((1500, 20_000)), // doc-sized traffic caps
-//!     nets: Some(vec!["MLP1".into()]),
-//! };
+//! let spec = ExperimentSpec::new(
+//!     Experiment::Fig12b,
+//!     Some((1500, 20_000)), // doc-sized traffic caps
+//!     Some(vec!["MLP1".into()]),
+//! );
 //! let wire = spec.to_json();
 //! let back = ExperimentSpec::from_json(&wire)?;
 //! assert_eq!(back, spec);
@@ -29,14 +29,24 @@
 
 use std::fmt;
 
+use gradpim_sim::distributed::{scaling_specs, DistSpec};
 use gradpim_sim::report::Report;
-use gradpim_sim::sweeps::QuickCaps;
+use gradpim_sim::sweeps::{
+    batch_specs, layer_specs, ops_bandwidth_specs, precision_specs, BatchSpec, LayerSpec,
+    OpsBwSpec, PrecisionSpec, QuickCaps,
+};
 use gradpim_sim::{Design, PhaseError};
 use gradpim_workloads::{models, Network};
 
 use crate::json::{self, Json};
 use crate::report::ParseError;
+use crate::sweeps::ScalingRow;
 use crate::{sweeps, Engine};
+
+/// The node counts of the Fig. 14 scaling study, shared by
+/// [`ExperimentSpec::run`] and [`ExperimentSpec::layout`] so the two can
+/// never disagree on the experiment's shape.
+pub const FIG14_NODES: [usize; 4] = [1, 2, 4, 8];
 
 /// One experiment of the paper's evaluation, as named on the
 /// `gradpim-cli` command line.
@@ -103,6 +113,31 @@ impl fmt::Display for Experiment {
     }
 }
 
+/// A shard selector over an experiment's **row groups**: a spec carrying
+/// `Shard { index, count }` executes only the groups `g` with
+/// `g % count == index` (round-robin, so expensive neighboring points
+/// spread across shards) and reports their rows in relative order.
+///
+/// A *row group* is the smallest run of report rows that must be computed
+/// together: one network for fig09 (its speedup column references the
+/// network's own baseline row), one sweep point for every other
+/// experiment. [`ExperimentSpec::layout`] names each group's row count so
+/// a coordinator can interleave per-shard reports back into input order —
+/// see [`crate::dist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// This shard's position in `0..count`.
+    pub index: usize,
+    /// Total number of shards the parent spec was split into (≥ 1).
+    pub count: usize,
+}
+
+impl fmt::Display for Shard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
 /// One self-contained, serializable unit of sweep work: which experiment,
 /// which traffic caps, which networks. See the module docs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -116,12 +151,24 @@ pub struct ExperimentSpec {
     /// experiment's paper default (all networks; AlphaGoZero for fig12a;
     /// ResNet-18 for fig14).
     pub nets: Option<Vec<String>>,
+    /// `Some` restricts execution to one shard's row groups (see
+    /// [`Shard`]); `None` runs the whole experiment.
+    pub shard: Option<Shard>,
 }
 
 impl ExperimentSpec {
+    /// An unsharded spec (the common construction; set
+    /// [`ExperimentSpec::shard`] or call [`ExperimentSpec::shard_specs`]
+    /// for the sharded form).
+    pub fn new(experiment: Experiment, quick: QuickCaps, nets: Option<Vec<String>>) -> Self {
+        Self { experiment, quick, nets, shard: None }
+    }
+
     /// Serializes the spec as a small JSON document. Deterministic, and
     /// [`ExperimentSpec::from_json`] of the result is `==` to `self`
-    /// (round-trip is byte-identical).
+    /// (round-trip is byte-identical). The `shard` key is emitted only for
+    /// sharded specs, so unsharded documents are unchanged from earlier
+    /// releases.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"experiment\": ");
         json::escape_into(&mut out, self.experiment.name());
@@ -144,6 +191,9 @@ impl ExperimentSpec {
             }
             None => out.push_str("null"),
         }
+        if let Some(Shard { index, count }) = self.shard {
+            out.push_str(&format!(",\n  \"shard\": [{index}, {count}]"));
+        }
         out.push_str("\n}\n");
         out
     }
@@ -161,7 +211,7 @@ impl ExperimentSpec {
             return Err(shape(format!("expected a spec object, got {}", doc.type_name())));
         };
         for (key, _) in members {
-            if !matches!(key.as_str(), "experiment" | "quick" | "nets") {
+            if !matches!(key.as_str(), "experiment" | "quick" | "nets" | "shard") {
                 return Err(shape(format!("unknown spec key `{key}`")));
             }
         }
@@ -212,7 +262,33 @@ impl ExperimentSpec {
                 )))
             }
         };
-        Ok(Self { experiment, quick, nets })
+        let shard = match doc.get("shard") {
+            None | Some(Json::Null) => None,
+            Some(Json::Arr(parts)) => {
+                let [Json::Num(index), Json::Num(count)] = parts.as_slice() else {
+                    return Err(shape("`shard` must be [index, count]".into()));
+                };
+                let index = index
+                    .parse::<usize>()
+                    .map_err(|_| shape(format!("bad shard index `{index}`")))?;
+                let count = count
+                    .parse::<usize>()
+                    .map_err(|_| shape(format!("bad shard count `{count}`")))?;
+                if count == 0 || index >= count {
+                    return Err(shape(format!(
+                        "shard index {index} out of range for {count} shard(s)"
+                    )));
+                }
+                Some(Shard { index, count })
+            }
+            Some(v) => {
+                return Err(shape(format!(
+                    "`shard` must be an array or null, got {}",
+                    v.type_name()
+                )))
+            }
+        };
+        Ok(Self { experiment, quick, nets, shard })
     }
 
     /// Resolves the spec's network names against the model zoo
@@ -244,10 +320,77 @@ impl ExperimentSpec {
             .collect()
     }
 
+    /// The experiment's **row-group layout**: one entry per group (in
+    /// figure order) giving that group's row count. Pure enumeration — no
+    /// simulation runs — so a coordinator can compute the merge plan for
+    /// free before spawning any workers. The layout always describes the
+    /// *whole* experiment; a `shard` field on `self` is ignored (shards
+    /// are slices of this same layout).
+    ///
+    /// The sum of the entries equals `self.run(..)?.rows.len()` for an
+    /// unsharded spec; see [`Shard`] for what a group is per experiment.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownNetwork`], exactly as [`ExperimentSpec::run`]
+    /// would fail before simulating.
+    pub fn layout(&self) -> Result<Vec<usize>, SpecError> {
+        let nets = self.resolve_networks()?;
+        let quick = self.quick;
+        Ok(match self.experiment {
+            Experiment::Fig09 => vec![Design::ALL.len(); nets.len()],
+            Experiment::Fig12a => {
+                vec![1; nets.iter().map(|n| ops_bandwidth_specs(n, quick).len()).sum()]
+            }
+            Experiment::Fig12b => vec![1; batch_specs(&nets, quick).len()],
+            Experiment::Fig12c => vec![1; precision_specs(&nets, quick).len()],
+            Experiment::Fig13 => vec![1; layer_specs(&nets, quick).len()],
+            Experiment::Fig14 => vec![1; nets.len() * FIG14_NODES.len()],
+        })
+    }
+
+    /// The report schema this experiment produces — statically known, so
+    /// a coordinator can validate worker output against it without
+    /// trusting any worker (including a lone `--shards 1` worker, where
+    /// cross-shard comparison proves nothing).
+    pub fn schema(&self) -> gradpim_sim::report::Schema {
+        use gradpim_sim::report::ToRow as _;
+        use gradpim_sim::sweeps::{BatchPoint, LayerPoint, OpsBwPoint, PrecisionPoint};
+        match self.experiment {
+            Experiment::Fig09 => sweeps::design_space_schema(),
+            Experiment::Fig12a => OpsBwPoint::schema(),
+            Experiment::Fig12b => BatchPoint::schema(),
+            Experiment::Fig12c => PrecisionPoint::schema(),
+            Experiment::Fig13 => LayerPoint::schema(),
+            Experiment::Fig14 => ScalingRow::schema(),
+        }
+    }
+
+    /// Splits this spec into `count` sub-specs, shard `i` carrying
+    /// `Shard { index: i, count }` — the unit a coordinator farms out to
+    /// worker processes ([`crate::dist`]). Running every sub-spec and
+    /// interleaving the row sets by group reproduces the unsharded report
+    /// byte for byte.
+    ///
+    /// # Panics
+    ///
+    /// If `count` is zero or `self` already carries a shard selector
+    /// (re-sharding a shard is a coordinator bug; [`crate::dist`] rejects
+    /// both cases with typed errors first).
+    pub fn shard_specs(&self, count: usize) -> Vec<ExperimentSpec> {
+        assert!(count >= 1, "shard count must be at least 1");
+        assert!(self.shard.is_none(), "cannot re-shard an already-sharded spec");
+        (0..count)
+            .map(|index| ExperimentSpec { shard: Some(Shard { index, count }), ..self.clone() })
+            .collect()
+    }
+
     /// Executes the spec on `engine` and returns the structured results.
     /// Same enumerations, same simulations, same f64 arithmetic as the
     /// direct sweep APIs — a spec that crossed a process boundary yields
-    /// **bit-identical** rows to an in-process run.
+    /// **bit-identical** rows to an in-process run. A sharded spec runs
+    /// only its own row groups (see [`Shard`]) through the very same code
+    /// path, so shard slices cannot drift from the whole either.
     ///
     /// # Errors
     ///
@@ -256,37 +399,78 @@ impl ExperimentSpec {
     pub fn run(&self, engine: &Engine) -> Result<Report, SpecError> {
         let nets = self.resolve_networks()?;
         let quick = self.quick;
+        let keep = |g: usize| self.shard.is_none_or(|s| g % s.count == s.index);
         Ok(match self.experiment {
             Experiment::Fig09 => {
-                let pts = sweeps::design_space(&nets, &Design::ALL, quick, engine)?;
+                // Group = one network: the speedup column of each row
+                // references the same network's Baseline row, so a
+                // network's designs never split across shards.
+                let kept: Vec<Network> = retain_groups(nets, keep);
+                let pts = sweeps::design_space(&kept, &Design::ALL, quick, engine)?;
                 sweeps::design_space_report(&pts)
             }
             Experiment::Fig12a => {
-                use gradpim_sim::report::ToRow;
-                // Start from the schema so `nets: []` yields an empty
-                // report like every other experiment, not a panic.
-                let mut report = Report::new(gradpim_sim::sweeps::OpsBwPoint::schema());
+                let mut g = 0;
+                let mut specs: Vec<OpsBwSpec> = Vec::new();
                 for net in &nets {
-                    report.extend(Report::from_points(&sweeps::ops_bandwidth_sweep(
-                        net, quick, engine,
-                    )?));
+                    for spec in ops_bandwidth_specs(net, quick) {
+                        if keep(g) {
+                            specs.push(spec);
+                        }
+                        g += 1;
+                    }
                 }
-                report
+                Report::from_points(&engine.run(&specs, |_, s: &OpsBwSpec| s.run())?)
             }
-            Experiment::Fig12b => Report::from_points(&sweeps::batch_sweep(&nets, quick, engine)?),
+            Experiment::Fig12b => {
+                let specs = retain_groups(batch_specs(&nets, quick), keep);
+                Report::from_points(&engine.run(&specs, |_, s: &BatchSpec| s.run())?)
+            }
             Experiment::Fig12c => {
-                Report::from_points(&sweeps::precision_sweep(&nets, quick, engine)?)
+                let specs = retain_groups(precision_specs(&nets, quick), keep);
+                Report::from_points(&engine.run(&specs, |_, s: &PrecisionSpec| s.run())?)
             }
-            Experiment::Fig13 => Report::from_points(&sweeps::layer_scatter(&nets, quick, engine)?),
+            Experiment::Fig13 => {
+                let specs = retain_groups(layer_specs(&nets, quick), keep);
+                Report::from_points(&engine.run(&specs, |_, s: &LayerSpec| s.run())?)
+            }
             Experiment::Fig14 => {
-                let mut rows = Vec::new();
+                // Group = one (network, node count) row, i.e. one
+                // consecutive (baseline, gradpim) spec pair.
+                let mut g = 0;
+                let mut groups: Vec<(&str, usize)> = Vec::new();
+                let mut jobs: Vec<DistSpec> = Vec::new();
                 for net in &nets {
-                    rows.extend(sweeps::distributed_scaling(net, &[1, 2, 4, 8], quick, engine)?);
+                    let specs = scaling_specs(net, &FIG14_NODES, quick);
+                    for (pair, &nodes) in specs.chunks_exact(2).zip(FIG14_NODES.iter()) {
+                        if keep(g) {
+                            groups.push((net.name.as_str(), nodes));
+                            jobs.extend(pair.iter().cloned());
+                        }
+                        g += 1;
+                    }
                 }
+                let reports = engine.run(&jobs, |_, s: &DistSpec| s.run())?;
+                let rows: Vec<ScalingRow> = groups
+                    .iter()
+                    .zip(reports.chunks_exact(2))
+                    .map(|(&(network, nodes), pair)| ScalingRow {
+                        network: network.to_string(),
+                        nodes,
+                        baseline: pair[0],
+                        gradpim: pair[1],
+                    })
+                    .collect();
                 Report::from_points(&rows)
             }
         })
     }
+}
+
+/// Keeps the groups selected by `keep`, preserving relative order — the
+/// one filter every sharded experiment funnels through.
+fn retain_groups<T>(groups: Vec<T>, keep: impl Fn(usize) -> bool) -> Vec<T> {
+    groups.into_iter().enumerate().filter(|(g, _)| keep(*g)).map(|(_, s)| s).collect()
 }
 
 /// Why a spec could not be executed.
@@ -329,12 +513,16 @@ mod tests {
     #[test]
     fn spec_json_round_trips_byte_identically() {
         for spec in [
-            ExperimentSpec { experiment: Experiment::Fig12a, quick: QUICK, nets: None },
-            ExperimentSpec { experiment: Experiment::Fig09, quick: None, nets: None },
+            ExperimentSpec::new(Experiment::Fig12a, QUICK, None),
+            ExperimentSpec::new(Experiment::Fig09, None, None),
+            ExperimentSpec::new(
+                Experiment::Fig14,
+                Some((u64::MAX, usize::MAX)),
+                Some(vec!["MLP1".into(), "ResNet18".into()]),
+            ),
             ExperimentSpec {
-                experiment: Experiment::Fig14,
-                quick: Some((u64::MAX, usize::MAX)),
-                nets: Some(vec!["MLP1".into(), "ResNet18".into()]),
+                shard: Some(Shard { index: 2, count: 5 }),
+                ..ExperimentSpec::new(Experiment::Fig12b, QUICK, None)
             },
         ] {
             let doc = spec.to_json();
@@ -354,10 +542,123 @@ mod tests {
             ("{\"experiment\": \"fig09\", \"quick\": [1]}", "`quick` must be"),
             ("{\"experiment\": \"fig09\", \"quick\": [1, -2]}", "bad param cap"),
             ("{\"experiment\": \"fig09\", \"nets\": [1]}", "must be strings"),
+            ("{\"experiment\": \"fig09\", \"shard\": [1]}", "`shard` must be"),
+            ("{\"experiment\": \"fig09\", \"shard\": [-1, 2]}", "bad shard index"),
+            ("{\"experiment\": \"fig09\", \"shard\": [2, 2]}", "out of range"),
+            ("{\"experiment\": \"fig09\", \"shard\": [0, 0]}", "out of range"),
+            ("{\"experiment\": \"fig09\", \"shard\": 3}", "`shard` must be an array or null"),
         ] {
             let err = ExperimentSpec::from_json(doc).unwrap_err();
             assert!(err.message.contains(what), "{doc}: got `{err}`, wanted `{what}`");
         }
+    }
+
+    #[test]
+    fn unsharded_spec_json_has_no_shard_key() {
+        // Compatibility: specs emitted before sharding existed must parse,
+        // and fresh unsharded specs must keep emitting the old shape.
+        let spec = ExperimentSpec::new(Experiment::Fig12a, QUICK, None);
+        assert!(!spec.to_json().contains("shard"));
+        let legacy = "{\"experiment\": \"fig12a\", \"quick\": [1500, 20000], \"nets\": null}";
+        assert_eq!(ExperimentSpec::from_json(legacy).unwrap(), spec);
+    }
+
+    #[test]
+    fn shard_specs_enumerate_every_index() {
+        let spec = ExperimentSpec::new(Experiment::Fig12b, QUICK, None);
+        let subs = spec.shard_specs(3);
+        assert_eq!(subs.len(), 3);
+        for (i, sub) in subs.iter().enumerate() {
+            assert_eq!(sub.shard, Some(Shard { index: i, count: 3 }));
+            assert_eq!(
+                (sub.experiment, &sub.quick, &sub.nets),
+                (spec.experiment, &spec.quick, &spec.nets)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already-sharded")]
+    fn shard_specs_reject_resharding() {
+        let mut spec = ExperimentSpec::new(Experiment::Fig12b, QUICK, None);
+        spec.shard = Some(Shard { index: 0, count: 2 });
+        let _ = spec.shard_specs(2);
+    }
+
+    #[test]
+    fn layout_row_counts_match_run() {
+        // The merge plan must agree with what the experiments actually
+        // produce, experiment by experiment.
+        let engine = Engine::sequential();
+        for experiment in Experiment::ALL {
+            let spec = ExperimentSpec::new(experiment, QUICK, Some(vec!["MLP1".into()]));
+            let layout = spec.layout().unwrap();
+            let report = spec.run(&engine).unwrap();
+            assert_eq!(
+                layout.iter().sum::<usize>(),
+                report.rows.len(),
+                "{experiment}: layout {layout:?}"
+            );
+            if experiment == Experiment::Fig09 {
+                assert_eq!(layout, vec![Design::ALL.len()], "{experiment}");
+            } else {
+                assert!(layout.iter().all(|&n| n == 1), "{experiment}: layout {layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn static_schema_matches_what_run_produces() {
+        // The coordinator validates worker reports against this schema;
+        // it must agree with every experiment's actual output.
+        let engine = Engine::sequential();
+        for experiment in Experiment::ALL {
+            let spec = ExperimentSpec::new(experiment, QUICK, Some(vec!["MLP1".into()]));
+            assert_eq!(spec.schema(), spec.run(&engine).unwrap().schema, "{experiment}");
+        }
+    }
+
+    #[test]
+    fn sharded_runs_partition_the_unsharded_report() {
+        // Each shard yields exactly its round-robin slice of groups, and
+        // the slices together cover the whole report. (The interleaved
+        // re-merge is exercised end to end in `crate::dist` and by the
+        // shard_pipeline proptest.)
+        let engine = Engine::sequential();
+        for experiment in [Experiment::Fig09, Experiment::Fig12b, Experiment::Fig14] {
+            let spec = ExperimentSpec::new(experiment, QUICK, Some(vec!["MLP1".into()]));
+            let whole = spec.run(&engine).unwrap();
+            let layout = spec.layout().unwrap();
+            let count = 2;
+            let mut seen = 0;
+            for (index, sub) in spec.shard_specs(count).iter().enumerate() {
+                let part = sub.run(&engine).unwrap();
+                assert_eq!(part.schema, whole.schema, "{experiment} shard {index}");
+                // Collect the rows the shard should own, in order.
+                let mut expect = Vec::new();
+                let mut row = 0;
+                for (g, &rows) in layout.iter().enumerate() {
+                    if g % count == index {
+                        expect.extend(whole.rows[row..row + rows].iter().cloned());
+                    }
+                    row += rows;
+                }
+                assert_eq!(part.rows, expect, "{experiment} shard {index}");
+                seen += part.rows.len();
+            }
+            assert_eq!(seen, whole.rows.len(), "{experiment}: shards must cover every row");
+        }
+    }
+
+    #[test]
+    fn oversharded_spec_yields_empty_tail_shards() {
+        // More shards than groups: the tail shards run nothing but still
+        // report the experiment's schema, so the merge stays uniform.
+        let spec = ExperimentSpec::new(Experiment::Fig12b, QUICK, Some(vec!["MLP1".into()]));
+        let subs = spec.shard_specs(5); // fig12b × 1 net = 3 groups
+        let tail = subs[4].run(&Engine::sequential()).unwrap();
+        assert!(tail.rows.is_empty());
+        assert!(!tail.schema.columns.is_empty());
     }
 
     #[test]
@@ -371,11 +672,7 @@ mod tests {
 
     #[test]
     fn unknown_network_fails_before_simulating() {
-        let spec = ExperimentSpec {
-            experiment: Experiment::Fig12b,
-            quick: QUICK,
-            nets: Some(vec!["NotANet".into()]),
-        };
+        let spec = ExperimentSpec::new(Experiment::Fig12b, QUICK, Some(vec!["NotANet".into()]));
         let err = spec.run(&Engine::sequential()).unwrap_err();
         assert!(matches!(err, SpecError::UnknownNetwork(ref n) if n == "NotANet"), "{err}");
         assert!(err.to_string().contains("known:"));
@@ -385,11 +682,8 @@ mod tests {
     fn spec_run_matches_in_process_sweep_bit_identically() {
         // The acceptance property: a spec that round-tripped through JSON
         // reproduces the in-process sequential numbers bit for bit.
-        let spec = ExperimentSpec {
-            experiment: Experiment::Fig12b,
-            quick: QUICK,
-            nets: Some(vec!["mlp1".into()]), // case-insensitive on purpose
-        };
+        // Case-insensitive network naming on purpose.
+        let spec = ExperimentSpec::new(Experiment::Fig12b, QUICK, Some(vec!["mlp1".into()]));
         let spec = ExperimentSpec::from_json(&spec.to_json()).unwrap();
         let engine = Engine::sequential();
         let via_spec = spec.run(&engine).unwrap();
@@ -407,7 +701,7 @@ mod tests {
         // used to panic on it while every other experiment returned an
         // empty report.
         for experiment in Experiment::ALL {
-            let spec = ExperimentSpec { experiment, quick: QUICK, nets: Some(Vec::new()) };
+            let spec = ExperimentSpec::new(experiment, QUICK, Some(Vec::new()));
             let spec = ExperimentSpec::from_json(&spec.to_json()).unwrap();
             let report = spec.run(&Engine::sequential()).unwrap();
             assert!(report.rows.is_empty(), "{experiment}");
@@ -417,11 +711,7 @@ mod tests {
 
     #[test]
     fn fig14_report_carries_network_and_nodes() {
-        let spec = ExperimentSpec {
-            experiment: Experiment::Fig14,
-            quick: QUICK,
-            nets: Some(vec!["MLP1".into()]),
-        };
+        let spec = ExperimentSpec::new(Experiment::Fig14, QUICK, Some(vec!["MLP1".into()]));
         let report = spec.run(&Engine::sequential()).unwrap();
         assert_eq!(report.rows.len(), 4); // nodes 1, 2, 4, 8
         assert_eq!(report.rows[0].values[0], Value::Str("MLP1".into()));

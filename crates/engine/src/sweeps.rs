@@ -81,20 +81,27 @@ pub struct DesignPoint {
     pub report: TrainingReport,
 }
 
-/// Fig. 9 as a structured [`Report`]: one row per (network, design) point
-/// with the phase times and — when the point's network has a
-/// [`Design::Baseline`] row earlier in `points`, as [`design_space`] with
-/// [`Design::ALL`] always produces — the speedup over that baseline
-/// (`NaN` otherwise).
-pub fn design_space_report(points: &[DesignPoint]) -> Report {
-    let mut report = Report::new(Schema::new([
+/// The column layout of [`design_space_report`] — `DesignPoint` carries a
+/// whole `TrainingReport`, so Fig. 9's tabular schema lives here rather
+/// than on a [`ToRow`] impl.
+pub fn design_space_schema() -> Schema {
+    Schema::new([
         ("network", Kind::Str),
         ("design", Kind::Str),
         ("fwdbwd_ns", Kind::Float),
         ("update_ns", Kind::Float),
         ("total_ns", Kind::Float),
         ("speedup", Kind::Float),
-    ]));
+    ])
+}
+
+/// Fig. 9 as a structured [`Report`]: one row per (network, design) point
+/// with the phase times and — when the point's network has a
+/// [`Design::Baseline`] row earlier in `points`, as [`design_space`] with
+/// [`Design::ALL`] always produces — the speedup over that baseline
+/// (`NaN` otherwise).
+pub fn design_space_report(points: &[DesignPoint]) -> Report {
+    let mut report = Report::new(design_space_schema());
     let mut baseline: Option<(&str, f64)> = None;
     for p in points {
         if p.design == Design::Baseline {

@@ -1,0 +1,212 @@
+//! End-to-end tests of the multi-process sharding pipeline: the
+//! split→run-each→merge identity as a property over arbitrary specs, and
+//! the real `gradpim-cli` coordinator/worker processes — including worker
+//! death, retries, and the exit-code contract.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+
+use gradpim_engine::dist::{run_sharded, InProcess, ShardOptions, WORKER_PROGRAM_ENV};
+use gradpim_engine::report::to_json;
+use gradpim_engine::serialize::{Experiment, ExperimentSpec};
+use gradpim_engine::Engine;
+use proptest::prelude::*;
+
+/// The binary under test, built by cargo for this test run.
+const CLI: &str = env!("CARGO_BIN_EXE_gradpim-cli");
+
+/// Doc-sized caps so every process in these tests simulates quickly.
+const QUICK: gradpim_sim::sweeps::QuickCaps = Some((1500, 20_000));
+
+fn fig12b_spec() -> ExperimentSpec {
+    ExperimentSpec::new(Experiment::Fig12b, QUICK, Some(vec!["MLP1".into()]))
+}
+
+/// A unique scratch path for this test process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gradpim-shard-test-{}-{name}", std::process::id()))
+}
+
+fn run_cli(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(CLI);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("run gradpim-cli")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+proptest! {
+    // Each case runs a whole (capped) experiment twice — keep the count
+    // modest; the per-experiment slicing logic is also covered
+    // deterministically in `serialize` and `dist` unit tests.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn split_run_merge_is_byte_identical_for_arbitrary_specs(
+        exp in 0usize..Experiment::ALL.len(),
+        shards in 1usize..=5,
+        two_nets in 0usize..2,
+        bursts in 256u64..1500,
+        params in 4096usize..20_000,
+    ) {
+        let nets: Vec<String> = if two_nets == 1 {
+            vec!["MLP1".into(), "ResNet18".into()]
+        } else {
+            vec!["MLP1".into()]
+        };
+        let spec = ExperimentSpec::new(Experiment::ALL[exp], Some((bursts, params)), Some(nets));
+        let engine = Engine::sequential();
+        let whole = spec.run(&engine).expect("unsharded run");
+        let merged = run_sharded(&spec, ShardOptions::new(shards).retries(0), &InProcess, &engine)
+            .expect("sharded run");
+        prop_assert_eq!(to_json(&merged), to_json(&whole));
+    }
+}
+
+#[test]
+fn shard_worker_protocol_stdin_to_report_json() {
+    // The worker half in isolation: sub-spec JSON on stdin, report JSON
+    // on stdout, byte-identical to running the same sub-spec in process.
+    let sub = &fig12b_spec().shard_specs(2)[1];
+    let mut child = Command::new(CLI)
+        .args(["shard-worker", "-", "--threads", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn shard-worker");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(sub.to_json().as_bytes())
+        .expect("ship the spec");
+    let out = child.wait_with_output().expect("worker exit");
+    assert!(out.status.success(), "worker failed: {}", stderr_of(&out));
+    let expect = to_json(&sub.run(&Engine::sequential()).expect("in-process shard"));
+    assert_eq!(String::from_utf8_lossy(&out.stdout), expect);
+}
+
+#[test]
+fn sharded_cli_reports_are_byte_identical_to_unsharded() {
+    let spec_path = scratch("identity.spec.json");
+    std::fs::write(&spec_path, fig12b_spec().to_json()).expect("write spec");
+    let spec = spec_path.to_str().expect("utf-8 temp path");
+
+    let mut outputs = Vec::new();
+    for extra in [&[][..], &["--shards", "1"][..], &["--shards", "3"][..]] {
+        let mut args = vec!["--run-spec", spec, "--format", "json", "--threads", "2"];
+        args.extend_from_slice(extra);
+        let out = run_cli(&args, &[]);
+        assert!(out.status.success(), "{extra:?}: {}", stderr_of(&out));
+        outputs.push(out.stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "--shards 1 diverged from the unsharded run");
+    assert_eq!(outputs[0], outputs[2], "--shards 3 diverged from the unsharded run");
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+#[test]
+fn shard_usage_errors_exit_2() {
+    for args in [
+        &["fig12b", "--shards", "0"][..],
+        &["fig12b", "--shard-retries", "2"][..],
+        &["list", "--shards", "2"][..],
+        &["fig12b", "--shards", "lots"][..],
+        &["fig12b", "--shards", "2", "--emit-spec", "never-written.json"][..],
+    ] {
+        let out = run_cli(args, &[]);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr_of(&out));
+    }
+    // The zero-shard message must say what to do instead.
+    let out = run_cli(&["fig12b", "--shards", "0"], &[]);
+    assert!(stderr_of(&out).contains("--shards must be at least 1"), "{}", stderr_of(&out));
+}
+
+#[test]
+fn dead_workers_exhaust_retries_and_exit_3() {
+    // Point the coordinator at a "worker" that always exits 1 without
+    // emitting any JSON: every attempt crashes, the retry budget runs
+    // out, and the failure is distinguished from usage (2) and ordinary
+    // runtime (1) errors.
+    let spec_path = scratch("dead.spec.json");
+    std::fs::write(&spec_path, fig12b_spec().to_json()).expect("write spec");
+    let out = run_cli(
+        &[
+            "--run-spec",
+            spec_path.to_str().expect("utf-8 temp path"),
+            "--shards",
+            "2",
+            "--shard-retries",
+            "1",
+        ],
+        &[(WORKER_PROGRAM_ENV, "/bin/false")],
+    );
+    assert_eq!(out.status.code(), Some(3), "{}", stderr_of(&out));
+    let err = stderr_of(&out);
+    assert!(err.contains("shard 0 failed after 2 attempt(s)"), "{err}");
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+#[test]
+fn runtime_errors_still_exit_1() {
+    // An unrunnable spec fails in the coordinator before any worker
+    // spawns — exit 1, not the shard-failure code.
+    let out = run_cli(&["fig12b", "--nets", "NotANet", "--shards", "2"], &[]);
+    assert_eq!(out.status.code(), Some(1), "{}", stderr_of(&out));
+    assert!(stderr_of(&out).contains("unknown network"), "{}", stderr_of(&out));
+}
+
+#[cfg(unix)]
+#[test]
+fn killed_worker_is_retried_and_the_run_converges() {
+    use std::os::unix::fs::PermissionsExt as _;
+
+    // A wrapper worker that dies to SIGKILL on its first launch (leaving
+    // a marker behind), then execs the real worker — the acceptance
+    // scenario: a killed worker is retried and the run still converges.
+    let marker = scratch("kill-marker");
+    let script = scratch("flaky-worker.sh");
+    let _ = std::fs::remove_file(&marker);
+    std::fs::write(
+        &script,
+        format!(
+            "#!/bin/sh\n\
+             if [ ! -e '{marker}' ]; then\n\
+               touch '{marker}'\n\
+               kill -9 $$\n\
+             fi\n\
+             exec '{real}' \"$@\"\n",
+            marker = marker.display(),
+            real = CLI,
+        ),
+    )
+    .expect("write worker script");
+    std::fs::set_permissions(&script, std::fs::Permissions::from_mode(0o755))
+        .expect("chmod worker script");
+
+    let spec_path = scratch("retry.spec.json");
+    std::fs::write(&spec_path, fig12b_spec().to_json()).expect("write spec");
+    let spec = spec_path.to_str().expect("utf-8 temp path");
+
+    let plain = run_cli(&["--run-spec", spec, "--format", "json"], &[]);
+    assert!(plain.status.success(), "{}", stderr_of(&plain));
+    let sharded = run_cli(
+        &["--run-spec", spec, "--shards", "1", "--shard-retries", "2", "--format", "json"],
+        &[(WORKER_PROGRAM_ENV, script.to_str().expect("utf-8 temp path"))],
+    );
+    assert!(sharded.status.success(), "retried run failed: {}", stderr_of(&sharded));
+    assert!(std::fs::metadata(&marker).is_ok(), "the flaky worker never crashed");
+    assert_eq!(
+        plain.stdout, sharded.stdout,
+        "report after a worker kill+retry diverged from the unsharded run"
+    );
+    for p in [&marker, &script, &spec_path] {
+        let _ = std::fs::remove_file(p);
+    }
+}

@@ -1,7 +1,7 @@
 //! Quantization numerics: int8 with power-of-two scales, and binary16.
 //!
-//! The paper does not pin one 8-bit training format (it cites integer [33]
-//! and FP8 [98], [102] lines of work); we use *symmetric int8 linear
+//! The paper does not pin one 8-bit training format (it cites integer \[33\]
+//! and FP8 \[98\], \[102\] lines of work); we use *symmetric int8 linear
 //! quantization with a power-of-two per-tensor scale*. Power-of-two scales
 //! match GradPIM's hardware budget exactly: the in-DRAM scaler is built from
 //! shifters and adders (§IV-B), so scaling by `2^e` is a pure shift and

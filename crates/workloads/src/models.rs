@@ -174,7 +174,7 @@ pub fn mobilenet_v2() -> Network {
     Network { name: "MobileNet".into(), layers, default_batch: 32 }
 }
 
-/// The MLP workload ("MLP1", LeCun et al. [62] family): MNIST-scale input,
+/// The MLP workload ("MLP1", LeCun et al. \[62\] family): MNIST-scale input,
 /// two wide hidden layers. Fig. 9 groups it as Input / H1 / H2 / Output.
 pub fn mlp() -> Network {
     let layers = vec![

@@ -360,7 +360,7 @@ fn spec_pipeline_reproduces_in_process_numbers_bit_identically() {
     use gradpim::engine::{report, Engine};
 
     let quick = Some((1200, 16_000));
-    let spec = ExperimentSpec { experiment: Experiment::Fig12a, quick, nets: None };
+    let spec = ExperimentSpec::new(Experiment::Fig12a, quick, None);
     let spec = ExperimentSpec::from_json(&spec.to_json()).unwrap();
     let via_spec = spec.run(&Engine::sequential()).unwrap();
     let direct =
