@@ -6,6 +6,8 @@
 //! phases — see `gradpim_sim::phase`); set `GRADPIM_FULL=1` for
 //! full-fidelity runs.
 
+#![forbid(unsafe_code)]
+
 use gradpim_sim::{Design, SystemConfig};
 use gradpim_workloads::{models, Network};
 

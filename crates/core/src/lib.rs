@@ -37,6 +37,7 @@
 //! # Ok::<(), gradpim_core::GradPimError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -45,6 +45,7 @@
 //! # Ok::<(), gradpim_dram::MemError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -3,26 +3,37 @@
 //! Rows are allocated lazily (zero-filled) on first touch, so simulating a
 //! 32 GiB memory system costs only what the workload touches. Storage is
 //! optional — performance-only simulations skip it entirely.
+//!
+//! The row map is a `BTreeMap`, not a `HashMap`: anything enumerating
+//! resident rows (footprint traces, [`Storage::touched_rows`]) must see
+//! them in the same order on every run, or downstream reports stop being
+//! byte-identical across machines and insertion orders.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Byte storage for one channel, keyed by (flat bank index, row).
 #[derive(Debug, Clone, Default)]
 pub struct Storage {
     row_bytes: usize,
     burst_bytes: usize,
-    rows: HashMap<(usize, u32), Vec<u8>>,
+    rows: BTreeMap<(usize, u32), Vec<u8>>,
 }
 
 impl Storage {
     /// Creates storage for rows of `columns × burst_bytes` bytes.
     pub fn new(columns: usize, burst_bytes: usize) -> Self {
-        Self { row_bytes: columns * burst_bytes, burst_bytes, rows: HashMap::new() }
+        Self { row_bytes: columns * burst_bytes, burst_bytes, rows: BTreeMap::new() }
     }
 
     /// Number of rows touched so far (footprint tracking).
     pub fn resident_rows(&self) -> usize {
         self.rows.len()
+    }
+
+    /// Every (flat bank index, row) touched so far, in key order —
+    /// deterministic regardless of the order the workload touched them.
+    pub fn touched_rows(&self) -> impl Iterator<Item = (usize, u32)> + '_ {
+        self.rows.keys().copied()
     }
 
     /// Resident bytes.
@@ -133,6 +144,25 @@ mod tests {
         s.poke(0, 10, 0, &data);
         assert_eq!(s.peek(0, 10, 0, 256), data);
         assert_eq!(s.resident_rows(), 2);
+    }
+
+    #[test]
+    fn touched_rows_order_is_insertion_independent() {
+        // The footprint enumeration must not depend on touch order (the
+        // old HashMap-backed map leaked insertion/hash order here).
+        let keys = [(3usize, 7u32), (0, 9), (2, 1), (0, 2), (3, 0)];
+        let mut fwd = Storage::new(4, 64);
+        for &(b, r) in &keys {
+            fwd.write_col(b, r, 0, &[1u8; 64]);
+        }
+        let mut rev = Storage::new(4, 64);
+        for &(b, r) in keys.iter().rev() {
+            rev.write_col(b, r, 0, &[1u8; 64]);
+        }
+        let f: Vec<_> = fwd.touched_rows().collect();
+        let r: Vec<_> = rev.touched_rows().collect();
+        assert_eq!(f, r);
+        assert_eq!(f, vec![(0, 2), (0, 9), (2, 1), (3, 0), (3, 7)], "sorted key order");
     }
 
     #[test]

@@ -44,6 +44,8 @@
 //! `check-report` parses a previously emitted report JSON and reports its
 //! shape — a cheap integrity gate for scripted pipelines.
 
+#![forbid(unsafe_code)]
+
 use std::io::Read as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -330,6 +332,8 @@ fn run(args: &Args) -> Result<(), CliError> {
             ExperimentSpec::from_json(&doc)
                 .map_err(|e| CliError::Run(format!("`{path}` is not a valid spec: {e}")))?
         }
+        // gradpim-lint: allow(panic-discipline): these modes return from the match
+        // above before spec construction; the arm exists only for exhaustiveness.
         Mode::List | Mode::CheckReport(_) | Mode::ShardWorker(_) => unreachable!("handled above"),
     };
 

@@ -51,6 +51,7 @@ fn drain_channel(c: &mut Controller, deadline: u64) -> ChannelDrain {
 
 /// Applies `f` to every controller, fanned across up to `threads` scoped
 /// workers (contiguous chunks, so results stay in channel order).
+#[allow(clippy::expect_used)] // join() fails only on worker panic — re-raised here.
 fn for_each_channel<R: Send>(
     ctrls: &mut [Controller],
     threads: usize,

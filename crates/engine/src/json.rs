@@ -230,6 +230,7 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                #[allow(clippy::expect_used)] // UTF-8 validity is by construction.
                 Some(_) => {
                     // Consume one UTF-8 character (the input is a &str, so
                     // the bytes are valid UTF-8 by construction).
@@ -282,6 +283,7 @@ impl Parser<'_> {
                 return Err(self.err("expected digits in exponent"));
             }
         }
+        #[allow(clippy::expect_used)] // The number lexer only consumes ASCII.
         let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
         Ok(Json::Num(raw.to_string()))
     }

@@ -42,8 +42,15 @@
 //! # Ok::<(), gradpim_sim::PhaseError>(())
 //! ```
 
+// `deny`, not the workspace-standard `forbid`: the pool's lifetime-erased
+// task handoff (pool.rs) is the workspace's single sanctioned unsafe block,
+// opted in per-site with `#[allow(unsafe_code)]` and a SAFETY comment.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+// Tests assert invariants; unwrap/expect is their natural idiom. The
+// manifest's unwrap_used/expect_used warns target shipping code only.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod channels;
 pub mod dist;
@@ -94,6 +101,9 @@ impl Engine {
         let (threads, warning) = resolve_threads(var.as_deref(), auto);
         if let Some(warning) = warning {
             static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            // gradpim-lint: allow(print-macro): once-per-process operator warning about
+            // a malformed GRADPIM_THREADS, on stderr — never the report pipe. There is
+            // no caller to return it to: from_env() is the ambient constructor.
             WARN_ONCE.call_once(|| eprintln!("gradpim-engine: {warning}"));
         }
         Self::new(threads)

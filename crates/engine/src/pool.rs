@@ -155,12 +155,16 @@ impl WorkerPool {
         }
         let (tx, rx) = channel::<Task>();
         let rx = Arc::new(Mutex::new(rx));
+        #[allow(clippy::expect_used)] // Fatal setup failure; justified below.
         let workers = (0..threads - 1)
             .map(|i| {
                 let rx = Arc::clone(&rx);
                 std::thread::Builder::new()
                     .name(format!("gradpim-pool-{i}"))
                     .spawn(move || worker_main(&rx))
+                    // gradpim-lint: allow(panic-discipline): pool construction runs
+                    // before any batch exists; a failed OS thread spawn is fatal setup,
+                    // not a mid-batch panic to propagate.
                     .expect("spawn pool worker")
             })
             .collect();
@@ -261,6 +265,8 @@ impl WorkerPool {
                         if res.is_err() {
                             failed.fetch_min(i, Ordering::Relaxed);
                         }
+                        // gradpim-lint: allow(panic-discipline): i comes from the
+                        // shared job counter, bounded by jobs.len() == slots.len().
                         *lock_unpoisoned(&slots[i]) = Some(res);
                     }
                     Err(payload) => {
@@ -277,6 +283,9 @@ impl WorkerPool {
 
         let helpers = self.threads.min(jobs.len()) - 1;
         let latch = Latch::new(helpers);
+        #[allow(clippy::expect_used)] // Invariant documented below.
+        // gradpim-lint: allow(panic-discipline): run_batch's threads > 1 arm is only
+        // reachable for pools that were built with a sender; Drop is the sole taker.
         let tx = self.tx.as_ref().expect("threads > 1 pools always hold a sender");
         for _ in 0..helpers {
             let task: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
@@ -289,7 +298,11 @@ impl WorkerPool {
             // (ArriveOnDrop fires even on unwind, and `work` itself
             // catches job panics), so the borrows never dangle. The pool
             // threads outlive this call because `self` is borrowed.
+            #[allow(unsafe_code)] // Opt-in under the crate's deny; SAFETY above.
             let task = unsafe { erase_task_lifetime(task) };
+            #[allow(clippy::expect_used)] // Invariant documented below.
+            // gradpim-lint: allow(panic-discipline): send fails only if every worker
+            // dropped its receiver, which Drop alone triggers — unreachable mid-batch.
             tx.send(task).expect("pool workers outlive the pool handle");
         }
         work();
@@ -304,6 +317,9 @@ impl WorkerPool {
         let mut out = Vec::with_capacity(jobs.len());
         for (i, slot) in slots.into_iter().enumerate() {
             if panic_index == Some(i) {
+                #[allow(clippy::expect_used)] // Invariant documented below.
+                // gradpim-lint: allow(panic-discipline): panic_index == Some(i) implies
+                // the record was stored; this re-raises that panic, it cannot add one.
                 let (_, payload) = first_panic.take().expect("panic payload present");
                 panic::resume_unwind(payload);
             }
@@ -312,6 +328,8 @@ impl WorkerPool {
                 Some(Err(e)) => return Err(e),
                 // A skipped job: only possible past the lowest failing
                 // index, whose own slot (or panic record) is reached first.
+                // gradpim-lint: allow(panic-discipline): documented invariant above —
+                // an empty slot before the first failure cannot occur.
                 None => unreachable!("empty result slot before the first failure"),
             }
         }
@@ -327,6 +345,7 @@ impl WorkerPool {
 /// The caller must not let the borrowed frame return or unwind past the
 /// task's completion — `run_ordered_with` enforces this with its batch
 /// latch.
+#[allow(unsafe_code)] // The workspace's single sanctioned unsafe block (see lib.rs).
 unsafe fn erase_task_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
     unsafe {
         std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Box<dyn FnOnce() + Send + 'static>>(

@@ -1,0 +1,228 @@
+//! The inline escape hatch: `// gradpim-lint: allow(<rule>): <why>`.
+//!
+//! A violation the team has judged acceptable is silenced *at the site*,
+//! with a **mandatory justification** — an allow without one is itself an
+//! error, so every suppression in the tree documents its reasoning. An
+//! allow comment covers:
+//!
+//! * the rest of its own line, when it trails code
+//!   (`foo.expect("…"); // gradpim-lint: allow(panic-discipline): …`), or
+//! * the next line carrying code, when it stands alone above the site.
+//!
+//! Hygiene is linted too: a comment that name-drops `gradpim-lint` but
+//! does not parse, or names an unknown rule, is an error; an allow that
+//! suppresses nothing is reported as an `unused-allow` **warning** (the
+//! one soft severity in the tool — see [`crate::diag`]), so stale
+//! suppressions surface without instantly breaking the build when a rule
+//! tightens.
+
+use crate::diag::{Diagnostic, Severity};
+use crate::lexer::{TokKind, Token};
+
+/// One parsed, well-formed allow comment.
+#[derive(Debug)]
+struct AllowEntry {
+    rule: String,
+    /// Line of the comment itself (for unused-allow reporting).
+    line: usize,
+    col: usize,
+    /// Line whose diagnostics this allow suppresses.
+    covers: usize,
+    used: bool,
+}
+
+/// Every allow in one file, plus the hygiene diagnostics found while
+/// parsing them.
+#[derive(Debug, Default)]
+pub struct Allows {
+    entries: Vec<AllowEntry>,
+}
+
+const MARKER: &str = "gradpim-lint";
+
+/// Parses `// gradpim-lint: allow(rule): justification` out of a comment
+/// body; `Err` is a human-readable syntax complaint.
+fn parse_allow(body: &str) -> Result<(String, String), String> {
+    let rest = body
+        .trim_start()
+        .strip_prefix(MARKER)
+        .and_then(|r| r.trim_start().strip_prefix(':'))
+        .ok_or("expected `gradpim-lint: allow(<rule>): <justification>`")?;
+    let rest = rest.trim_start();
+    let rest =
+        rest.strip_prefix("allow").ok_or("expected `allow(<rule>)` after `gradpim-lint:`")?;
+    let rest = rest.trim_start().strip_prefix('(').ok_or("expected `(` after `allow`")?;
+    let close = rest.find(')').ok_or("unclosed `allow(`")?;
+    let rule = rest[..close].trim();
+    if rule.is_empty() || rule.contains(',') {
+        return Err("allow takes exactly one rule name".into());
+    }
+    let after = rest[close + 1..].trim_start();
+    let just = after.strip_prefix(':').map(str::trim).unwrap_or("");
+    if just.is_empty() {
+        return Err(format!(
+            "allow({rule}) needs a justification: `allow({rule}): <why this is sound>`"
+        ));
+    }
+    Ok((rule.to_string(), just.to_string()))
+}
+
+/// Scans a file's token stream for allow comments.
+///
+/// `known_rules` drives the unknown-rule hygiene check; malformed or
+/// unknown-rule comments land in the returned diagnostics immediately.
+pub fn collect(
+    src: &str,
+    tokens: &[Token],
+    file: &str,
+    known_rules: &[&'static str],
+    diags: &mut Vec<Diagnostic>,
+) -> Allows {
+    let mut allows = Allows::default();
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokKind::LineComment {
+            continue;
+        }
+        let body = tok.text(src).trim_start_matches('/').trim_start_matches('!');
+        // Only a comment that *leads* with `gradpim-lint:` is an allow
+        // attempt; prose that merely mentions the tool (docs, rule tables,
+        // CLI usage lines) is not.
+        let lead = body.trim_start();
+        let is_attempt =
+            lead.strip_prefix(MARKER).is_some_and(|rest| rest.trim_start().starts_with(':'));
+        if !is_attempt {
+            continue;
+        }
+        let (rule, _justification) = match parse_allow(body) {
+            Ok(parts) => parts,
+            Err(why) => {
+                diags.push(Diagnostic {
+                    rule: "allow-syntax",
+                    severity: Severity::Error,
+                    file: file.into(),
+                    line: tok.line,
+                    col: tok.col,
+                    message: format!("malformed gradpim-lint comment: {why}"),
+                });
+                continue;
+            }
+        };
+        if !known_rules.contains(&rule.as_str()) {
+            diags.push(Diagnostic {
+                rule: "allow-syntax",
+                severity: Severity::Error,
+                file: file.into(),
+                line: tok.line,
+                col: tok.col,
+                message: format!(
+                    "unknown rule `{rule}` in allow (see `gradpim-lint rules` for the rule table)"
+                ),
+            });
+            continue;
+        }
+        // Trailing comment → covers its own line; standalone → covers the
+        // next line that carries a significant token.
+        let trails_code =
+            tokens[..i].iter().rev().take_while(|t| t.line == tok.line).any(|t| t.is_significant());
+        let covers = if trails_code {
+            tok.line
+        } else {
+            tokens[i + 1..].iter().find(|t| t.is_significant()).map(|t| t.line).unwrap_or(tok.line)
+        };
+        allows.entries.push(AllowEntry { rule, line: tok.line, col: tok.col, covers, used: false });
+    }
+    allows
+}
+
+impl Allows {
+    /// True (and marks the allow used) if a diagnostic of `rule` on `line`
+    /// is suppressed.
+    pub fn suppress(&mut self, rule: &str, line: usize) -> bool {
+        let mut hit = false;
+        for e in self.entries.iter_mut().filter(|e| e.rule == rule && e.covers == line) {
+            e.used = true;
+            hit = true;
+        }
+        hit
+    }
+
+    /// Warning diagnostics for allows that suppressed nothing.
+    pub fn unused(&self, file: &str, diags: &mut Vec<Diagnostic>) {
+        for e in self.entries.iter().filter(|e| !e.used) {
+            diags.push(Diagnostic {
+                rule: "unused-allow",
+                severity: Severity::Warning,
+                file: file.into(),
+                line: e.line,
+                col: e.col,
+                message: format!(
+                    "allow({}) suppresses nothing on line {} — remove it",
+                    e.rule, e.covers
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const RULES: &[&str] = &["panic-discipline", "print-macro"];
+
+    fn collect_src(src: &str) -> (Allows, Vec<Diagnostic>) {
+        let toks = lex(src);
+        let mut diags = Vec::new();
+        let allows = collect(src, &toks, "f.rs", RULES, &mut diags);
+        (allows, diags)
+    }
+
+    #[test]
+    fn trailing_allow_covers_its_own_line() {
+        let src = "x.unwrap(); // gradpim-lint: allow(panic-discipline): invariant held\n";
+        let (mut a, d) = collect_src(src);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(a.suppress("panic-discipline", 1));
+        assert!(!a.suppress("panic-discipline", 2));
+    }
+
+    #[test]
+    fn standalone_allow_covers_next_code_line() {
+        let src = "// gradpim-lint: allow(print-macro): operator warning\n\nprintln!(\"x\");\n";
+        let (mut a, d) = collect_src(src);
+        assert!(d.is_empty(), "{d:?}");
+        assert!(a.suppress("print-macro", 3));
+    }
+
+    #[test]
+    fn justification_is_mandatory() {
+        let (_, d) = collect_src("// gradpim-lint: allow(print-macro)\nprintln!();\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("justification"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let (_, d) = collect_src("// gradpim-lint: allow(no-such-rule): because\nlet x = 1;\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("unknown rule"), "{}", d[0].message);
+    }
+
+    #[test]
+    fn unused_allow_warns() {
+        let (mut a, mut d) = collect_src("// gradpim-lint: allow(print-macro): wat\nlet x = 1;\n");
+        assert!(!a.suppress("panic-discipline", 2));
+        a.unused("f.rs", &mut d);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "unused-allow");
+        assert_eq!(d[0].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn wrong_rule_on_right_line_does_not_suppress() {
+        let src = "x.unwrap(); // gradpim-lint: allow(print-macro): misfiled\n";
+        let (mut a, _) = collect_src(src);
+        assert!(!a.suppress("panic-discipline", 1));
+    }
+}

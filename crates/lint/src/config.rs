@@ -1,0 +1,319 @@
+//! What to check where: workspace discovery, crate roles, and rule
+//! scoping.
+//!
+//! The severity model is deny by default — every rule applies to every
+//! file unless a line *here* carves out an exception, and each carve-out
+//! documents its reasoning. There are two escape levels:
+//!
+//! * **structural** (this module): whole classes of files where a rule is
+//!   meaningless — e.g. `print-macro` in a binary target, whose stdout is
+//!   the user interface, or panic rules in `#[cfg(test)]` code;
+//! * **site-local** ([`crate::allow`]): an inline
+//!   `// gradpim-lint: allow(rule): why` for an individually-judged
+//!   violation.
+//!
+//! Anything not carved out is an error. A new workspace member is covered
+//! automatically: membership is read from the root `Cargo.toml`, so a
+//! crate cannot be added without also being linted.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Which kind of workspace member a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A library crate on the simulation/report path: every rule applies.
+    Lib,
+    /// `crates/bench` — the criterion harness support crate. Its stdout
+    /// *is* its product (figure tables printed by bench targets), so the
+    /// protocol-hygiene print rule does not apply; everything else does.
+    BenchHarness,
+    /// `vendor/*` — offline API-subset stand-ins for external crates
+    /// (criterion prints its measurement report by design). Determinism
+    /// and protocol rules target *our* code; vendor stand-ins only get
+    /// the structural checks (lexability, `forbid(unsafe_code)`).
+    Vendor,
+    /// `crates/lint` itself. Checked like a library crate — the linter
+    /// must pass its own gate (CI runs a dedicated self-check step).
+    Tool,
+}
+
+/// Where inside a crate a file sits — decides which rules make sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/**` library code: the full rule set.
+    Lib,
+    /// `src/main.rs` / `src/bin/**`: a CLI — stdout/stderr and exit codes
+    /// are its interface, so protocol print rules don't apply.
+    Bin,
+    /// `examples/**`: narrative code, prints freely.
+    Example,
+    /// `tests/**` and `benches/**`: test/bench-only code.
+    Test,
+}
+
+/// Everything a rule needs to know about one file.
+#[derive(Debug, Clone)]
+pub struct FileMeta {
+    /// Workspace-relative path, `/`-separated (stable across platforms).
+    pub rel: String,
+    /// The member directory this file belongs to (e.g. `crates/engine`).
+    pub member: String,
+    /// Crate role.
+    pub role: Role,
+    /// Position within the crate.
+    pub kind: FileKind,
+    /// True for `src/lib.rs`, `src/main.rs`, and `src/bin/*.rs` — the
+    /// files where `#![forbid(unsafe_code)]` must live.
+    pub is_crate_root: bool,
+}
+
+/// Files allowed to call `std::process::exit`: the CLI owns the process
+/// exit-code contract (0 ok / 1 runtime / 2 usage / 3 shard pipeline).
+const PROCESS_EXIT_OK: &[&str] = &["crates/engine/src/bin/gradpim-cli.rs"];
+
+/// Files allowed to create threads. All simulation/sweep parallelism must
+/// flow through the pool (global thread budget, ordered results) or the
+/// scoped per-channel drains — a stray `thread::spawn` elsewhere escapes
+/// both the budget and the lowest-index panic propagation.
+const THREAD_SPAWN_OK: &[&str] = &["crates/engine/src/pool.rs", "crates/engine/src/channels.rs"];
+
+/// Files under panic discipline: a panic here either deadlocks a batch or
+/// crashes a shard without flowing through the lowest-index
+/// panic-propagation machinery, so `unwrap`/`expect`/`panic!`/bare
+/// indexing need an explicit justification.
+const PANIC_SCOPE: &[&str] = &[
+    "crates/engine/src/pool.rs",
+    "crates/engine/src/dist.rs",
+    // The shard-worker path: a worker that panics is a crashed shard the
+    // coordinator must retry, so the whole CLI file is held to the same
+    // standard.
+    "crates/engine/src/bin/gradpim-cli.rs",
+];
+
+/// Crate roots excused from `#![forbid(unsafe_code)]` — they must carry
+/// `#![deny(unsafe_code)]` instead (per-site `#[allow]` with a safety
+/// comment). Only the engine qualifies: the pool's lifetime-erased task
+/// handoff is the workspace's single unsafe block.
+const UNSAFE_DENY_OK: &[&str] = &["crates/engine/src/lib.rs"];
+
+impl FileMeta {
+    /// Classifies `rel` (workspace-relative path) inside `member`.
+    pub fn classify(member: &str, rel: String) -> FileMeta {
+        let role = match member {
+            m if m.starts_with("vendor/") => Role::Vendor,
+            "crates/bench" => Role::BenchHarness,
+            "crates/lint" => Role::Tool,
+            _ => Role::Lib,
+        };
+        let in_member = rel.strip_prefix(member).unwrap_or(&rel).trim_start_matches('/');
+        let kind = if in_member.starts_with("tests/") || in_member.starts_with("benches/") {
+            FileKind::Test
+        } else if in_member.starts_with("examples/") {
+            FileKind::Example
+        } else if in_member.starts_with("src/bin/") || in_member == "src/main.rs" {
+            FileKind::Bin
+        } else {
+            FileKind::Lib
+        };
+        let is_crate_root = in_member == "src/lib.rs"
+            || in_member == "src/main.rs"
+            || (in_member.starts_with("src/bin/") && in_member.matches('/').count() == 2);
+        FileMeta { rel, member: member.to_string(), role, kind, is_crate_root }
+    }
+
+    fn is_code(&self) -> bool {
+        matches!(self.kind, FileKind::Lib | FileKind::Bin)
+    }
+
+    /// `hash-collection`: non-test library/binary code of our own crates.
+    pub fn check_hash_collection(&self) -> bool {
+        self.is_code() && self.role != Role::Vendor
+    }
+
+    /// `float-accum`: same scope as `hash-collection`.
+    pub fn check_float_accum(&self) -> bool {
+        self.check_hash_collection()
+    }
+
+    /// `print-macro`: library sources only — stdout is the spec/report
+    /// pipe. CLIs, examples, tests, the bench harness, and vendor
+    /// stand-ins all legitimately print.
+    pub fn check_print_macro(&self) -> bool {
+        self.kind == FileKind::Lib && matches!(self.role, Role::Lib | Role::Tool)
+    }
+
+    /// `process-exit`: everywhere in our code except the CLI.
+    pub fn check_process_exit(&self) -> bool {
+        self.is_code() && self.role != Role::Vendor && !PROCESS_EXIT_OK.contains(&self.rel.as_str())
+    }
+
+    /// `thread-spawn`: everywhere in our code except the pool/channel
+    /// modules that own thread creation.
+    pub fn check_thread_spawn(&self) -> bool {
+        self.is_code() && self.role != Role::Vendor && !THREAD_SPAWN_OK.contains(&self.rel.as_str())
+    }
+
+    /// `panic-discipline`: only the configured panic-scope files.
+    pub fn check_panic_discipline(&self) -> bool {
+        PANIC_SCOPE.contains(&self.rel.as_str())
+    }
+
+    /// `schema-sync`: every code file (the rule self-scopes to
+    /// `impl ToRow` blocks).
+    pub fn check_schema_sync(&self) -> bool {
+        self.is_code()
+    }
+
+    /// `forbid-unsafe`: crate roots. Returns the required attribute
+    /// (`forbid` normally, `deny` for the registered exceptions) or `None`
+    /// when the file is not a crate root.
+    pub fn required_unsafe_attr(&self) -> Option<&'static str> {
+        if !self.is_crate_root {
+            return None;
+        }
+        if UNSAFE_DENY_OK.contains(&self.rel.as_str()) {
+            Some("deny")
+        } else {
+            Some("forbid")
+        }
+    }
+}
+
+/// Reads the `members = [...]` list out of the root `Cargo.toml` — the
+/// workspace's own source of truth, so new crates are linted from the
+/// moment they join the build.
+///
+/// # Errors
+///
+/// A human-readable message when the manifest is unreadable or holds no
+/// members list.
+pub fn workspace_members(root: &Path) -> Result<Vec<String>, String> {
+    let manifest = root.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest)
+        .map_err(|e| format!("cannot read {}: {e}", manifest.display()))?;
+    let mut members = vec![".".to_string()]; // the root facade package
+    let mut in_members = false;
+    for line in text.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with("members") && line.contains('[') {
+            in_members = true;
+        }
+        if in_members {
+            let mut rest = line;
+            while let Some(open) = rest.find('"') {
+                let Some(close) = rest[open + 1..].find('"') else { break };
+                members.push(rest[open + 1..open + 1 + close].to_string());
+                rest = &rest[open + 2 + close..];
+            }
+            if line.contains(']') {
+                break;
+            }
+        }
+    }
+    if members.len() == 1 {
+        return Err(format!("no workspace members found in {}", manifest.display()));
+    }
+    Ok(members)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted, as workspace-
+/// relative `/`-separated paths. Missing directories are fine (not every
+/// member has `benches/`).
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<String>) {
+    let Ok(entries) = fs::read_dir(dir) else { return };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for p in paths {
+        // `tests/fixtures/` trees are lint-test *data* (seeded-violation
+        // mini-workspaces), not workspace code; they are linted only when
+        // targeted explicitly via `--root`.
+        if p.file_name().is_some_and(|n| n == "fixtures") {
+            continue;
+        }
+        if p.is_dir() {
+            collect_rs(root, &p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            if let Ok(rel) = p.strip_prefix(root) {
+                let rel: Vec<String> = rel
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect();
+                out.push(rel.join("/"));
+            }
+        }
+    }
+}
+
+/// Enumerates every lintable file of the workspace: for each member (and
+/// the root package), the `src/`, `tests/`, `examples/`, and `benches/`
+/// trees.
+///
+/// # Errors
+///
+/// Propagates [`workspace_members`] failures.
+pub fn workspace_files(root: &Path) -> Result<Vec<FileMeta>, String> {
+    let mut out = Vec::new();
+    for member in workspace_members(root)? {
+        let member_dir = if member == "." { root.to_path_buf() } else { root.join(&member) };
+        for sub in ["src", "tests", "examples", "benches"] {
+            let mut rels = Vec::new();
+            collect_rs(root, &member_dir.join(sub), &mut rels);
+            for rel in rels {
+                let member_key = if member == "." { "" } else { member.as_str() };
+                out.push(FileMeta::classify(member_key, rel));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_roles_and_kinds() {
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/pool.rs".into());
+        assert_eq!((m.role, m.kind), (Role::Lib, FileKind::Lib));
+        assert!(m.check_panic_discipline());
+        assert!(!m.check_thread_spawn(), "pool owns thread creation");
+
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/bin/gradpim-cli.rs".into());
+        assert_eq!(m.kind, FileKind::Bin);
+        assert!(m.is_crate_root);
+        assert!(!m.check_print_macro(), "CLI stdout is its interface");
+        assert!(!m.check_process_exit(), "CLI owns the exit-code contract");
+        assert!(m.check_panic_discipline(), "shard-worker path");
+
+        let m = FileMeta::classify("vendor/criterion", "vendor/criterion/src/lib.rs".into());
+        assert_eq!(m.role, Role::Vendor);
+        assert!(!m.check_print_macro());
+        assert_eq!(m.required_unsafe_attr(), Some("forbid"));
+
+        let m = FileMeta::classify("crates/bench", "crates/bench/src/lib.rs".into());
+        assert_eq!(m.role, Role::BenchHarness);
+        assert!(!m.check_print_macro(), "bench stdout is the figure table");
+        assert!(m.check_hash_collection());
+
+        let m = FileMeta::classify("crates/dram", "crates/dram/src/stats.rs".into());
+        assert!(m.check_hash_collection() && m.check_float_accum() && m.check_print_macro());
+        assert_eq!(m.required_unsafe_attr(), None);
+
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/lib.rs".into());
+        assert_eq!(m.required_unsafe_attr(), Some("deny"), "pool unsafe exception");
+
+        let m = FileMeta::classify("crates/engine", "crates/engine/tests/shard_pipeline.rs".into());
+        assert_eq!(m.kind, FileKind::Test);
+        assert!(!m.check_hash_collection() && !m.check_panic_discipline());
+    }
+
+    #[test]
+    fn members_come_from_the_real_manifest() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let members = workspace_members(&root).expect("workspace manifest parses");
+        assert!(members.contains(&"crates/engine".to_string()), "{members:?}");
+        assert!(members.contains(&"crates/lint".to_string()), "{members:?}");
+        assert!(members.contains(&"vendor/proptest".to_string()), "{members:?}");
+    }
+}

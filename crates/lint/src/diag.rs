@@ -1,0 +1,196 @@
+//! Diagnostics: severity model, stable ordering, and the human / JSON
+//! renderings.
+//!
+//! The severity model is **deny by default**: every rule reports at
+//! [`Severity::Error`] unless the rule itself documents a softer level
+//! (only `unused-allow` does — see [`crate::allow`]). Errors fail the run;
+//! warnings are printed but exit clean, so the CI gate stays strict
+//! without turning hygiene nits into build breaks.
+//!
+//! JSON output follows the same hand-rolled conventions as
+//! `gradpim_engine::json` (minimal canonical escaping, members in fixed
+//! order, one stable sort over the records) so reports diff cleanly across
+//! runs and machines.
+
+use std::fmt;
+
+/// How bad a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Reported, but does not fail the run.
+    Warning,
+    /// Fails the run (exit code 1).
+    Error,
+}
+
+impl Severity {
+    /// The JSON/human spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding: a rule, a location, and a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// Severity under the deny-by-default model.
+    pub severity: Severity,
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (characters).
+    pub col: usize,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}:{}:{}: [{}] {}",
+            self.severity.name(),
+            self.file,
+            self.line,
+            self.col,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into the one canonical report order: by file, line,
+/// column, then rule name — independent of rule execution order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.file, b.line, b.col, b.rule, &b.message))
+    });
+}
+
+/// Renders the human report: one line per diagnostic plus a summary line.
+pub fn render_human(diags: &[Diagnostic], files_checked: usize) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "gradpim-lint: {files_checked} files checked, {errors} error{}, {warnings} warning{}\n",
+        if errors == 1 { "" } else { "s" },
+        if warnings == 1 { "" } else { "s" },
+    ));
+    out
+}
+
+/// Appends `s` as a quoted JSON string with the canonical escape set used
+/// across the workspace (`gradpim_engine::json` conventions): `"` and `\`
+/// backslash-escaped, `\n`/`\r`/`\t` short forms, other control characters
+/// as `\u00XX`.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the machine-readable report (already-sorted diagnostics), e.g.:
+///
+/// ```json
+/// {
+///   "tool": "gradpim-lint",
+///   "version": 1,
+///   "files_checked": 92,
+///   "errors": 1,
+///   "warnings": 0,
+///   "diagnostics": [
+///     {"rule": "...", "severity": "error", "file": "...",
+///      "line": 3, "col": 9, "message": "..."}
+///   ]
+/// }
+/// ```
+pub fn render_json(diags: &[Diagnostic], files_checked: usize) -> String {
+    let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = diags.len() - errors;
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"gradpim-lint\",\n");
+    out.push_str("  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_checked\": {files_checked},\n"));
+    out.push_str(&format!("  \"errors\": {errors},\n"));
+    out.push_str(&format!("  \"warnings\": {warnings},\n"));
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"rule\": ");
+        push_json_str(&mut out, d.rule);
+        out.push_str(", \"severity\": ");
+        push_json_str(&mut out, d.severity.name());
+        out.push_str(", \"file\": ");
+        push_json_str(&mut out, &d.file);
+        out.push_str(&format!(", \"line\": {}, \"col\": {}, \"message\": ", d.line, d.col));
+        push_json_str(&mut out, &d.message);
+        out.push('}');
+    }
+    out.push_str(if diags.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: usize, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+        }
+    }
+
+    #[test]
+    fn sort_is_by_file_then_line_then_rule() {
+        let mut v = vec![diag("b.rs", 1, "x"), diag("a.rs", 9, "x"), diag("a.rs", 2, "y")];
+        sort(&mut v);
+        assert_eq!(
+            v.iter().map(|d| (d.file.as_str(), d.line)).collect::<Vec<_>>(),
+            [("a.rs", 2), ("a.rs", 9), ("b.rs", 1)]
+        );
+    }
+
+    #[test]
+    fn json_escapes_metacharacters() {
+        let mut d = diag("a.rs", 1, "r");
+        d.message = "quote \" slash \\ tab\t".into();
+        let json = render_json(&[d], 1);
+        assert!(json.contains(r#""quote \" slash \\ tab\t""#), "{json}");
+    }
+
+    #[test]
+    fn empty_report_is_well_formed() {
+        let json = render_json(&[], 3);
+        assert!(json.contains("\"diagnostics\": []"), "{json}");
+        assert!(json.contains("\"errors\": 0"), "{json}");
+    }
+}

@@ -1,0 +1,136 @@
+//! The `gradpim-lint` CLI.
+//!
+//! ```text
+//! gradpim-lint check [--json] [-o PATH] [--root DIR] [PATH ...]
+//! gradpim-lint rules
+//! ```
+//!
+//! `check` lints the workspace (or just the given workspace-relative
+//! paths) and prints the report — human by default, machine-readable with
+//! `--json` (written to `-o PATH` instead of stdout when given, as CI
+//! does for the artifact). `rules` prints the rule table.
+//!
+//! Exit codes follow the workspace CLI contract: `0` clean (warnings do
+//! not fail the run), `1` lint errors found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use gradpim_lint::{check_workspace, diag, rules};
+
+const USAGE: &str = "\
+gradpim-lint: determinism/protocol static analysis for the GradPIM workspace
+
+USAGE:
+    gradpim-lint check [--json] [-o PATH] [--root DIR] [PATH ...]
+    gradpim-lint rules
+
+OPTIONS (check):
+    --json       emit the machine-readable JSON report instead of the
+                 human rendering
+    -o PATH      write the report to PATH instead of stdout
+    --root DIR   workspace root (default: current directory)
+    PATH ...     workspace-relative files or directories to narrow the
+                 run (default: every member's src/tests/examples/benches)
+
+EXIT CODES:
+    0  clean (warnings allowed)
+    1  lint errors found
+    2  usage or I/O error
+";
+
+struct CheckArgs {
+    json: bool,
+    out: Option<PathBuf>,
+    root: PathBuf,
+    filters: Vec<String>,
+}
+
+fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
+    let mut parsed =
+        CheckArgs { json: false, out: None, root: PathBuf::from("."), filters: Vec::new() };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => parsed.json = true,
+            "-o" | "--out" => {
+                i += 1;
+                let path = args.get(i).ok_or_else(|| format!("{} needs a PATH", args[i - 1]))?;
+                parsed.out = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                i += 1;
+                let dir = args.get(i).ok_or("--root needs a DIR")?;
+                parsed.root = PathBuf::from(dir);
+            }
+            flag if flag.starts_with('-') => return Err(format!("unknown flag `{flag}`")),
+            path => parsed.filters.push(path.to_string()),
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+fn run_check(args: &[String]) -> Result<ExitCode, String> {
+    let args = parse_check_args(args)?;
+    let report = check_workspace(&args.root, &args.filters)?;
+    let rendered = if args.json {
+        diag::render_json(&report.diags, report.files_checked)
+    } else {
+        diag::render_human(&report.diags, report.files_checked)
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            // Keep the terminal useful even when the report goes to a file.
+            eprintln!(
+                "gradpim-lint: {} files checked, {} errors, {} warnings -> {}",
+                report.files_checked,
+                report.errors(),
+                report.diags.len() - report.errors(),
+                path.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(if report.errors() == 0 { ExitCode::SUCCESS } else { ExitCode::from(1) })
+}
+
+fn run_rules() -> ExitCode {
+    println!("gradpim-lint rules (all deny by default; suppress one site with");
+    println!("`// gradpim-lint: allow(<rule>): <justification>`):");
+    println!();
+    for (name, desc) in rules::RULES {
+        println!("  {name:<17} {desc}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => match run_check(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("gradpim-lint: error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("rules") => run_rules(),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("gradpim-lint: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+        None => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

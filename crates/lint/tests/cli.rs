@@ -1,0 +1,79 @@
+//! The binary's contract, end to end: exit codes (0 clean / 1 errors /
+//! 2 usage), `file:line` diagnostics on stdout, the JSON artifact path CI
+//! uses, and the rule listing.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_gradpim-lint")).args(args).output().expect("binary runs")
+}
+
+fn fixture() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad").display().to_string()
+}
+
+fn repo_root() -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").display().to_string()
+}
+
+#[test]
+fn clean_workspace_exits_zero() {
+    let out = run(&["check", "--root", &repo_root()]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout:\n{stdout}");
+    assert!(stdout.contains("0 errors"), "{stdout}");
+}
+
+#[test]
+fn seeded_violations_exit_nonzero_with_file_line_diagnostics() {
+    let out = run(&["check", "--root", &fixture()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "error: crates/engine/src/pool.rs:5:",
+        "[panic-discipline]",
+        "error: crates/npu/src/lib.rs:5:",
+        "[print-macro]",
+        "error: crates/sim/src/sweeps.rs:9:",
+        "[schema-sync]",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn json_report_is_written_to_the_artifact_path() {
+    let path = std::env::temp_dir().join(format!("gradpim-lint-cli-{}.json", std::process::id()));
+    let out = run(&[
+        "check",
+        "--json",
+        "-o",
+        path.to_str().expect("utf8 temp path"),
+        "--root",
+        &fixture(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "errors still drive the exit code");
+    let json = std::fs::read_to_string(&path).expect("artifact written");
+    std::fs::remove_file(&path).ok();
+    assert!(json.contains("\"tool\": \"gradpim-lint\""), "{json}");
+    assert!(json.contains("\"rule\": \"panic-discipline\""), "{json}");
+    assert!(out.stdout.is_empty(), "report goes to the file, not stdout");
+}
+
+#[test]
+fn rules_subcommand_lists_every_rule() {
+    let out = run(&["rules"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for (name, _) in gradpim_lint::rules::RULES {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(run(&["frobnicate"]).status.code(), Some(2));
+    assert_eq!(run(&["check", "--no-such-flag"]).status.code(), Some(2));
+    assert_eq!(run(&[]).status.code(), Some(2));
+}

@@ -1,0 +1,20 @@
+//! Seeded violations: hash-collection (twice), float-accum, and a crate
+//! root missing `#![forbid(unsafe_code)]`.
+
+use std::collections::HashMap;
+
+pub fn footprint_report(rows: &HashMap<(usize, u32), Vec<u8>>) -> String {
+    let mut out = String::new();
+    for (k, v) in rows {
+        out.push_str(&format!("{k:?}: {}\n", v.len()));
+    }
+    out
+}
+
+pub fn merge_totals(xs: &[f64]) -> f64 {
+    let mut total: f64 = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}

@@ -1,0 +1,6 @@
+//! Seeded violations: panic-discipline in a panic-scoped file (bare
+//! indexing and unwrap on one line).
+
+pub fn first_result(slots: Vec<Option<u32>>) -> u32 {
+    slots[0].unwrap()
+}

@@ -1,0 +1,10 @@
+//! Seeded violations: thread-spawn outside the pool, process-exit
+//! outside the CLI.
+
+pub fn fan_out() {
+    std::thread::spawn(|| {});
+}
+
+pub fn bail() {
+    std::process::exit(1);
+}

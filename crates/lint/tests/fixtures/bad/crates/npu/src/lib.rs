@@ -1,0 +1,9 @@
+//! Seeded violations: print-macro in library code, a crate root missing
+//! `#![forbid(unsafe_code)]`, and an unused allow (warning, not error).
+
+pub fn debug_dump(x: u32) {
+    println!("x = {x}");
+}
+
+// gradpim-lint: allow(hash-collection): nothing below uses a hash map
+pub fn noop() {}

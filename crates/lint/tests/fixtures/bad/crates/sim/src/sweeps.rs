@@ -1,0 +1,19 @@
+//! Seeded violations: schema-sync drift (schema declares a column row()
+//! never emits) and a malformed allow comment.
+
+pub struct Point {
+    pub batch: usize,
+    pub speedup: f64,
+}
+
+impl ToRow for Point {
+    fn schema() -> Schema {
+        Schema::new([("batch", Kind::Int), ("speedup", Kind::Float), ("extra", Kind::Int)])
+    }
+    fn row(&self) -> SweepRow {
+        SweepRow::new([self.batch.into(), self.speedup.into()])
+    }
+}
+
+// gradpim-lint: allow(no-such-rule): the rule name here does not exist
+pub fn noop() {}

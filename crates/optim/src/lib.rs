@@ -28,6 +28,7 @@
 //! assert!(theta[0].abs() < 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

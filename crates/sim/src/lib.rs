@@ -23,6 +23,7 @@
 //! # Ok::<(), gradpim_sim::PhaseError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

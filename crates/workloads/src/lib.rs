@@ -20,6 +20,7 @@
 //! assert!(share > 0.35);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -38,6 +38,8 @@
 //! # Ok::<(), gradpim::sim::PhaseError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use gradpim_core as core;
 pub use gradpim_dram as dram;
 pub use gradpim_engine as engine;

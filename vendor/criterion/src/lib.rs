@@ -7,6 +7,8 @@
 //! good enough for relative comparisons in an offline environment, with no
 //! statistics engine, plotting, or HTML reports.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 

@@ -8,6 +8,8 @@
 //! deterministic SplitMix64 RNG so failures are reproducible; there is no
 //! shrinking — the failing inputs are printed verbatim instead.
 
+#![forbid(unsafe_code)]
+
 pub mod rng {
     /// Deterministic SplitMix64 generator used to derive every test case.
     #[derive(Debug, Clone)]
