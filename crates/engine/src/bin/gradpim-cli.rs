@@ -284,6 +284,19 @@ fn engine_for(args: &Args) -> Engine {
     }
 }
 
+/// `GRADPIM_SCHED_STATS=1` dumps the engine's scheduler counters to stderr
+/// after a run — diagnostics only, never the report stream.
+fn maybe_dump_sched_stats(engine: &Engine) {
+    if std::env::var("GRADPIM_SCHED_STATS").as_deref() == Ok("1") {
+        let s = engine.sched_stats();
+        eprintln!(
+            "gradpim-cli: sched stats: batches={} jobs={} drain_chunks={} steals={} \
+             injector_pops={} spawned={} max_live={}",
+            s.batches, s.jobs, s.drain_chunks, s.steals, s.injector_pops, s.spawned, s.max_live
+        );
+    }
+}
+
 fn run(args: &Args) -> Result<(), CliError> {
     match &args.mode {
         Mode::List => {
@@ -385,7 +398,9 @@ fn run(args: &Args) -> Result<(), CliError> {
                 engine.threads(),
                 if engine.threads() == 1 { "" } else { "s" }
             );
-            spec.run(&engine).map_err(rt)?
+            let report = spec.run(&engine).map_err(rt)?;
+            maybe_dump_sched_stats(&engine);
+            report
         }
     };
     let text = match args.format {
@@ -428,6 +443,7 @@ fn run_shard_worker(path: &str, args: &Args) -> Result<(), CliError> {
         None => eprintln!("gradpim-cli: shard-worker {} (whole spec)", spec.experiment),
     }
     let report = spec.run(&engine).map_err(rt)?;
+    maybe_dump_sched_stats(&engine);
     emit_output(args.output.as_deref(), &report::to_json(&report))
 }
 

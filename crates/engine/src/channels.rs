@@ -1,4 +1,5 @@
-//! Threaded multi-channel stepping for [`MemorySystem`].
+//! Threaded multi-channel stepping for [`MemorySystem`], executed as
+//! stealable tasks on the [`crate::sched`] scheduler.
 //!
 //! DRAM channels share no state: each [`Controller`] evolves as a pure
 //! function of its own queues and clock. The event-driven core's invariant
@@ -8,8 +9,8 @@
 //! lockstep mixture [`MemorySystem::drain`] uses where every channel ticks
 //! at the union of all channels' event cycles.
 //!
-//! [`par_drain`] exploits both facts. Phase 1 drains every channel
-//! **independently on its own worker thread**, each advancing along its own
+//! [`par_drain_on`] exploits both facts. Phase 1 drains every channel
+//! **independently as a scheduler task**, each advancing along its own
 //! event schedule and recording the cycle at which it drains. Phase 2
 //! agrees on the global finish cycle — the maximum of the per-channel
 //! drain cycles, which is exactly where the sequential lockstep loop stops
@@ -18,7 +19,15 @@
 //! [`MemorySystem::drain`]: same stats, same completions, same traces, same
 //! return value; only the wall-clock differs. The differential proptests in
 //! `tests/proptests.rs` pin this equivalence.
+//!
+//! Before the scheduler existed, this module spawned its own scoped
+//! threads per drain — a second thread pool that could push the process
+//! past the configured budget whenever a drain ran inside a pool job. The
+//! channel tasks now ride the same deques as sweep points: an idle worker
+//! steals a busy point's drain segments, and the thread count never moves
+//! (see [`crate::sched`]).
 
+use crate::sched::{SchedHandle, Scheduler};
 use gradpim_dram::{Controller, MemError, MemorySystem};
 
 /// Outcome of one channel's independent drain.
@@ -49,36 +58,25 @@ fn drain_channel(c: &mut Controller, deadline: u64) -> ChannelDrain {
     ChannelDrain { drained: true, at: c.cycles() }
 }
 
-/// Applies `f` to every controller, fanned across up to `threads` scoped
-/// workers (contiguous chunks, so results stay in channel order).
-#[allow(clippy::expect_used)] // join() fails only on worker panic — re-raised here.
-fn for_each_channel<R: Send>(
-    ctrls: &mut [Controller],
-    threads: usize,
-    f: impl Fn(&mut Controller) -> R + Sync,
-) -> Vec<R> {
-    let workers = threads.min(ctrls.len()).max(1);
-    let chunk = ctrls.len().div_ceil(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = ctrls
-            .chunks_mut(chunk)
-            .map(|part| s.spawn(|| part.iter_mut().map(&f).collect::<Vec<R>>()))
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("channel worker panicked")).collect()
-    })
-}
-
-/// Runs every channel of `mem` to drain on its own worker thread,
+/// Runs every channel of `mem` to drain as stealable tasks on `sched`,
 /// bit-identical to [`MemorySystem::drain`] (which it falls back to for
-/// `threads <= 1` or single-channel systems).
+/// single-worker schedulers or single-channel systems). The caller
+/// participates — it drains the first chunk of channels itself and
+/// help-waits for the rest — so this is safe to call from inside a
+/// scheduler job (that is the intra-point parallelism path installed by
+/// [`crate::Engine::run`]).
 ///
 /// # Errors
 ///
 /// [`MemError::DrainTimeout`] if work remains after `max_cycles`, exactly
 /// as the sequential path reports it (every channel left at the deadline
 /// cycle, `pending` summed across channels).
-pub fn par_drain(mem: &mut MemorySystem, max_cycles: u64, threads: usize) -> Result<u64, MemError> {
-    if threads <= 1 || mem.config().channels <= 1 {
+pub fn par_drain_on(
+    sched: &SchedHandle,
+    mem: &mut MemorySystem,
+    max_cycles: u64,
+) -> Result<u64, MemError> {
+    if sched.threads() <= 1 || mem.config().channels <= 1 {
         return mem.drain(max_cycles);
     }
     let start = mem.cycles();
@@ -90,14 +88,14 @@ pub fn par_drain(mem: &mut MemorySystem, max_cycles: u64, threads: usize) -> Res
     }
     let ctrls = mem.controllers_mut();
     // Phase 1: independent per-channel drains.
-    let outcomes = for_each_channel(ctrls, threads, |c| drain_channel(c, deadline));
+    let outcomes = sched.for_each_mut(ctrls, |c| drain_channel(c, deadline));
     // Phase 2: agree on the global finish cycle — where the lockstep loop
     // would have stopped — and bring every channel there (idle evolution:
     // refresh windows, power-down residency).
     let all_drained = outcomes.iter().all(|o| o.drained);
     let target =
         if all_drained { outcomes.iter().map(|o| o.at).max().unwrap_or(start) } else { deadline };
-    for_each_channel(ctrls, threads, |c| c.run_until(target));
+    sched.for_each_mut(ctrls, |c| c.run_until(target));
     if all_drained {
         Ok(target - start)
     } else {
@@ -105,15 +103,42 @@ pub fn par_drain(mem: &mut MemorySystem, max_cycles: u64, threads: usize) -> Res
     }
 }
 
-/// Runs every channel of `mem` to exactly `cycle` on its own worker thread
-/// (no overshoot), bit-identical to [`MemorySystem::run_until`]. Falls back
-/// to the sequential path for `threads <= 1` or single-channel systems.
+/// Runs every channel of `mem` to exactly `cycle` as stealable tasks on
+/// `sched` (no overshoot), bit-identical to [`MemorySystem::run_until`].
+/// Falls back to the sequential path for single-worker schedulers or
+/// single-channel systems.
+pub fn par_run_until_on(sched: &SchedHandle, mem: &mut MemorySystem, cycle: u64) {
+    if sched.threads() <= 1 || mem.config().channels <= 1 {
+        mem.run_until(cycle);
+        return;
+    }
+    sched.for_each_mut(mem.controllers_mut(), |c| c.run_until(cycle));
+}
+
+/// One-shot convenience over [`par_drain_on`]: builds a transient
+/// [`Scheduler`] of up to `threads` workers for this single drain. Call
+/// sites that drain repeatedly should go through a [`crate::Engine`] (or
+/// hold a [`Scheduler`]) so the threads are spawned once.
+///
+/// # Errors
+///
+/// [`MemError::DrainTimeout`] if work remains after `max_cycles`, exactly
+/// as the sequential path reports it.
+pub fn par_drain(mem: &mut MemorySystem, max_cycles: u64, threads: usize) -> Result<u64, MemError> {
+    if threads <= 1 || mem.config().channels <= 1 {
+        return mem.drain(max_cycles);
+    }
+    par_drain_on(&Scheduler::new(threads).handle(), mem, max_cycles)
+}
+
+/// One-shot convenience over [`par_run_until_on`] (transient scheduler;
+/// see [`par_drain`]).
 pub fn par_run_until(mem: &mut MemorySystem, cycle: u64, threads: usize) {
     if threads <= 1 || mem.config().channels <= 1 {
         mem.run_until(cycle);
         return;
     }
-    for_each_channel(mem.controllers_mut(), threads, |c| c.run_until(cycle));
+    par_run_until_on(&Scheduler::new(threads).handle(), mem, cycle);
 }
 
 #[cfg(test)]
@@ -168,6 +193,21 @@ mod tests {
         assert_eq!(seq.stats(), par.stats());
         assert_eq!(seq.take_completions(), par.take_completions());
         assert_eq!(seq.take_traces(), par.take_traces());
+    }
+
+    #[test]
+    fn par_drain_on_a_shared_scheduler_matches_sequential() {
+        // The Engine path: one persistent scheduler, handed down by handle.
+        let sched = Scheduler::new(4);
+        let cfg = two_channel_cfg();
+        let mut seq = loaded(&cfg);
+        let mut par = loaded(&cfg);
+        let cs = seq.drain(1_000_000).unwrap();
+        let cp = par_drain_on(&sched.handle(), &mut par, 1_000_000).unwrap();
+        assert_eq!(cs, cp, "drain cycle counts diverge");
+        assert_eq!(seq.stats(), par.stats());
+        assert_eq!(seq.take_completions(), par.take_completions());
+        assert!(sched.stats().drain_chunks > 0, "drain did not run as scheduler tasks");
     }
 
     #[test]

@@ -3,18 +3,21 @@
 //! `gradpim-cli` experiment runner.
 //!
 //! GradPIM's evaluation is embarrassingly parallel at two levels, and this
-//! crate exploits both without changing a single simulated bit:
+//! crate exploits both without changing a single simulated bit. Both
+//! levels execute on **one** [`sched::Scheduler`] — a std-only
+//! work-stealing deque scheduler that owns the process-wide thread budget:
 //!
 //! * **Within one simulation** — DRAM channels share no state and, on the
 //!   event-driven core, only need to agree on a final cycle. The
-//!   [`channels`] module drains each channel's `Controller` on its own
-//!   `std::thread::scope` worker ([`channels::par_drain`]), bit-identical
+//!   [`channels`] module drains each channel's `Controller` as a
+//!   stealable scheduler task ([`channels::par_drain_on`]), bit-identical
 //!   to the sequential [`gradpim_dram::MemorySystem::drain`].
 //! * **Across simulations** — sweep and experiment points (Fig. 12a–d,
-//!   13, 14) are independent. The [`pool`] module fans them over a worker
-//!   pool with deterministic, input-ordered result collection and
+//!   13, 14) are independent. The [`pool`] module fans them over the
+//!   scheduler with deterministic, input-ordered result collection and
 //!   input-order-first error propagation; [`sweeps`] wires the
-//!   `gradpim_sim` spec enumerations through it.
+//!   `gradpim_sim` spec enumerations through it, seeding dispatch with
+//!   the [`sched::cost`] model so the heaviest points start first.
 //! * **Across processes** — the [`dist`] module splits one
 //!   [`serialize::ExperimentSpec`] into per-shard sub-specs, launches
 //!   worker processes (`gradpim-cli shard-worker`), retries crashed
@@ -22,10 +25,19 @@
 //!   bit-identical to the sequential run, and one transport swap away
 //!   from cross-host distribution.
 //!
+//! Because both levels share the deques, an idle pool lends its threads to
+//! a running point: [`Engine::run`] installs a drain hook (see
+//! [`gradpim_sim::phase::with_drain_exec`]) so the phase executors'
+//! inner multi-channel drains execute as stealable segments on the same
+//! budget — multi-channel design points win *inside* a sweep, and the
+//! process never holds more live simulation threads than the budget.
+//!
 //! [`Engine`] carries the one knob — the worker count — resolved from
 //! `GRADPIM_THREADS` (falling back to the machine's available
-//! parallelism). `GRADPIM_THREADS=1` runs everything inline on the calling
-//! thread, preserving the classic sequential behavior exactly.
+//! parallelism) **exactly once**, at construction: the resolved count
+//! becomes the scheduler budget and is never re-read downstream.
+//! `GRADPIM_THREADS=1` runs everything inline on the calling thread,
+//! preserving the classic sequential behavior exactly.
 //!
 //! # Example
 //!
@@ -42,9 +54,10 @@
 //! # Ok::<(), gradpim_sim::PhaseError>(())
 //! ```
 
-// `deny`, not the workspace-standard `forbid`: the pool's lifetime-erased
-// task handoff (pool.rs) is the workspace's single sanctioned unsafe block,
-// opted in per-site with `#[allow(unsafe_code)]` and a SAFETY comment.
+// `deny`, not the workspace-standard `forbid`: the scheduler's
+// lifetime-erased task handoff (sched/mod.rs) is the workspace's single
+// sanctioned unsafe pattern, opted in per-site with `#[allow(unsafe_code)]`
+// and a SAFETY comment.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -57,16 +70,20 @@ pub mod dist;
 mod json;
 pub mod pool;
 pub mod report;
+pub mod sched;
 pub mod serialize;
 pub mod sweeps;
 
 use gradpim_dram::{MemError, MemorySystem};
+use gradpim_sim::phase::{with_drain_exec, DrainExec};
 
 use pool::WorkerPool;
+use sched::SchedStats;
 
-/// The parallel execution engine: a persistent [`WorkerPool`] (spawned
-/// once, reused by every sweep, joined on drop) shared by the
-/// channel-threaded stepping and the sweep scheduler.
+/// The parallel execution engine: a persistent [`WorkerPool`] — i.e. one
+/// [`sched::Scheduler`], spawned once, reused by every sweep, joined on
+/// drop — shared by the channel-threaded stepping and the sweep
+/// scheduler.
 #[derive(Debug)]
 pub struct Engine {
     pool: WorkerPool,
@@ -74,14 +91,14 @@ pub struct Engine {
 
 impl Engine {
     /// An engine with exactly `threads` workers (clamped to at least 1).
-    /// The pool threads are spawned now and reused by every subsequent
-    /// [`Engine::run`] call.
+    /// The scheduler threads are spawned now and reused by every
+    /// subsequent [`Engine::run`] call; nothing below ever spawns more.
     pub fn new(threads: usize) -> Self {
         Self { pool: WorkerPool::new(threads) }
     }
 
     /// A single-threaded engine: every job runs inline on the calling
-    /// thread, in order — the classic sequential behavior. No pool
+    /// thread, in order — the classic sequential behavior. No scheduler
     /// threads are spawned.
     pub fn sequential() -> Self {
         Self::new(1)
@@ -95,6 +112,11 @@ impl Engine {
     /// a typo never *silently* changes the worker count. The diagnostic
     /// is emitted at most once per process: benchmark loops that build an
     /// engine per iteration no longer spam stderr mid-measurement.
+    ///
+    /// The variable is read **here and only here**: the resolved count
+    /// seeds the scheduler budget, and every downstream layer (sweep
+    /// batches, channel drains, shard fan-out) inherits that budget
+    /// instead of re-reading the environment.
     pub fn from_env() -> Self {
         let var = std::env::var("GRADPIM_THREADS").ok();
         let auto = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).ok();
@@ -109,15 +131,36 @@ impl Engine {
         Self::new(threads)
     }
 
-    /// The worker count.
+    /// The worker count — the global thread budget.
     pub fn threads(&self) -> usize {
         self.pool.threads()
     }
 
-    /// Fans `jobs` over the persistent worker pool (see
+    /// A snapshot of the scheduler's counters: batches/jobs executed,
+    /// drain segments run as stealable tasks ([`SchedStats::drain_chunks`]
+    /// — the intra-point parallelism observable), steals, and the
+    /// spawned/live thread high-water marks that pin the budget.
+    pub fn sched_stats(&self) -> SchedStats {
+        self.pool.scheduler().stats()
+    }
+
+    /// The drain executor this engine hands to jobs: multi-channel drains
+    /// as stealable tasks on the engine's own scheduler.
+    fn drain_exec(&self) -> DrainExec {
+        let sched = self.pool.scheduler().handle();
+        std::sync::Arc::new(move |mem: &mut MemorySystem, max_cycles: u64| {
+            channels::par_drain_on(&sched, mem, max_cycles)
+        })
+    }
+
+    /// Fans `jobs` over the persistent scheduler (see
     /// [`WorkerPool::run_ordered`]): results come back in input order, and
     /// the lowest-indexed failing job's error wins — both independent of
-    /// scheduling.
+    /// scheduling. While a job runs, the engine's drain hook is installed
+    /// (see [`gradpim_sim::phase::with_drain_exec`]), so any phase
+    /// executor inside the job drains multi-channel memory systems as
+    /// stealable tasks on this same scheduler — bit-identical results,
+    /// shared thread budget.
     ///
     /// # Errors
     ///
@@ -129,7 +172,30 @@ impl Engine {
         E: Send,
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
-        self.pool.run_ordered(jobs, f)
+        let exec = self.drain_exec();
+        self.pool.run_ordered(jobs, move |i, job| with_drain_exec(exec.clone(), || f(i, job)))
+    }
+
+    /// [`Engine::run`] with per-job cost estimates (see [`sched::cost`])
+    /// that seed longest-first dispatch, so a heavy tail point starts
+    /// first instead of last. Results, ordering, and failure semantics
+    /// are byte-identical to [`Engine::run`] — only the wall-clock
+    /// changes.
+    ///
+    /// # Errors
+    ///
+    /// The error of the lowest-indexed failing job.
+    pub fn run_weighted<T, R, E, F>(&self, jobs: &[T], costs: &[u64], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(usize, &T) -> Result<R, E> + Sync,
+    {
+        let exec = self.drain_exec();
+        self.pool.scheduler().run_ordered_with(jobs, Some(costs), move |i, job, _| {
+            with_drain_exec(exec.clone(), || f(i, job))
+        })
     }
 
     /// [`Engine::run`] with a [`pool::Cancel`] handle passed to each job,
@@ -147,24 +213,27 @@ impl Engine {
         E: Send,
         F: Fn(usize, &T, &pool::Cancel<'_>) -> Result<R, E> + Sync,
     {
-        self.pool.run_ordered_with(jobs, f)
+        let exec = self.drain_exec();
+        self.pool.run_ordered_with(jobs, move |i, job, cancel| {
+            with_drain_exec(exec.clone(), || f(i, job, cancel))
+        })
     }
 
-    /// Drains `mem` with one worker per channel (see
-    /// [`channels::par_drain`]), bit-identical to
+    /// Drains `mem` with its channels fanned across the engine's
+    /// scheduler (see [`channels::par_drain_on`]), bit-identical to
     /// [`MemorySystem::drain`].
     ///
     /// # Errors
     ///
     /// [`MemError::DrainTimeout`] if work remains after `max_cycles`.
     pub fn drain(&self, mem: &mut MemorySystem, max_cycles: u64) -> Result<u64, MemError> {
-        channels::par_drain(mem, max_cycles, self.threads())
+        channels::par_drain_on(&self.pool.scheduler().handle(), mem, max_cycles)
     }
 
-    /// Runs `mem` to exactly `cycle` with one worker per channel (see
-    /// [`channels::par_run_until`]).
+    /// Runs `mem` to exactly `cycle` with its channels fanned across the
+    /// engine's scheduler (see [`channels::par_run_until_on`]).
     pub fn run_until(&self, mem: &mut MemorySystem, cycle: u64) {
-        channels::par_run_until(mem, cycle, self.threads())
+        channels::par_run_until_on(&self.pool.scheduler().handle(), mem, cycle)
     }
 }
 
@@ -235,5 +304,29 @@ mod tests {
         assert_eq!(Engine::new(0).threads(), 1);
         assert_eq!(Engine::sequential().threads(), 1);
         assert_eq!(Engine::new(7).threads(), 7);
+    }
+
+    #[test]
+    fn oversubscribed_engine_stays_within_its_budget() {
+        // More threads than points × channels: the scheduler must still
+        // spawn exactly threads - 1 workers, never more, and the batch
+        // must complete with sequential-identical results.
+        let engine = Engine::new(16);
+        let jobs: Vec<u64> = (0..4).collect();
+        let out = engine.run(&jobs, |_, &j| Ok::<_, ()>(j * 2)).unwrap();
+        assert_eq!(out, vec![0, 2, 4, 6]);
+        let stats = engine.sched_stats();
+        assert_eq!(stats.spawned, 15, "budget is threads - 1, resolved exactly once");
+        assert!(stats.max_live <= stats.spawned);
+    }
+
+    #[test]
+    fn run_weighted_matches_run() {
+        let engine = Engine::new(3);
+        let jobs: Vec<u64> = (0..9).collect();
+        let costs: Vec<u64> = jobs.iter().map(|&j| (j % 4) * 100 + 1).collect();
+        let plain = engine.run(&jobs, |_, &j| Ok::<_, ()>(j + 7)).unwrap();
+        let weighted = engine.run_weighted(&jobs, &costs, |_, &j| Ok::<_, ()>(j + 7)).unwrap();
+        assert_eq!(plain, weighted);
     }
 }

@@ -1,13 +1,14 @@
-//! A dependency-free persistent worker pool with deterministic result
-//! order.
+//! The ordered-batch front-end over the [`crate::sched`] scheduler, kept
+//! for API stability (and as the home of the batch contract's test
+//! suite).
 //!
-//! [`WorkerPool`] spawns its threads **once** (the [`crate::Engine`] holds
-//! one for its whole lifetime) and feeds them batches over a channel, so a
-//! run of many small sweeps pays the thread-spawn cost a single time
-//! instead of per call. [`WorkerPool::run_ordered`] fans a slice of
-//! independent jobs across the pool (the calling thread participates as
-//! one worker) and collects results **in input order** regardless of which
-//! worker finished which job when.
+//! [`WorkerPool`] used to be its own channel-fed thread pool; it is now a
+//! thin wrapper around a [`Scheduler`], so a pool and the drains running
+//! inside its jobs share one thread budget and one set of work-stealing
+//! deques. The ordered-collection / error-watermark logic lives exactly
+//! once, in `sched::batch` — this module only re-exposes it under the
+//! historical names ([`WorkerPool::run_ordered`], the free
+//! [`run_ordered`], [`Cancel`]).
 //!
 //! # Determinism and error semantics
 //!
@@ -39,108 +40,16 @@
 //! [`WorkerPool::run_ordered_with`] at convenient checkpoints to shed the
 //! remaining tail work early; `run_ordered` ignores it.
 
-use std::panic::{self, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
-use std::thread::JoinHandle;
+use crate::sched::Scheduler;
 
-/// An erased batch-participation closure shipped to a pool thread. The
-/// `'static` bound is a lie told through [`std::mem::transmute`]; the
-/// batch latch guarantees the borrowed state outlives the task.
-type Task = Box<dyn FnOnce() + Send + 'static>;
+pub use crate::sched::Cancel;
 
-thread_local! {
-    /// Whether this thread is currently inside a batch's work loop. A
-    /// *nested* `run_ordered*` call from within a job must not fan out:
-    /// every pool thread may already be occupied by the outer batch, so
-    /// the nested helper tasks could never be dequeued and the nested
-    /// caller would wait on its latch forever. Nested batches run inline
-    /// instead — same results, just sequential.
-    static IN_BATCH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-/// Locks a mutex, ignoring poison: every guarded value in this module
-/// stays consistent across a panic (plain stores), and panic payloads are
-/// propagated explicitly instead of through poison.
-fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
-/// Cooperative-cancellation view handed to each running job (see the
-/// module docs for the exact guarantee).
-#[derive(Debug)]
-pub struct Cancel<'a> {
-    index: usize,
-    failed: &'a AtomicUsize,
-}
-
-impl Cancel<'_> {
-    /// True once a lower-indexed job has failed, i.e. this job's result
-    /// can no longer be observed: the overall call will return that
-    /// failure, so a long job may bail out with any value.
-    pub fn should_cancel(&self) -> bool {
-        self.index > self.failed.load(Ordering::Relaxed)
-    }
-}
-
-impl Cancel<'static> {
-    /// A handle that never reports cancellation — for driving a
-    /// cancel-aware job (e.g. a [`crate::dist::ShardExec`] worker launch)
-    /// outside a pool batch, where no failure watermark exists.
-    pub fn never() -> Self {
-        static NEVER_FAILED: AtomicUsize = AtomicUsize::new(usize::MAX);
-        Cancel { index: 0, failed: &NEVER_FAILED }
-    }
-}
-
-/// Counts outstanding pool-side participants of one batch; the caller
-/// blocks on it before touching the batch state again (and before the
-/// borrowed stack frame can unwind).
-struct Latch {
-    left: Mutex<usize>,
-    done: Condvar,
-}
-
-impl Latch {
-    fn new(n: usize) -> Self {
-        Self { left: Mutex::new(n), done: Condvar::new() }
-    }
-
-    fn arrive(&self) {
-        let mut left = lock_unpoisoned(&self.left);
-        *left -= 1;
-        if *left == 0 {
-            self.done.notify_all();
-        }
-    }
-
-    fn wait(&self) {
-        let mut left = lock_unpoisoned(&self.left);
-        while *left > 0 {
-            left = self.done.wait(left).unwrap_or_else(PoisonError::into_inner);
-        }
-    }
-}
-
-/// Decrements the latch even if the guarded scope unwinds.
-struct ArriveOnDrop<'a>(&'a Latch);
-
-impl Drop for ArriveOnDrop<'_> {
-    fn drop(&mut self) {
-        self.0.arrive();
-    }
-}
-
-/// A persistent, channel-fed worker pool: `threads - 1` pool threads
-/// spawned once (the caller is the remaining worker of every batch),
-/// joined when the pool drops.
+/// A persistent worker pool: a [`Scheduler`] under the historical name.
+/// `threads - 1` OS threads are spawned once (the caller is the remaining
+/// worker of every batch) and joined when the pool drops.
 #[derive(Debug)]
 pub struct WorkerPool {
-    threads: usize,
-    /// `None` for sequential pools (`threads <= 1`); dropped before join.
-    tx: Option<Sender<Task>>,
-    workers: Vec<JoinHandle<()>>,
+    sched: Scheduler,
 }
 
 impl WorkerPool {
@@ -149,31 +58,19 @@ impl WorkerPool {
     /// subsequent `run_ordered*` call; with `threads <= 1` nothing is
     /// spawned and every batch runs inline on the caller.
     pub fn new(threads: usize) -> Self {
-        let threads = threads.max(1);
-        if threads == 1 {
-            return Self { threads, tx: None, workers: Vec::new() };
-        }
-        let (tx, rx) = channel::<Task>();
-        let rx = Arc::new(Mutex::new(rx));
-        #[allow(clippy::expect_used)] // Fatal setup failure; justified below.
-        let workers = (0..threads - 1)
-            .map(|i| {
-                let rx = Arc::clone(&rx);
-                std::thread::Builder::new()
-                    .name(format!("gradpim-pool-{i}"))
-                    .spawn(move || worker_main(&rx))
-                    // gradpim-lint: allow(panic-discipline): pool construction runs
-                    // before any batch exists; a failed OS thread spawn is fatal setup,
-                    // not a mid-batch panic to propagate.
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        Self { threads, tx: Some(tx), workers }
+        Self { sched: Scheduler::new(threads) }
     }
 
-    /// The concurrent worker count (pool threads + the calling thread).
+    /// The concurrent worker count (scheduler threads + the calling
+    /// thread).
     pub fn threads(&self) -> usize {
-        self.threads
+        self.sched.threads()
+    }
+
+    /// The underlying scheduler, for callers that need drains and batches
+    /// on one budget (the [`crate::Engine`] drain hook).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.sched
     }
 
     /// Runs `f` over every job on the pool and returns the results in
@@ -182,9 +79,9 @@ impl WorkerPool {
     /// With `threads <= 1` (or fewer than two jobs) the jobs run inline on
     /// the caller's thread, sequentially and in order, with fail-fast
     /// error propagation — byte-for-byte the single-threaded behavior.
-    /// A *nested* call from inside a running job also runs inline (the
-    /// pool threads may all be busy with the outer batch), never
-    /// deadlocks.
+    /// A *nested* call from inside a running job fans out onto the same
+    /// scheduler (the worker help-waits on its own deque), never
+    /// deadlocks and never spawns threads.
     ///
     /// # Errors
     ///
@@ -201,7 +98,7 @@ impl WorkerPool {
         E: Send,
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
-        self.run_ordered_with(jobs, |i, job, _| f(i, job))
+        self.sched.run_ordered(jobs, f)
     }
 
     /// [`WorkerPool::run_ordered`] with a [`Cancel`] handle passed to each
@@ -223,165 +120,15 @@ impl WorkerPool {
         E: Send,
         F: Fn(usize, &T, &Cancel<'_>) -> Result<R, E> + Sync,
     {
-        if self.threads <= 1 || jobs.len() <= 1 || IN_BATCH.get() {
-            // Inline: fail-fast, so the watermark can never drop below a
-            // running job's index and cancellation never triggers.
-            let never_failed = AtomicUsize::new(usize::MAX);
-            return jobs
-                .iter()
-                .enumerate()
-                .map(|(i, job)| f(i, job, &Cancel { index: i, failed: &never_failed }))
-                .collect();
-        }
-
-        // Shared batch state, borrowed by every participant. The latch is
-        // awaited before this frame returns (or unwinds), which is what
-        // makes the lifetime-erased `Task` handoff below sound.
-        let cursor = AtomicUsize::new(0);
-        // Lowest failing (error or panic) index observed so far; only ever
-        // decreases. Jobs above it are skipped best-effort (their outcome
-        // could never be the returned failure), and every slot below the
-        // final watermark is guaranteed to hold an Ok.
-        let failed = AtomicUsize::new(usize::MAX);
-        // Lowest-indexed panic payload, kept for resume_unwind.
-        let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
-        let slots: Vec<Mutex<Option<Result<R, E>>>> =
-            jobs.iter().map(|_| Mutex::new(None)).collect();
-
-        let work = || {
-            IN_BATCH.set(true);
-            loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                if i > failed.load(Ordering::Relaxed) {
-                    continue;
-                }
-                let cancel = Cancel { index: i, failed: &failed };
-                // Catch panics per job: the payload must reach the caller
-                // intact (a poisoned-slot panic would mask it), and the
-                // worker must stay alive for the rest of the batch.
-                match panic::catch_unwind(AssertUnwindSafe(|| f(i, job, &cancel))) {
-                    Ok(res) => {
-                        if res.is_err() {
-                            failed.fetch_min(i, Ordering::Relaxed);
-                        }
-                        // gradpim-lint: allow(panic-discipline): i comes from the
-                        // shared job counter, bounded by jobs.len() == slots.len().
-                        *lock_unpoisoned(&slots[i]) = Some(res);
-                    }
-                    Err(payload) => {
-                        failed.fetch_min(i, Ordering::Relaxed);
-                        let mut first = lock_unpoisoned(&panicked);
-                        if first.as_ref().is_none_or(|(p, _)| i < *p) {
-                            *first = Some((i, payload));
-                        }
-                    }
-                }
-            }
-            IN_BATCH.set(false);
-        };
-
-        let helpers = self.threads.min(jobs.len()) - 1;
-        let latch = Latch::new(helpers);
-        #[allow(clippy::expect_used)] // Invariant documented below.
-        // gradpim-lint: allow(panic-discipline): run_batch's threads > 1 arm is only
-        // reachable for pools that were built with a sender; Drop is the sole taker.
-        let tx = self.tx.as_ref().expect("threads > 1 pools always hold a sender");
-        for _ in 0..helpers {
-            let task: Box<dyn FnOnce() + Send + '_> = Box::new(|| {
-                let _arrive = ArriveOnDrop(&latch);
-                work();
-            });
-            // SAFETY: the task borrows `work`, `latch`, and through them
-            // the batch state and `jobs`/`f` in this frame. `latch.wait()`
-            // below does not return until every sent task has finished
-            // (ArriveOnDrop fires even on unwind, and `work` itself
-            // catches job panics), so the borrows never dangle. The pool
-            // threads outlive this call because `self` is borrowed.
-            #[allow(unsafe_code)] // Opt-in under the crate's deny; SAFETY above.
-            let task = unsafe { erase_task_lifetime(task) };
-            #[allow(clippy::expect_used)] // Invariant documented below.
-            // gradpim-lint: allow(panic-discipline): send fails only if every worker
-            // dropped its receiver, which Drop alone triggers — unreachable mid-batch.
-            tx.send(task).expect("pool workers outlive the pool handle");
-        }
-        work();
-        latch.wait();
-
-        // All participants are done; the batch state is exclusively ours
-        // again. Failure resolution is a sequential in-order scan, so the
-        // lowest-indexed failure wins whether it was an Err or a panic.
-        let first_panic = panicked.into_inner().unwrap_or_else(PoisonError::into_inner);
-        let panic_index = first_panic.as_ref().map(|(p, _)| *p);
-        let mut first_panic = first_panic;
-        let mut out = Vec::with_capacity(jobs.len());
-        for (i, slot) in slots.into_iter().enumerate() {
-            if panic_index == Some(i) {
-                #[allow(clippy::expect_used)] // Invariant documented below.
-                // gradpim-lint: allow(panic-discipline): panic_index == Some(i) implies
-                // the record was stored; this re-raises that panic, it cannot add one.
-                let (_, payload) = first_panic.take().expect("panic payload present");
-                panic::resume_unwind(payload);
-            }
-            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
-                Some(Ok(r)) => out.push(r),
-                Some(Err(e)) => return Err(e),
-                // A skipped job: only possible past the lowest failing
-                // index, whose own slot (or panic record) is reached first.
-                // gradpim-lint: allow(panic-discipline): documented invariant above —
-                // an empty slot before the first failure cannot occur.
-                None => unreachable!("empty result slot before the first failure"),
-            }
-        }
-        Ok(out)
+        self.sched.run_ordered_with(jobs, None, f)
     }
 }
 
-/// Erases the borrow lifetime of a batch task so it can cross the pool
-/// channel.
-///
-/// # Safety
-///
-/// The caller must not let the borrowed frame return or unwind past the
-/// task's completion — `run_ordered_with` enforces this with its batch
-/// latch.
-#[allow(unsafe_code)] // The workspace's single sanctioned unsafe block (see lib.rs).
-unsafe fn erase_task_lifetime<'a>(task: Box<dyn FnOnce() + Send + 'a>) -> Task {
-    unsafe {
-        std::mem::transmute::<Box<dyn FnOnce() + Send + 'a>, Box<dyn FnOnce() + Send + 'static>>(
-            task,
-        )
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        // Closing the channel ends every worker's recv loop; then join.
-        drop(self.tx.take());
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-/// Pool-thread main loop: pull tasks until the channel closes. Tasks are
-/// unwind-proof by construction (batch closures catch job panics), but a
-/// stray panic must not kill the worker — later batches would deadlock on
-/// their latch waiting for a thread that no longer exists.
-fn worker_main(rx: &Mutex<Receiver<Task>>) {
-    loop {
-        let task = match lock_unpoisoned(rx).recv() {
-            Ok(task) => task,
-            Err(_) => return, // pool dropped
-        };
-        let _ = panic::catch_unwind(AssertUnwindSafe(task));
-    }
-}
-
-/// One-shot convenience: runs `f` over `jobs` on a transient pool of up to
-/// `threads` workers (see [`WorkerPool::run_ordered`] for the semantics).
-/// Call sites that run many batches should hold a [`WorkerPool`] (or a
-/// [`crate::Engine`], which owns one) to amortize the thread spawns.
+/// One-shot convenience: runs `f` over `jobs` on a transient scheduler of
+/// up to `threads` workers (see [`WorkerPool::run_ordered`] for the
+/// semantics). Call sites that run many batches should hold a
+/// [`WorkerPool`] (or a [`crate::Engine`], which owns one) to amortize
+/// the thread spawns.
 ///
 /// # Errors
 ///
@@ -398,13 +145,14 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
-    WorkerPool::new(threads).run_ordered(jobs, f)
+    Scheduler::new(threads).run_ordered(jobs, f)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
+    use std::panic::{self, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicU32, Ordering};
 
     #[test]
     fn results_come_back_in_input_order() {
@@ -603,8 +351,8 @@ mod tests {
 
     #[test]
     fn pool_survives_a_panicking_batch() {
-        // A panic in one batch must not kill pool threads or wedge the
-        // next batch's latch.
+        // A panic in one batch must not kill scheduler threads or wedge
+        // the next batch's latch.
         let pool = WorkerPool::new(3);
         let jobs: Vec<usize> = (0..8).collect();
         let _ = panic::catch_unwind(AssertUnwindSafe(|| {
@@ -676,11 +424,13 @@ mod tests {
     }
 
     #[test]
-    fn nested_runs_from_inside_a_job_complete_inline() {
-        // Regression: a nested run on the persistent pool used to
+    fn nested_runs_from_inside_a_job_complete() {
+        // Regression: a nested run on the old channel-fed pool used to
         // deadlock — with every pool thread occupied by the outer batch,
-        // the nested helper task was never dequeued and the nested caller
-        // waited on its latch forever. Nested batches now run inline.
+        // the nested helper task was never dequeued. Under the scheduler,
+        // nested batches fan out onto the shared deques and the nested
+        // caller help-waits from its own deque; results are identical to
+        // the old inline fallback.
         let pool = WorkerPool::new(2);
         let outer: Vec<usize> = (0..4).collect();
         let out = pool

@@ -2,11 +2,22 @@
 //!
 //! Each function enumerates the same specs as its sequential counterpart
 //! in `gradpim_sim::sweeps` / `gradpim_sim::distributed`, fans them across
-//! the [`Engine`]'s worker pool, and returns **exactly the same points in
+//! the [`Engine`]'s scheduler, and returns **exactly the same points in
 //! exactly the same order** — sweep points share no state, so per-point
 //! arithmetic is unchanged and only the wall clock shrinks. With a
 //! sequential engine ([`Engine::sequential`] / `GRADPIM_THREADS=1`) the
 //! calls are byte-for-byte the classic sequential sweeps.
+//!
+//! Dispatch is **cost-seeded**: every spec exposes its coarse workload
+//! shape (`params`, `batch`, `channels`), which
+//! [`crate::sched::cost::sweep_point_cycles`] turns into an estimated
+//! cycle count, and [`Engine::run_weighted`] starts the heaviest points
+//! first. A full fig09-style batch that ends with resnet50 no longer
+//! leaves its longest point to run alone on one worker after the rest of
+//! the pool has gone idle — and since the idle workers also steal the
+//! running point's multi-channel drain segments (see [`crate::sched`]),
+//! the tail shrinks twice over. Dispatch order is unobservable in the
+//! results.
 
 use gradpim_sim::distributed::{scaling_specs, DistReport, DistSpec};
 use gradpim_sim::report::{Kind, Report, Schema, SweepRow, ToRow};
@@ -17,7 +28,20 @@ use gradpim_sim::sweeps::{
 use gradpim_sim::{Design, PhaseError, SystemConfig, TrainingReport, TrainingSim};
 use gradpim_workloads::Network;
 
+use crate::sched::cost;
 use crate::Engine;
+
+/// Estimated cycles per spec, from each spec's workload shape — the
+/// longest-first dispatch seed (see [`cost::sweep_point_cycles`]).
+fn costs_of<T>(specs: &[T], workload: impl Fn(&T) -> (u64, usize, usize)) -> Vec<u64> {
+    specs
+        .iter()
+        .map(|s| {
+            let (params, batch, channels) = workload(s);
+            cost::sweep_point_cycles(params, batch, channels)
+        })
+        .collect()
+}
 
 /// Fig. 12a in parallel: speedup vs ops/bandwidth ratio.
 ///
@@ -29,7 +53,9 @@ pub fn ops_bandwidth_sweep(
     quick: QuickCaps,
     engine: &Engine,
 ) -> Result<Vec<OpsBwPoint>, PhaseError> {
-    engine.run(&ops_bandwidth_specs(net, quick), |_, s: &OpsBwSpec| s.run())
+    let specs = ops_bandwidth_specs(net, quick);
+    let costs = costs_of(&specs, OpsBwSpec::workload);
+    engine.run_weighted(&specs, &costs, |_, s: &OpsBwSpec| s.run())
 }
 
 /// Fig. 12b in parallel: speedup vs minibatch size.
@@ -42,7 +68,9 @@ pub fn batch_sweep(
     quick: QuickCaps,
     engine: &Engine,
 ) -> Result<Vec<BatchPoint>, PhaseError> {
-    engine.run(&batch_specs(nets, quick), |_, s: &BatchSpec| s.run())
+    let specs = batch_specs(nets, quick);
+    let costs = costs_of(&specs, BatchSpec::workload);
+    engine.run_weighted(&specs, &costs, |_, s: &BatchSpec| s.run())
 }
 
 /// Fig. 12c/d in parallel: speedup and energy vs precision mix.
@@ -55,7 +83,9 @@ pub fn precision_sweep(
     quick: QuickCaps,
     engine: &Engine,
 ) -> Result<Vec<PrecisionPoint>, PhaseError> {
-    engine.run(&precision_specs(nets, quick), |_, s: &PrecisionSpec| s.run())
+    let specs = precision_specs(nets, quick);
+    let costs = costs_of(&specs, PrecisionSpec::workload);
+    engine.run_weighted(&specs, &costs, |_, s: &PrecisionSpec| s.run())
 }
 
 /// Fig. 13 in parallel: per-layer speedup scatter.
@@ -68,7 +98,9 @@ pub fn layer_scatter(
     quick: QuickCaps,
     engine: &Engine,
 ) -> Result<Vec<LayerPoint>, PhaseError> {
-    engine.run(&layer_specs(nets, quick), |_, s: &LayerSpec| s.run())
+    let specs = layer_specs(nets, quick);
+    let costs = costs_of(&specs, LayerSpec::workload);
+    engine.run_weighted(&specs, &costs, |_, s: &LayerSpec| s.run())
 }
 
 /// One row of the Fig. 9 design-space table: a network simulated on one
@@ -145,7 +177,10 @@ pub fn design_space(
             })
         })
         .collect();
-    engine.run(&jobs, |_, (cfg, net)| {
+    let costs = costs_of(&jobs, |(cfg, net)| {
+        (net.total_params() as u64, cfg.batch.unwrap_or(net.default_batch), cfg.base_dram.channels)
+    });
+    engine.run_weighted(&jobs, &costs, |_, (cfg, net)| {
         Ok(DesignPoint { design: cfg.design, report: TrainingSim::new(cfg.clone()).run(net)? })
     })
 }
@@ -214,7 +249,8 @@ pub fn distributed_scaling(
     engine: &Engine,
 ) -> Result<Vec<ScalingRow>, PhaseError> {
     let specs = scaling_specs(net, node_counts, quick);
-    let reports = engine.run(&specs, |_, s: &DistSpec| s.run())?;
+    let costs = costs_of(&specs, DistSpec::workload);
+    let reports = engine.run_weighted(&specs, &costs, |_, s: &DistSpec| s.run())?;
     // scaling_specs emits (baseline, gradpim) pairs per node count.
     Ok(node_counts
         .iter()

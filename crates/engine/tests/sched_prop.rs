@@ -1,0 +1,194 @@
+//! Property tests pinning the scheduler's observable contract to the
+//! sequential executor: over random job counts, outcome scripts (ok /
+//! error / panic), cost seeds, thread budgets, and whatever steal
+//! schedule the OS produces, an ordered batch must return exactly what a
+//! sequential left-to-right run would — same results, same
+//! lowest-index failure, same panic payload — plus the watermark and
+//! budget guarantees the parallel path adds.
+
+// Integration tests build without cfg(test), so the crate-root carve-out
+// for the manifest's unwrap_used/expect_used warns is restated here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+
+use gradpim_dram::DramConfig;
+use gradpim_engine::sched::Scheduler;
+use gradpim_engine::Engine;
+use gradpim_sim::{Design, SystemConfig, TrainingSim};
+use gradpim_workloads::models;
+use proptest::prelude::*;
+
+/// What one scripted job does when it runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Outcome {
+    Ok,
+    Err,
+    Panic,
+}
+
+/// Maps a random byte to an outcome, weighted so most jobs succeed (a
+/// batch that always fails at index 0 tests nothing downstream of it).
+fn outcome(code: u8) -> Outcome {
+    match code {
+        0..=11 => Outcome::Ok,
+        12..=13 => Outcome::Err,
+        _ => Outcome::Panic,
+    }
+}
+
+/// The failure a sequential left-to-right executor would surface: the
+/// lowest-indexed non-Ok outcome.
+fn first_failure(codes: &[u8]) -> Option<(usize, Outcome)> {
+    codes.iter().enumerate().map(|(i, &c)| (i, outcome(c))).find(|&(_, o)| o != Outcome::Ok)
+}
+
+proptest! {
+    // Each case builds (and joins) a real scheduler; keep the count
+    // moderate — the interleavings vary per case anyway because thread
+    // budgets, job counts, and spin lengths all vary.
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_batches_match_the_sequential_executor(
+        codes in prop::collection::vec(0u8..16, 0..40),
+        spins in prop::collection::vec(0u32..400, 0..40),
+        costs in prop::collection::vec(0u64..1_000, 0..40),
+        threads in 1usize..=6,
+        weighted in 0u8..2,
+    ) {
+        let sched = Scheduler::new(threads);
+        let executed: Vec<AtomicU32> = codes.iter().map(|_| AtomicU32::new(0)).collect();
+        let cancels_seen: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        // `costs` varies in length independently of `codes` on purpose:
+        // short cost slices (missing entries read as zero) are part of
+        // the dispatch contract.
+        let cost_arg = if weighted == 1 { Some(&costs[..]) } else { None };
+
+        let run = panic::catch_unwind(AssertUnwindSafe(|| {
+            sched.run_ordered_with(&codes, cost_arg, |i, &code, cancel| {
+                executed[i].fetch_add(1, Ordering::Relaxed);
+                if cancel.should_cancel() {
+                    cancels_seen.lock().unwrap().push(i);
+                }
+                // Unequal job lengths drive the steal paths.
+                std::hint::black_box((0..spins.get(i).copied().unwrap_or(0)).sum::<u32>());
+                match outcome(code) {
+                    Outcome::Ok => Ok(i as u64 * 3),
+                    Outcome::Err => Err(format!("job {i} failed")),
+                    Outcome::Panic => panic::panic_any(format!("job {i} panicked")),
+                }
+            })
+        }));
+
+        // 1. The returned value is exactly the sequential executor's.
+        match (first_failure(&codes), run) {
+            (None, Ok(Ok(out))) => {
+                let expect: Vec<u64> = (0..codes.len() as u64).map(|i| i * 3).collect();
+                prop_assert_eq!(out, expect);
+            }
+            (Some((i, Outcome::Err)), Ok(Err(msg))) => {
+                prop_assert_eq!(msg, format!("job {i} failed"));
+            }
+            (Some((i, Outcome::Panic)), Err(payload)) => {
+                let msg = payload.downcast_ref::<String>().cloned().unwrap_or_default();
+                prop_assert_eq!(msg, format!("job {i} panicked"));
+            }
+            (expect, got) => {
+                let got = match got {
+                    Ok(Ok(v)) => format!("Ok({} results)", v.len()),
+                    Ok(Err(e)) => format!("Err({e})"),
+                    Err(_) => "panic".to_owned(),
+                };
+                prop_assert!(false, "expected {expect:?}, scheduler returned {got}");
+            }
+        }
+
+        // 2. Watermark: every job runs at most once; every job at or
+        // below the lowest failing index runs exactly once (its slot is
+        // what failure resolution scans); only jobs above it may be
+        // skipped.
+        let bound = first_failure(&codes).map_or(codes.len(), |(i, _)| i + 1);
+        for (i, count) in executed.iter().enumerate() {
+            let count = count.load(Ordering::Relaxed);
+            prop_assert!(count <= 1, "job {i} ran {count} times");
+            if i < bound {
+                prop_assert_eq!(count, 1, "job {i} below the failure watermark was skipped");
+            }
+        }
+
+        // 3. Cancellation is sound: a job only observes should_cancel()
+        // after a lower-indexed job has failed.
+        let min_fail = first_failure(&codes).map_or(usize::MAX, |(i, _)| i);
+        for &i in cancels_seen.lock().unwrap().iter() {
+            prop_assert!(
+                i > min_fail,
+                "job {i} saw cancellation but the lowest scripted failure is {min_fail}"
+            );
+        }
+
+        // 4. The thread budget held.
+        let stats = sched.stats();
+        prop_assert_eq!(stats.spawned, threads - 1);
+        prop_assert!(stats.max_live <= stats.spawned);
+    }
+
+    #[test]
+    fn nested_drains_match_sequential_and_stay_within_budget(
+        jobs in 1usize..12,
+        parts in 1usize..8,
+        threads in 2usize..=5,
+    ) {
+        // Every batch job fans a nested for_each_mut (the drain shape)
+        // onto the same scheduler. Results must equal the sequential
+        // computation and the budget must not grow.
+        let sched = Scheduler::new(threads);
+        let handle = sched.handle();
+        let job_ids: Vec<u64> = (0..jobs as u64).collect();
+        let out = sched
+            .run_ordered(&job_ids, |_, &j| {
+                let mut segments: Vec<u64> = (0..parts as u64).map(|k| j * 100 + k).collect();
+                let partials = handle.for_each_mut(&mut segments, |x| *x * 2);
+                Ok::<_, ()>(partials.iter().sum::<u64>())
+            })
+            .unwrap();
+        let expect: Vec<u64> =
+            (0..jobs as u64).map(|j| (0..parts as u64).map(|k| (j * 100 + k) * 2).sum()).collect();
+        prop_assert_eq!(out, expect);
+        let stats = sched.stats();
+        prop_assert_eq!(stats.spawned, threads - 1);
+        prop_assert!(stats.max_live <= stats.spawned);
+    }
+}
+
+#[test]
+fn multi_channel_sweep_drains_intra_point_on_the_shared_budget() {
+    // The acceptance scenario: a sweep over multi-channel configs on a
+    // 4-thread engine must route the per-channel drain segments through
+    // the scheduler (drain_chunks observably non-zero), produce results
+    // bit-identical to the sequential engine, and never exceed the
+    // budget.
+    let net = models::mlp();
+    let mut jobs = Vec::new();
+    for design in [Design::Baseline, Design::GradPimBuffered] {
+        let mut cfg = SystemConfig::new(design);
+        cfg.base_dram = DramConfig::ddr5_like(); // 2 channels
+        cfg.apply_quick(Some((1500, 20_000)));
+        jobs.push(cfg);
+    }
+
+    let seq = Engine::sequential()
+        .run(&jobs, |_, cfg: &SystemConfig| TrainingSim::new(cfg.clone()).run(&net))
+        .unwrap();
+    let engine = Engine::new(4);
+    let par =
+        engine.run(&jobs, |_, cfg: &SystemConfig| TrainingSim::new(cfg.clone()).run(&net)).unwrap();
+    assert_eq!(seq, par, "multi-channel parallel run diverged from sequential");
+
+    let stats = engine.sched_stats();
+    assert!(stats.drain_chunks > 0, "no drain segment ever ran through the scheduler");
+    assert_eq!(stats.spawned, 3, "Engine::new(4) must spawn exactly 3 workers");
+    assert!(stats.max_live <= stats.spawned, "live {} > spawned {}", stats.max_live, stats.spawned);
+}

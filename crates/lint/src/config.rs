@@ -72,11 +72,13 @@ pub struct FileMeta {
 /// exit-code contract (0 ok / 1 runtime / 2 usage / 3 shard pipeline).
 const PROCESS_EXIT_OK: &[&str] = &["crates/engine/src/bin/gradpim-cli.rs"];
 
-/// Files allowed to create threads. All simulation/sweep parallelism must
-/// flow through the pool (global thread budget, ordered results) or the
-/// scoped per-channel drains — a stray `thread::spawn` elsewhere escapes
-/// both the budget and the lowest-index panic propagation.
-const THREAD_SPAWN_OK: &[&str] = &["crates/engine/src/pool.rs", "crates/engine/src/channels.rs"];
+/// Directory prefixes allowed to create threads: the `engine::sched`
+/// work-stealing scheduler, the workspace's single spawn site — it owns
+/// the global thread budget, and everything else (the pool and channel
+/// fronts included) executes as tasks on its workers. The former
+/// file-level carve-outs for `pool.rs` and `channels.rs` are gone: those
+/// modules no longer create threads and are checked like everything else.
+const THREAD_SPAWN_OK_PREFIXES: &[&str] = &["crates/engine/src/sched/"];
 
 /// Files under panic discipline: a panic here either deadlocks a batch or
 /// crashes a shard without flowing through the lowest-index
@@ -90,6 +92,11 @@ const PANIC_SCOPE: &[&str] = &[
     // standard.
     "crates/engine/src/bin/gradpim-cli.rs",
 ];
+
+/// Directory prefixes under panic discipline: the scheduler subsystem,
+/// where the ordered-batch and latch machinery now lives — a stray panic
+/// there deadlocks a batch or masks the lowest-index payload.
+const PANIC_SCOPE_PREFIXES: &[&str] = &["crates/engine/src/sched/"];
 
 /// Crate roots excused from `#![forbid(unsafe_code)]` — they must carry
 /// `#![deny(unsafe_code)]` instead (per-site `#[allow]` with a safety
@@ -148,15 +155,19 @@ impl FileMeta {
         self.is_code() && self.role != Role::Vendor && !PROCESS_EXIT_OK.contains(&self.rel.as_str())
     }
 
-    /// `thread-spawn`: everywhere in our code except the pool/channel
-    /// modules that own thread creation.
+    /// `thread-spawn`: everywhere in our code except the scheduler
+    /// subsystem that owns thread creation.
     pub fn check_thread_spawn(&self) -> bool {
-        self.is_code() && self.role != Role::Vendor && !THREAD_SPAWN_OK.contains(&self.rel.as_str())
+        self.is_code()
+            && self.role != Role::Vendor
+            && !THREAD_SPAWN_OK_PREFIXES.iter().any(|p| self.rel.starts_with(p))
     }
 
-    /// `panic-discipline`: only the configured panic-scope files.
+    /// `panic-discipline`: the configured panic-scope files and the
+    /// scheduler subsystem.
     pub fn check_panic_discipline(&self) -> bool {
         PANIC_SCOPE.contains(&self.rel.as_str())
+            || PANIC_SCOPE_PREFIXES.iter().any(|p| self.rel.starts_with(p))
     }
 
     /// `schema-sync`: every code file (the rule self-scopes to
@@ -277,7 +288,19 @@ mod tests {
         let m = FileMeta::classify("crates/engine", "crates/engine/src/pool.rs".into());
         assert_eq!((m.role, m.kind), (Role::Lib, FileKind::Lib));
         assert!(m.check_panic_discipline());
-        assert!(!m.check_thread_spawn(), "pool owns thread creation");
+        assert!(m.check_thread_spawn(), "the pool no longer owns thread creation");
+
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/sched/mod.rs".into());
+        assert!(!m.check_thread_spawn(), "the scheduler subsystem owns thread creation");
+        assert!(m.check_panic_discipline(), "the batch/latch machinery lives here");
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/sched/batch.rs".into());
+        assert!(!m.check_thread_spawn() && m.check_panic_discipline());
+        // A flat file merely *named* sched is not the subsystem.
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/sched.rs".into());
+        assert!(m.check_thread_spawn(), "the prefix carve-out must not match sched.rs");
+
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/channels.rs".into());
+        assert!(m.check_thread_spawn(), "channels no longer spawns scoped threads");
 
         let m = FileMeta::classify("crates/engine", "crates/engine/src/bin/gradpim-cli.rs".into());
         assert_eq!(m.kind, FileKind::Bin);

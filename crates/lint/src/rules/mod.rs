@@ -11,8 +11,8 @@
 //! | `float-accum` | f64 sum order | `+=` on a float inside a loop in `merge*` functions |
 //! | `print-macro` | pipe-clean stdout | `print!`-family macros in library code |
 //! | `process-exit` | CLI exit-code contract | `process::exit` outside `gradpim-cli` |
-//! | `thread-spawn` | global thread budget | thread creation outside `engine::pool`/`engine::channels` |
-//! | `panic-discipline` | lowest-index panic propagation | `unwrap`/`expect`/`panic!`-family/bare indexing in pool, dist, shard-worker |
+//! | `thread-spawn` | global thread budget | thread creation outside the `engine::sched` subsystem |
+//! | `panic-discipline` | lowest-index panic propagation | `unwrap`/`expect`/`panic!`-family/bare indexing in sched, pool, dist, shard-worker |
 //! | `schema-sync` | spec-family schema drift | `Schema` columns vs `ToRow::row` cells mismatch |
 //! | `forbid-unsafe` | memory safety audit trail | crate root missing `#![forbid(unsafe_code)]` |
 //! | `allow-syntax` | escape-hatch hygiene | malformed/unknown `gradpim-lint:` comments |
@@ -31,8 +31,8 @@ pub const RULES: &[(&str, &str)] = &[
     ("float-accum", "bare `+=` float accumulation inside a loop in merge code: f64 addition is not associative, canonical summation lives in Stats::merge_all"),
     ("print-macro", "print!/println!/eprint!/eprintln! in a library crate: stdout is the spec/report pipe; only the CLI may write the banner, to stderr"),
     ("process-exit", "std::process::exit outside gradpim-cli: the CLI owns the exit-code contract"),
-    ("thread-spawn", "thread creation outside engine::pool/engine::channels: escapes the thread budget and panic propagation"),
-    ("panic-discipline", "unwrap/expect/panic!/unreachable!/todo!/unimplemented!/bare indexing in the pool, dist, or shard-worker path: panics must flow through lowest-index propagation"),
+    ("thread-spawn", "thread creation outside the engine::sched subsystem: escapes the thread budget and panic propagation"),
+    ("panic-discipline", "unwrap/expect/panic!/unreachable!/todo!/unimplemented!/bare indexing in the sched, pool, dist, or shard-worker path: panics must flow through lowest-index propagation"),
     ("schema-sync", "a sweep family's Schema columns disagree with its ToRow::row cells (names, kinds, or order)"),
     ("forbid-unsafe", "crate root missing #![forbid(unsafe_code)] (or the registered #![deny(unsafe_code)] exception)"),
     ("allow-syntax", "malformed gradpim-lint allow comment (unknown rule, missing justification)"),

@@ -100,9 +100,10 @@ pub fn process_exit(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnost
 }
 
 /// `thread-spawn`: thread creation (`thread::spawn`, `thread::Builder`,
-/// `thread::scope`) outside `engine::pool` / `engine::channels`. All
-/// parallelism must flow through the pool (global thread budget, ordered
-/// results, lowest-index panic propagation) or the scoped channel drains.
+/// `thread::scope`) outside the `engine::sched` subsystem — the single
+/// spawn site that owns the global thread budget. All parallelism (sweep
+/// batches and channel drains alike) must flow through the scheduler so it
+/// stays inside the budget and the lowest-index panic propagation.
 pub fn thread_spawn(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnostic>) {
     if !meta.check_thread_spawn() {
         return;
@@ -123,8 +124,8 @@ pub fn thread_spawn(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnost
                 "thread-spawn",
                 i,
                 format!(
-                    "`thread::{target}` outside engine::pool/engine::channels — route \
-                     parallel work through the worker pool so it stays inside the \
+                    "`thread::{target}` outside the engine::sched subsystem — route \
+                     parallel work through the scheduler so it stays inside the \
                      thread budget and panic-propagation machinery"
                 ),
             );
@@ -181,9 +182,13 @@ pub fn panic_discipline(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diag
         }
         // Bare indexing: a postfix `[...]` without a `..` (ranges are
         // slicing, reported separately often enough to stay out of scope).
+        // `mut [` is a slice *type* (`&mut [T]`), never an index
+        // expression — `mut` lexes as an identifier but cannot receive a
+        // postfix index in valid Rust.
         if t == "["
             && i > 0
             && (ctx.kind(i - 1) == TokKind::Ident || matches!(ctx.text(i - 1), ")" | "]"))
+            && ctx.text(i - 1) != "mut"
         {
             let mut depth = 1usize;
             let mut j = i + 1;
@@ -434,10 +439,13 @@ mod tests {
     }
 
     #[test]
-    fn thread_spawn_flagged_except_in_pool() {
+    fn thread_spawn_flagged_except_in_the_scheduler() {
         let src = "fn f() { std::thread::spawn(|| {}); }";
         assert_eq!(run(src, &lib_meta()).iter().filter(|d| d.rule == "thread-spawn").count(), 1);
-        assert!(run(src, &pool_meta()).iter().all(|d| d.rule != "thread-spawn"));
+        // The pool is a scheduler front-end now: spawning there is flagged.
+        assert_eq!(run(src, &pool_meta()).iter().filter(|d| d.rule == "thread-spawn").count(), 1);
+        let sched = FileMeta::classify("crates/engine", "crates/engine/src/sched/mod.rs".into());
+        assert!(run(src, &sched).iter().all(|d| d.rule != "thread-spawn"));
     }
 
     #[test]
@@ -454,6 +462,15 @@ mod tests {
     #[test]
     fn range_slicing_is_not_bare_indexing() {
         let d = run("fn f(v: &[u32]) -> &[u32] { &v[1..3] }", &pool_meta());
+        assert!(d.iter().all(|d| d.rule != "panic-discipline"), "{d:?}");
+    }
+
+    #[test]
+    fn mut_slice_types_are_not_bare_indexing() {
+        let d = run(
+            "fn f(items: &mut [u32]) -> Vec<&mut [u32]> { items.chunks_mut(2).collect() }",
+            &pool_meta(),
+        );
         assert!(d.iter().all(|d| d.rule != "panic-discipline"), "{d:?}");
     }
 

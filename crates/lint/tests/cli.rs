@@ -31,7 +31,7 @@ fn seeded_violations_exit_nonzero_with_file_line_diagnostics() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     for needle in [
-        "error: crates/engine/src/pool.rs:5:",
+        "error: crates/engine/src/pool.rs:7:",
         "[panic-discipline]",
         "error: crates/npu/src/lib.rs:5:",
         "[print-macro]",

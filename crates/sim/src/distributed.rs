@@ -63,6 +63,18 @@ pub struct DistSpec {
 }
 
 impl DistSpec {
+    /// This point's [`crate::sweeps::Workload`] shape (cost-model input
+    /// only): the per-node sub-batch, since that is what each node
+    /// simulates.
+    pub fn workload(&self) -> crate::sweeps::Workload {
+        let full_batch = self.sys.batch.unwrap_or(self.net.default_batch);
+        (
+            self.net.total_params() as u64,
+            (full_batch / self.dist.nodes).max(1),
+            self.sys.base_dram.channels,
+        )
+    }
+
     /// Simulates this point.
     ///
     /// # Errors

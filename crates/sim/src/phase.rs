@@ -72,6 +72,50 @@ fn reference_mode() -> bool {
     *MODE.get_or_init(|| std::env::var("GRADPIM_REFERENCE").as_deref() == Ok("1"))
 }
 
+/// An injected drain executor: same contract as
+/// [`MemorySystem::drain`] (`(mem, max_cycles) -> Ok(elapsed)` or the
+/// sequential path's `DrainTimeout`), and it must be **bit-identical** to
+/// it — same stats, completions, traces, and return value under every
+/// input. The execution engine installs one (its scheduler-backed
+/// multi-channel drain) around each sweep job via [`with_drain_exec`], so
+/// the phase executors' inner drains parallelize across channels without
+/// this crate depending on the engine.
+pub type DrainExec =
+    std::sync::Arc<dyn Fn(&mut MemorySystem, u64) -> Result<u64, MemError> + Send + Sync>;
+
+thread_local! {
+    /// The ambient drain executor for this thread, if a driver installed
+    /// one. Thread-local (not global) so concurrent engines — or an
+    /// engine job and an unrelated sequential run — never see each
+    /// other's executors.
+    static DRAIN_EXEC: std::cell::RefCell<Option<DrainExec>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with `exec` installed as this thread's ambient drain executor
+/// (see [`DrainExec`]); the previous executor is restored afterwards,
+/// even on unwind, so scopes nest cleanly. Every internal `drain_phase` reached
+/// from `f` — i.e. every phase executor's final drain — goes through
+/// `exec` instead of the sequential [`MemorySystem::drain`], except under
+/// `GRADPIM_REFERENCE=1`, which keeps forcing the per-cycle reference
+/// path.
+pub fn with_drain_exec<T>(exec: DrainExec, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<DrainExec>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            DRAIN_EXEC.with(|cell| *cell.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = DRAIN_EXEC.with(|cell| cell.borrow_mut().replace(exec));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// This thread's ambient drain executor, if any.
+fn current_drain_exec() -> Option<DrainExec> {
+    DRAIN_EXEC.with(|cell| cell.borrow().clone())
+}
+
 /// One backpressure step: per-cycle in reference mode, event-driven
 /// otherwise (observably identical).
 fn step(mem: &mut MemorySystem) {
@@ -89,7 +133,15 @@ fn drain_phase(mem: &mut MemorySystem, context: &'static str) -> Result<(), Phas
     // hundred cycles (tRC/tRFC scale); 100k cycles each plus a large idle
     // floor is orders of magnitude beyond any legitimate drain.
     let budget = 50_000_000 + mem.pending() as u64 * 100_000;
-    let res = if reference_mode() { mem.drain_reference(budget) } else { mem.drain(budget) };
+    // Reference mode wins over an installed executor: differential runs
+    // must exercise the per-cycle path no matter who drives the sweep.
+    let res = if reference_mode() {
+        mem.drain_reference(budget)
+    } else if let Some(exec) = current_drain_exec() {
+        exec(mem, budget)
+    } else {
+        mem.drain(budget)
+    };
     res.map(drop).map_err(|e| PhaseError::new(context, e, mem))
 }
 
@@ -676,6 +728,29 @@ mod tests {
         assert!(r.time_ns > 0.0);
         assert_eq!(r.external_bytes, 0.0);
         assert!(r.internal_bytes > 0.0);
+    }
+
+    #[test]
+    fn installed_drain_exec_is_used_and_restored() {
+        if reference_mode() {
+            return; // reference runs bypass the executor by design
+        }
+        let cfg = SystemConfig::new(Design::Baseline).dram();
+        let calls = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let counter = std::sync::Arc::clone(&calls);
+        let exec: DrainExec = std::sync::Arc::new(move |mem: &mut MemorySystem, budget: u64| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            mem.drain(budget)
+        });
+        let hooked = with_drain_exec(exec, || stream_phase(&cfg, 1 << 20, 512 << 10, CAP)).unwrap();
+        let drains_inside = calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(drains_inside > 0, "phase drain never reached the installed executor");
+        // A bit-identical executor must not change results.
+        let plain = stream_phase(&cfg, 1 << 20, 512 << 10, CAP).unwrap();
+        assert_eq!(hooked, plain);
+        // The scope ended: later drains are back on the sequential path.
+        assert_eq!(plain, stream_phase(&cfg, 1 << 20, 512 << 10, CAP).unwrap());
+        assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), drains_inside);
     }
 
     #[test]

@@ -80,7 +80,23 @@ pub struct OpsBwSpec {
     net: Network,
 }
 
+/// The coarse workload shape of one sweep point: `(params, batch,
+/// channels)` — trainable parameters simulated, activation sets streamed
+/// per step, and DRAM channels available to drain in parallel. Execution
+/// engines feed this to a cost model to start the heaviest points first;
+/// it never influences simulated results.
+pub type Workload = (u64, usize, usize);
+
 impl OpsBwSpec {
+    /// This point's [`Workload`] shape (cost-model input only).
+    pub fn workload(&self) -> Workload {
+        (
+            self.net.total_params() as u64,
+            self.base.batch.unwrap_or(self.net.default_batch),
+            self.base.base_dram.channels.max(self.pim.base_dram.channels),
+        )
+    }
+
     /// Simulates this point (a baseline and a GradPIM-BD training step).
     ///
     /// # Errors
@@ -166,6 +182,15 @@ pub struct BatchSpec {
 }
 
 impl BatchSpec {
+    /// This point's [`Workload`] shape (cost-model input only).
+    pub fn workload(&self) -> Workload {
+        (
+            self.net.total_params() as u64,
+            self.base.batch.unwrap_or(self.net.default_batch),
+            self.base.base_dram.channels.max(self.pim.base_dram.channels),
+        )
+    }
+
     /// Simulates this point.
     ///
     /// # Errors
@@ -257,6 +282,15 @@ pub struct PrecisionSpec {
 }
 
 impl PrecisionSpec {
+    /// This point's [`Workload`] shape (cost-model input only).
+    pub fn workload(&self) -> Workload {
+        (
+            self.net.total_params() as u64,
+            self.base.batch.unwrap_or(self.net.default_batch),
+            self.base.base_dram.channels.max(self.pim.base_dram.channels),
+        )
+    }
+
     /// Simulates this point.
     ///
     /// # Errors
@@ -357,6 +391,15 @@ pub struct LayerSpec {
 }
 
 impl LayerSpec {
+    /// This point's [`Workload`] shape (cost-model input only).
+    pub fn workload(&self) -> Workload {
+        (
+            self.single.total_params() as u64,
+            self.base.batch.unwrap_or(self.single.default_batch),
+            self.base.base_dram.channels.max(self.pim.base_dram.channels),
+        )
+    }
+
     /// Simulates this point.
     ///
     /// # Errors
@@ -498,5 +541,19 @@ mod tests {
             assert_eq!(s.base.max_sim_bursts, 1500);
             assert_eq!(s.pim.max_sim_params, 20_000);
         }
+    }
+
+    #[test]
+    fn workloads_reflect_spec_shape() {
+        let nets = [models::mlp()];
+        let specs = batch_specs(&nets, QUICK);
+        let (params, batch, channels) = specs[0].workload();
+        assert_eq!(params, models::mlp().total_params() as u64);
+        assert_eq!(batch, 16, "batch sweep's first point sets batch 16");
+        assert!(channels >= 1);
+        // Layer points report the single layer's parameters, not the net's.
+        let layers = layer_specs(&[models::resnet18()], QUICK);
+        let total: u64 = layers.iter().map(|s| s.workload().0).sum();
+        assert_eq!(total, models::resnet18().total_params() as u64);
     }
 }

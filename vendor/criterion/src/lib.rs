@@ -3,9 +3,16 @@
 //! Implements the subset of criterion's API used by this workspace's
 //! `benches/criterion_*.rs` targets: groups, throughput annotations,
 //! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
-//! Measurement is a plain wall-clock mean over a fixed number of samples —
-//! good enough for relative comparisons in an offline environment, with no
-//! statistics engine, plotting, or HTML reports.
+//! Measurement takes `sample_size` independent wall-clock samples and
+//! reports the **median** per-iteration time — robust to the stray slow
+//! sample a shared CI host produces, with no statistics engine, plotting,
+//! or HTML reports.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! benchmark also appends one JSON line there:
+//! `{"group":…,"bench":…,"median_ns":…,"samples":…,"iters":…}` — the
+//! machine-readable feed for checked-in `BENCH_*.json` snapshots
+//! (`paste -sd, file.jsonl` wraps the lines into a JSON array).
 
 #![forbid(unsafe_code)]
 
@@ -50,29 +57,45 @@ impl<S: Into<String>> From<S> for BenchmarkId {
 /// Timing loop handed to each benchmark closure.
 pub struct Bencher {
     samples: usize,
-    /// Mean wall-clock duration of one iteration, filled in by `iter`.
+    /// Median per-iteration wall-clock duration across the samples,
+    /// filled in by `iter`.
     elapsed: Duration,
     iters_done: u64,
 }
 
 impl Bencher {
-    /// Runs `f` repeatedly and records the mean time per iteration.
+    /// Runs `f` repeatedly and records the **median** per-iteration time
+    /// over `samples` independently timed samples.
     ///
-    /// A short warm-up precedes measurement. The number of measured
-    /// iterations adapts so very fast closures still get a readable mean.
+    /// A short warm-up precedes measurement and calibrates how many
+    /// iterations one sample holds, so very fast closures still get a
+    /// readable number while each sample stays short enough that the
+    /// median can reject outlier samples (GC of a neighbor CI job, a
+    /// page-cache miss) instead of averaging them in.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // Warm-up: run once, then estimate how many iterations fit a sample.
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(1));
-        let per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000);
-        let iters = per_sample as u64 * self.samples as u64;
-        let start = Instant::now();
-        for _ in 0..iters {
-            black_box(f());
+        let per_sample =
+            (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut sample_times = Vec::with_capacity(self.samples);
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(f());
+            }
+            sample_times.push(start.elapsed() / per_sample.max(1) as u32);
+            iters += per_sample;
         }
-        let total = start.elapsed();
-        self.elapsed = total / iters.max(1) as u32;
+        sample_times.sort_unstable();
+        let mid = sample_times.len() / 2;
+        self.elapsed = if sample_times.len() % 2 == 0 {
+            (sample_times[mid - 1] + sample_times[mid]) / 2
+        } else {
+            sample_times[mid]
+        };
         self.iters_done = iters;
     }
 }
@@ -90,7 +113,46 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
-fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+/// Minimal JSON string escaping for benchmark/group names.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends one JSON line per benchmark to the file named by the
+/// `CRITERION_JSON` environment variable, when set. Failures to write are
+/// silently ignored — the console report is the primary output.
+fn emit_json(group: &str, bench: &str, b: &Bencher) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{},\"samples\":{},\"iters\":{}}}\n",
+        json_escape(group),
+        json_escape(bench),
+        b.elapsed.as_nanos(),
+        b.samples,
+        b.iters_done
+    );
+    let _ = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+}
+
+fn report(group: &str, bench: &str, b: &Bencher, throughput: Option<Throughput>) {
+    emit_json(group, bench, b);
+    let name = if group.is_empty() { bench.to_string() } else { format!("{group}/{bench}") };
     let mut line = format!("{name:<40} time: {:>12}", fmt_duration(b.elapsed));
     if let Some(tp) = throughput {
         let secs = b.elapsed.as_secs_f64().max(1e-12);
@@ -132,7 +194,7 @@ impl Criterion {
     {
         let mut b = Bencher { samples: self.sample_size, elapsed: Duration::ZERO, iters_done: 0 };
         f(&mut b);
-        report(name, &b, None);
+        report("", name, &b, None);
         self
     }
 
@@ -180,7 +242,7 @@ impl BenchmarkGroup<'_> {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let mut b = Bencher { samples, elapsed: Duration::ZERO, iters_done: 0 };
         f(&mut b);
-        report(&format!("{}/{}", self.group, id.id), &b, self.throughput);
+        report(&self.group, &id.id, &b, self.throughput);
         self
     }
 
@@ -197,7 +259,7 @@ impl BenchmarkGroup<'_> {
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
         let mut b = Bencher { samples, elapsed: Duration::ZERO, iters_done: 0 };
         f(&mut b, input);
-        report(&format!("{}/{}", self.group, id.id), &b, self.throughput);
+        report(&self.group, &id.id, &b, self.throughput);
         self
     }
 
@@ -245,5 +307,54 @@ mod tests {
     fn benchmark_id_formats() {
         let id = BenchmarkId::new("reads", 128);
         assert_eq!(id.id, "reads/128");
+    }
+
+    #[test]
+    fn median_rejects_one_outlier_sample() {
+        // 5 samples: [1, 1, 1, 1, 100] (units of Duration) → median 1.
+        let mut times: Vec<Duration> = vec![
+            Duration::from_micros(1),
+            Duration::from_micros(100),
+            Duration::from_micros(1),
+            Duration::from_micros(1),
+            Duration::from_micros(1),
+        ];
+        times.sort_unstable();
+        let mid = times.len() / 2;
+        assert_eq!(times[mid], Duration::from_micros(1));
+        // Even count: mean of the two middles.
+        let mut even: Vec<Duration> = vec![Duration::from_micros(2), Duration::from_micros(4)];
+        even.sort_unstable();
+        assert_eq!((even[0] + even[1]) / 2, Duration::from_micros(3));
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_and_controls() {
+        assert_eq!(json_escape("plain/name_4"), "plain/name_4");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn emit_json_appends_one_line_per_benchmark() {
+        let path =
+            std::env::temp_dir().join(format!("criterion-json-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        // emit_json reads the env var itself; set it for this process.
+        // (Tests in this module run in one process — the variable is
+        // removed again below, and no other test reads it.)
+        std::env::set_var("CRITERION_JSON", &path);
+        let b = Bencher { samples: 10, elapsed: Duration::from_nanos(1234), iters_done: 500 };
+        emit_json("sched_tail", "tail_heavy_fifo", &b);
+        emit_json("", "toplevel", &b);
+        std::env::remove_var("CRITERION_JSON");
+        let text = std::fs::read_to_string(&path).expect("JSONL written");
+        let _ = std::fs::remove_file(&path);
+        // Other tests running in this process may also emit while the env
+        // var is set; assert on our own lines rather than the line count.
+        let expect = "{\"group\":\"sched_tail\",\"bench\":\"tail_heavy_fifo\",\
+                      \"median_ns\":1234,\"samples\":10,\"iters\":500}";
+        assert!(text.lines().any(|l| l == expect), "{text}");
+        assert!(text.lines().any(|l| l.contains("\"bench\":\"toplevel\"")), "{text}");
     }
 }
