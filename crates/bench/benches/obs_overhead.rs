@@ -1,0 +1,101 @@
+//! Span-recording overhead on a dense drain workload: the same
+//! scheduler-driven `for_each_mut` pass measured with tracing off (the
+//! default — one relaxed atomic load per instrumentation site) and with
+//! tracing on (every batch/chunk span really recorded and drained).
+//!
+//! Beyond the criterion medians, the binary **asserts a pinned bound**:
+//! the traced median must stay under 1.5x the untraced one. Span
+//! recording is a per-chunk `Vec` push behind a thread-local, so real
+//! overhead sits in the low single-digit percents; breaching 1.5x means
+//! an allocation or lock landed on the record path. A third entry pins
+//! the off-path itself by timing a block of disabled span/instant calls.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gradpim_engine::sched::Scheduler;
+
+/// Chunk-dense scheduler work: 64 drain passes over a 256-segment
+/// buffer, each routed through the work-stealing pool (and therefore
+/// through the `sched.batch` / `sched.drain_chunk` span sites).
+fn drain_pass(sched: &Scheduler, segments: &mut [u64]) -> u64 {
+    let handle = sched.handle();
+    let mut total = 0u64;
+    for _ in 0..64 {
+        let partials = handle.for_each_mut(segments, |x| {
+            *x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1)
+        });
+        total = total.wrapping_add(partials.len() as u64);
+    }
+    total
+}
+
+/// Median wall time of `samples` runs of `f` (spans drained between
+/// samples so traced buffers never grow across measurements).
+fn median_of(samples: usize, mut f: impl FnMut()) -> Duration {
+    let mut times: Vec<Duration> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            let t = start.elapsed();
+            drop(gradpim_obs::drain_spans());
+            t
+        })
+        .collect();
+    times.sort();
+    times[times.len() / 2]
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let sched = Scheduler::new(4);
+    let mut segments: Vec<u64> = (0..256).collect();
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.sample_size(10);
+    gradpim_obs::set_tracing(false);
+    g.bench_function("dense_drain_untraced", |b| b.iter(|| drain_pass(&sched, &mut segments)));
+    gradpim_obs::set_tracing(true);
+    g.bench_function("dense_drain_traced", |b| {
+        b.iter(|| {
+            let out = drain_pass(&sched, &mut segments);
+            drop(gradpim_obs::drain_spans());
+            out
+        })
+    });
+    gradpim_obs::set_tracing(false);
+    g.bench_function("span_calls_off_x4096", |b| {
+        b.iter(|| {
+            for i in 0..4096u32 {
+                let _span = gradpim_obs::span("off.span", "bench");
+                gradpim_obs::instant("off.instant", "bench");
+                std::hint::black_box(i);
+            }
+        })
+    });
+    g.finish();
+
+    // The pinned bound, measured directly so the assertion does not
+    // depend on criterion internals: tracing a dense drain may cost at
+    // most 50% over the untraced pass.
+    gradpim_obs::set_tracing(false);
+    let untraced = median_of(15, || {
+        std::hint::black_box(drain_pass(&sched, &mut segments));
+    });
+    gradpim_obs::set_tracing(true);
+    let traced = median_of(15, || {
+        std::hint::black_box(drain_pass(&sched, &mut segments));
+    });
+    gradpim_obs::set_tracing(false);
+    let ratio = traced.as_secs_f64() / untraced.as_secs_f64().max(1e-12);
+    println!(
+        "obs_overhead pinned bound: untraced={untraced:?} traced={traced:?} ratio={ratio:.3} (bound 1.5)"
+    );
+    assert!(
+        traced.as_nanos() <= untraced.as_nanos() * 3 / 2,
+        "span recording overhead breached the pinned bound: \
+         traced {traced:?} > 1.5x untraced {untraced:?}"
+    );
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

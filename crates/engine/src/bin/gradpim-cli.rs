@@ -6,10 +6,12 @@
 //! gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]
 //!             [--shards N [--shard-retries K]]
 //!             [--format table|csv|json] [-o PATH] [--emit-spec PATH]
+//!             [--trace PATH] [--metrics PATH]
 //! gradpim-cli --run-spec FILE [--shards N [--shard-retries K]] [--threads N]
-//!             [--format table|csv|json] [-o PATH]
+//!             [--format table|csv|json] [-o PATH] [--trace PATH] [--metrics PATH]
 //! gradpim-cli shard-worker FILE|- [--threads N] [-o PATH]
 //! gradpim-cli check-report FILE
+//! gradpim-cli check-trace FILE
 //! gradpim-cli list
 //!
 //! experiments:
@@ -43,6 +45,17 @@
 //! defaults (combine with `GRADPIM_FULL=1` to remove caps entirely).
 //! `check-report` parses a previously emitted report JSON and reports its
 //! shape — a cheap integrity gate for scripted pipelines.
+//!
+//! Observability: `--trace PATH` records spans across every layer (CLI
+//! stage → shard workers → scheduler → phase executors) and writes a
+//! Chrome-trace JSON loadable in Perfetto; with `--shards N` the workers
+//! ship their spans back piggybacked on the report protocol and the
+//! coordinator merges them onto one timeline. `--metrics PATH` writes the
+//! unified metrics registry (scheduler counters, per-phase histograms) as
+//! JSON; `GRADPIM_SCHED_STATS=1` renders the same registry to stderr.
+//! Both artifacts are emitted after — and entirely off — the report
+//! stream, and a traced run's report is byte-identical to an untraced
+//! one. `check-trace` validates an emitted trace and prints its shape.
 
 #![forbid(unsafe_code)]
 
@@ -52,7 +65,7 @@ use std::time::Instant;
 
 use gradpim_engine::dist::{self, DistError, ProcessWorker, ShardOptions};
 use gradpim_engine::serialize::{Experiment, ExperimentSpec};
-use gradpim_engine::{report, Engine};
+use gradpim_engine::{report, trace, Engine};
 use gradpim_sim::sweeps::QuickCaps;
 use gradpim_workloads::models;
 
@@ -84,6 +97,8 @@ enum Mode {
     ShardWorker(String),
     /// Parse a report JSON and print its shape.
     CheckReport(String),
+    /// Parse a Chrome-trace JSON and print its shape.
+    CheckTrace(String),
     /// Print experiments and networks.
     List,
 }
@@ -99,6 +114,10 @@ struct Args {
     emit_spec: Option<String>,
     shards: Option<usize>,
     shard_retries: Option<usize>,
+    /// `--trace PATH`: write a Chrome-trace JSON of the run's spans.
+    trace: Option<String>,
+    /// `--metrics PATH`: write the metrics registry JSON.
+    metrics: Option<String>,
 }
 
 /// A runtime failure, split by exit code (usage errors never reach this
@@ -114,15 +133,25 @@ fn rt(e: impl ToString) -> CliError {
     CliError::Run(e.to_string())
 }
 
+/// The one stderr diagnostics channel: every progress, banner, and error
+/// line goes through here with the uniform `gradpim-cli: ` prefix, keeping
+/// stdout pipe-clean. (Usage/help text is the sole exception — it is
+/// requested output, not a diagnostic.)
+fn log(msg: impl std::fmt::Display) {
+    eprintln!("gradpim-cli: {msg}");
+}
+
 fn usage() -> String {
     let mut s = String::from(
         "usage: gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]\n\
          \u{20}                   [--shards N [--shard-retries K]]\n\
          \u{20}                   [--format table|csv|json] [-o PATH] [--emit-spec PATH]\n\
+         \u{20}                   [--trace PATH] [--metrics PATH]\n\
          \u{20}      gradpim-cli --run-spec FILE [--shards N [--shard-retries K]] [--threads N]\n\
-         \u{20}                   [--format table|csv|json] [-o PATH]\n\
+         \u{20}                   [--format table|csv|json] [-o PATH] [--trace PATH] [--metrics PATH]\n\
          \u{20}      gradpim-cli shard-worker FILE|- [--threads N] [-o PATH]\n\
          \u{20}      gradpim-cli check-report FILE\n\
+         \u{20}      gradpim-cli check-trace FILE\n\
          \u{20}      gradpim-cli list\n\n\
          experiments:\n",
     );
@@ -131,6 +160,7 @@ fn usage() -> String {
     }
     s.push_str("  list     print experiments and networks\n");
     s.push_str("  check-report FILE   validate an emitted report JSON\n");
+    s.push_str("  check-trace FILE   validate an emitted Chrome-trace JSON\n");
     s.push_str("  shard-worker FILE|-   run one shard sub-spec, report JSON on stdout\n");
     s
 }
@@ -146,6 +176,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         emit_spec: None,
         shards: None,
         shard_retries: None,
+        trace: None,
+        metrics: None,
     };
     let mut mode = None;
     let mut it = argv.iter();
@@ -197,6 +229,14 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--emit-spec needs a path (or `-` for stdout)")?;
                 args.emit_spec = Some(v.clone());
             }
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a path")?;
+                args.trace = Some(v.clone());
+            }
+            "--metrics" => {
+                let v = it.next().ok_or("--metrics needs a path")?;
+                args.metrics = Some(v.clone());
+            }
             "--run-spec" => {
                 let v = it.next().ok_or("--run-spec needs a spec file path")?;
                 set_mode(&mut mode, Mode::RunSpec(v.clone()))?;
@@ -205,6 +245,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "check-report" => {
                 let v = it.next().ok_or("check-report needs a report file path")?;
                 set_mode(&mut mode, Mode::CheckReport(v.clone()))?;
+            }
+            "check-trace" => {
+                let v = it.next().ok_or("check-trace needs a trace file path")?;
+                set_mode(&mut mode, Mode::CheckTrace(v.clone()))?;
             }
             "shard-worker" => {
                 let v = it.next().ok_or("shard-worker needs a spec file path (or `-`)")?;
@@ -239,15 +283,30 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         if args.emit_spec.is_some() {
             return Err("shard-worker executes a spec; drop --emit-spec".into());
         }
+        if args.trace.is_some() || args.metrics.is_some() {
+            return Err("the coordinator controls worker tracing (GRADPIM_TRACE_SIDECAR); \
+                        drop --trace/--metrics"
+                .into());
+        }
     }
     if args.shard_retries.is_some() && args.shards.is_none() {
         return Err("--shard-retries needs --shards".into());
     }
-    if args.shards.is_some() && matches!(args.mode, Mode::List | Mode::CheckReport(_)) {
+    if args.shards.is_some()
+        && matches!(args.mode, Mode::List | Mode::CheckReport(_) | Mode::CheckTrace(_))
+    {
         return Err("--shards applies to experiments and --run-spec only".into());
     }
     if args.shards.is_some() && args.emit_spec.is_some() {
         return Err("--emit-spec writes the spec without running it; drop --shards".into());
+    }
+    if (args.trace.is_some() || args.metrics.is_some())
+        && matches!(args.mode, Mode::List | Mode::CheckReport(_) | Mode::CheckTrace(_))
+    {
+        return Err("--trace/--metrics apply to experiments and --run-spec only".into());
+    }
+    if args.emit_spec.is_some() && (args.trace.is_some() || args.metrics.is_some()) {
+        return Err("--emit-spec writes the spec without running it; drop --trace/--metrics".into());
     }
     Ok(args)
 }
@@ -267,7 +326,7 @@ fn emit_output(output: Option<&str>, text: &str) -> Result<(), CliError> {
         Some(path) => {
             std::fs::write(path, text)
                 .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
-            eprintln!("gradpim-cli: wrote {path}");
+            log(format!("wrote {path}"));
             Ok(())
         }
         None => {
@@ -284,17 +343,59 @@ fn engine_for(args: &Args) -> Engine {
     }
 }
 
-/// `GRADPIM_SCHED_STATS=1` dumps the engine's scheduler counters to stderr
-/// after a run — diagnostics only, never the report stream.
-fn maybe_dump_sched_stats(engine: &Engine) {
-    if std::env::var("GRADPIM_SCHED_STATS").as_deref() == Ok("1") {
-        let s = engine.sched_stats();
-        eprintln!(
-            "gradpim-cli: sched stats: batches={} jobs={} drain_chunks={} steals={} \
-             injector_pops={} spawned={} max_live={}",
-            s.batches, s.jobs, s.drain_chunks, s.steals, s.injector_pops, s.spawned, s.max_live
-        );
+/// Whether the `GRADPIM_SCHED_STATS=1` stderr rendering of the metrics
+/// registry was requested (the legacy alias for `--metrics`-style output).
+fn sched_stats_requested() -> bool {
+    std::env::var("GRADPIM_SCHED_STATS").as_deref() == Ok("1")
+}
+
+/// Turns span recording and metrics collection on per the run's arguments
+/// (and the `GRADPIM_SCHED_STATS=1` alias). Call before any work runs.
+fn arm_observability(args: &Args) {
+    if args.trace.is_some() {
+        gradpim_obs::set_tracing(true);
     }
+    if args.metrics.is_some() || sched_stats_requested() {
+        gradpim_obs::set_metrics(true);
+    }
+}
+
+/// Absorbs the engine's scheduler counters into the metrics registry —
+/// the single source both `--metrics PATH` and the `GRADPIM_SCHED_STATS=1`
+/// stderr dump render from.
+fn record_sched_stats(engine: &Engine) {
+    let s = engine.sched_stats();
+    gradpim_obs::counter_set("sched.batches", s.batches);
+    gradpim_obs::counter_set("sched.jobs", s.jobs);
+    gradpim_obs::counter_set("sched.drain_chunks", s.drain_chunks);
+    gradpim_obs::counter_set("sched.steals", s.steals);
+    gradpim_obs::counter_set("sched.injector_pops", s.injector_pops);
+    gradpim_obs::counter_set("sched.spawned", s.spawned as u64);
+    gradpim_obs::counter_set("sched.max_live", s.max_live as u64);
+}
+
+/// Emits the observability artifacts: the `GRADPIM_SCHED_STATS=1` stderr
+/// rendering, the `--metrics PATH` registry JSON, and the `--trace PATH`
+/// Chrome-trace JSON. Runs after the report has been emitted, so none of
+/// this can perturb the data stream.
+fn finish_observability(args: &Args) -> Result<(), CliError> {
+    if sched_stats_requested() {
+        for line in gradpim_obs::registry().to_json().lines() {
+            log(format!("metrics: {line}"));
+        }
+    }
+    if let Some(path) = &args.metrics {
+        std::fs::write(path, gradpim_obs::registry().to_json())
+            .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
+        log(format!("wrote metrics to {path}"));
+    }
+    if let Some(path) = &args.trace {
+        let doc = trace::export(&gradpim_obs::drain_spans());
+        std::fs::write(path, doc)
+            .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
+        log(format!("wrote trace to {path}"));
+    }
+    Ok(())
 }
 
 fn run(args: &Args) -> Result<(), CliError> {
@@ -329,6 +430,21 @@ fn run(args: &Args) -> Result<(), CliError> {
             );
             return Ok(());
         }
+        Mode::CheckTrace(path) => {
+            let doc = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
+            let summary = trace::summarize(&doc)
+                .map_err(|e| CliError::Run(format!("`{path}` is not a valid trace: {e}")))?;
+            let cats: Vec<String> =
+                summary.cats.iter().map(|(cat, n)| format!("{cat}={n}")).collect();
+            println!(
+                "{path}: valid trace, {} event(s) across {} process(es){}",
+                summary.events,
+                summary.pids.len(),
+                if cats.is_empty() { String::new() } else { format!(" ({})", cats.join(" ")) }
+            );
+            return Ok(());
+        }
         Mode::ShardWorker(path) => return run_shard_worker(path, args),
         Mode::Experiment(_) | Mode::RunSpec(_) => {}
     }
@@ -345,9 +461,11 @@ fn run(args: &Args) -> Result<(), CliError> {
             ExperimentSpec::from_json(&doc)
                 .map_err(|e| CliError::Run(format!("`{path}` is not a valid spec: {e}")))?
         }
-        // gradpim-lint: allow(panic-discipline): these modes return from the match
-        // above before spec construction; the arm exists only for exhaustiveness.
-        Mode::List | Mode::CheckReport(_) | Mode::ShardWorker(_) => unreachable!("handled above"),
+        Mode::List | Mode::CheckReport(_) | Mode::CheckTrace(_) | Mode::ShardWorker(_) => {
+            // gradpim-lint: allow(panic-discipline): these modes return from the
+            // match above before spec construction; the arm is exhaustiveness only.
+            unreachable!("handled above")
+        }
     };
 
     if let Some(path) = &args.emit_spec {
@@ -357,50 +475,61 @@ fn run(args: &Args) -> Result<(), CliError> {
         } else {
             std::fs::write(path, &doc)
                 .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
-            eprintln!("gradpim-cli: wrote spec for `{}` to {path}", spec.experiment);
+            log(format!("wrote spec for `{}` to {path}", spec.experiment));
         }
         return Ok(());
     }
 
+    arm_observability(args);
     let t0 = Instant::now();
-    let report = match args.shards {
-        Some(shards) => {
-            let opts = ShardOptions::new(shards)
-                .retries(args.shard_retries.unwrap_or(ShardOptions::DEFAULT_RETRIES));
-            let worker = ProcessWorker::from_env()
-                .map_err(|e| CliError::Run(format!("cannot locate the worker program: {e}")))?
-                .threads(args.threads);
-            // Coordinator jobs are cheap poll-waits on child processes,
-            // not simulation work: size this pool by the shard count so
-            // every worker process runs concurrently even when the
-            // simulation thread knob (--threads / GRADPIM_THREADS) is 1
-            // — that knob is forwarded to the workers instead.
-            let coordinator = Engine::new(shards);
-            eprintln!(
-                "gradpim-cli: {} ({} mode) across {} worker process{} (retry budget {})",
-                spec.experiment,
-                if spec.quick.is_some() { "quick" } else { "full" },
-                shards,
-                if shards == 1 { "" } else { "es" },
-                opts.retries,
-            );
-            dist::run_sharded(&spec, opts, &worker, &coordinator).map_err(|e| match e {
-                DistError::Worker { .. } | DistError::Merge(_) => CliError::Shard(e.to_string()),
-                other => CliError::Run(other.to_string()),
-            })?
-        }
-        None => {
-            let engine = engine_for(args);
-            eprintln!(
-                "gradpim-cli: {} ({} mode, {} worker thread{})",
-                spec.experiment,
-                if spec.quick.is_some() { "quick" } else { "full" },
-                engine.threads(),
-                if engine.threads() == 1 { "" } else { "s" }
-            );
-            let report = spec.run(&engine).map_err(rt)?;
-            maybe_dump_sched_stats(&engine);
-            report
+    let report = {
+        // Scoped so the stage span is closed before the trace is drained.
+        let _span = gradpim_obs::span_lazy(|| format!("cli.{}", spec.experiment), "cli");
+        match args.shards {
+            Some(shards) => {
+                let opts = ShardOptions::new(shards)
+                    .retries(args.shard_retries.unwrap_or(ShardOptions::DEFAULT_RETRIES));
+                let worker = ProcessWorker::from_env()
+                    .map_err(|e| CliError::Run(format!("cannot locate the worker program: {e}")))?
+                    .threads(args.threads)
+                    .trace(args.trace.is_some());
+                // Coordinator jobs are cheap poll-waits on child processes,
+                // not simulation work: size this pool by the shard count so
+                // every worker process runs concurrently even when the
+                // simulation thread knob (--threads / GRADPIM_THREADS) is 1
+                // — that knob is forwarded to the workers instead.
+                let coordinator = Engine::new(shards);
+                log(format!(
+                    "{} ({} mode) across {} worker process{} (retry budget {})",
+                    spec.experiment,
+                    if spec.quick.is_some() { "quick" } else { "full" },
+                    shards,
+                    if shards == 1 { "" } else { "es" },
+                    opts.retries,
+                ));
+                let report =
+                    dist::run_sharded(&spec, opts, &worker, &coordinator).map_err(|e| match e {
+                        DistError::Worker { .. } | DistError::Merge(_) => {
+                            CliError::Shard(e.to_string())
+                        }
+                        other => CliError::Run(other.to_string()),
+                    })?;
+                record_sched_stats(&coordinator);
+                report
+            }
+            None => {
+                let engine = engine_for(args);
+                log(format!(
+                    "{} ({} mode, {} worker thread{})",
+                    spec.experiment,
+                    if spec.quick.is_some() { "quick" } else { "full" },
+                    engine.threads(),
+                    if engine.threads() == 1 { "" } else { "s" }
+                ));
+                let report = spec.run(&engine).map_err(rt)?;
+                record_sched_stats(&engine);
+                report
+            }
         }
     };
     let text = match args.format {
@@ -409,13 +538,24 @@ fn run(args: &Args) -> Result<(), CliError> {
         Format::Json => report::to_json(&report),
     };
     emit_output(args.output.as_deref(), &text)?;
-    eprintln!("gradpim-cli: done in {:.2}s", t0.elapsed().as_secs_f64());
+    finish_observability(args)?;
+    log(format!("done in {:.2}s", t0.elapsed().as_secs_f64()));
     Ok(())
 }
 
 /// Worker mode: read a (usually sharded) spec, execute it, and emit the
-/// report JSON — the child half of the `--shards` pipeline.
+/// report JSON — the child half of the `--shards` pipeline. When the
+/// coordinator set [`dist::TRACE_SIDECAR_ENV`], the worker also records
+/// spans and ships them back spliced into the report JSON as a `"trace"`
+/// member (see [`trace::report_with_sidecar`]).
 fn run_shard_worker(path: &str, args: &Args) -> Result<(), CliError> {
+    let sidecar = std::env::var(dist::TRACE_SIDECAR_ENV).as_deref() == Ok("1");
+    if sidecar {
+        gradpim_obs::set_tracing(true);
+    }
+    if sched_stats_requested() {
+        gradpim_obs::set_metrics(true);
+    }
     let doc = if path == "-" {
         let mut s = String::new();
         std::io::stdin()
@@ -434,17 +574,26 @@ fn run_shard_worker(path: &str, args: &Args) -> Result<(), CliError> {
     })?;
     let engine = engine_for(args);
     match spec.shard {
-        Some(shard) => eprintln!(
-            "gradpim-cli: shard-worker {} shard {shard} ({} worker thread{})",
+        Some(shard) => log(format!(
+            "shard-worker {} shard {shard} ({} worker thread{})",
             spec.experiment,
             engine.threads(),
             if engine.threads() == 1 { "" } else { "s" }
-        ),
-        None => eprintln!("gradpim-cli: shard-worker {} (whole spec)", spec.experiment),
+        )),
+        None => log(format!("shard-worker {} (whole spec)", spec.experiment)),
     }
-    let report = spec.run(&engine).map_err(rt)?;
-    maybe_dump_sched_stats(&engine);
-    emit_output(args.output.as_deref(), &report::to_json(&report))
+    let report = {
+        // Scoped so the stage span is closed before the sidecar drain.
+        let _span = gradpim_obs::span_lazy(|| format!("cli.worker.{}", spec.experiment), "cli");
+        spec.run(&engine).map_err(rt)?
+    };
+    record_sched_stats(&engine);
+    let mut text = report::to_json(&report);
+    if sidecar {
+        text = trace::report_with_sidecar(&text, &gradpim_obs::drain_spans());
+    }
+    emit_output(args.output.as_deref(), &text)?;
+    finish_observability(args)
 }
 
 fn main() -> ExitCode {
@@ -459,11 +608,11 @@ fn main() -> ExitCode {
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(CliError::Run(e)) => {
-            eprintln!("gradpim-cli: {e}");
+            log(e);
             ExitCode::FAILURE
         }
         Err(CliError::Shard(e)) => {
-            eprintln!("gradpim-cli: {e}");
+            log(e);
             ExitCode::from(EXIT_SHARD)
         }
     }

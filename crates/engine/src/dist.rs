@@ -71,6 +71,15 @@ use crate::{report, Engine};
 /// worker through `ssh`).
 pub const WORKER_PROGRAM_ENV: &str = "GRADPIM_SHARD_WORKER";
 
+/// Environment variable the coordinator sets on a worker it wants a trace
+/// sidecar from. A worker seeing `1` here enables span recording and
+/// splices its buffer into the report JSON as a `"trace"` member (see
+/// [`crate::trace`]); the coordinator strips the sidecar back out,
+/// re-bases it onto its own clock, and injects it into the local
+/// collector. Explicitly *removed* from the child environment otherwise,
+/// so an ambient value never perturbs an untraced run.
+pub const TRACE_SIDECAR_ENV: &str = "GRADPIM_TRACE_SIDECAR";
+
 /// How a spec is split across worker processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardOptions {
@@ -285,6 +294,7 @@ impl ShardExec for InProcess {
 pub struct ProcessWorker {
     program: PathBuf,
     threads: Option<usize>,
+    trace: bool,
 }
 
 /// How often a waiting coordinator polls its worker for exit and the
@@ -298,7 +308,7 @@ impl ProcessWorker {
     /// A worker launcher for `program` (invoked as
     /// `<program> shard-worker -`).
     pub fn new(program: impl Into<PathBuf>) -> Self {
-        Self { program: program.into(), threads: None }
+        Self { program: program.into(), threads: None, trace: false }
     }
 
     /// The default coordinator worker: the program named by
@@ -322,6 +332,15 @@ impl ProcessWorker {
     #[must_use]
     pub fn threads(mut self, threads: Option<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Asks every worker for a trace sidecar (sets [`TRACE_SIDECAR_ENV`]
+    /// on the child); the worker's spans land in this process's
+    /// [`gradpim_obs`] collector, re-based onto the coordinator timeline.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -351,7 +370,7 @@ impl ShardExec for ProcessWorker {
     fn run_shard(
         &self,
         sub: &ExperimentSpec,
-        _shard: usize,
+        shard: usize,
         _attempt: usize,
         cancel: &Cancel<'_>,
     ) -> Result<Report, WorkerError> {
@@ -359,6 +378,15 @@ impl ShardExec for ProcessWorker {
         cmd.arg("shard-worker").arg("-");
         if let Some(n) = self.threads {
             cmd.args(["--threads", &n.to_string()]);
+        }
+        // The worker's spans are timestamped from its own process epoch;
+        // its launch time on our clock is the re-base offset that puts
+        // them on the coordinator timeline.
+        let launch_us = gradpim_obs::now_us();
+        if self.trace {
+            cmd.env(TRACE_SIDECAR_ENV, "1");
+        } else {
+            cmd.env_remove(TRACE_SIDECAR_ENV);
         }
         cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped());
         let mut child = cmd.spawn().map_err(|e| {
@@ -416,8 +444,17 @@ impl ShardExec for ProcessWorker {
                 }
             )));
         }
-        report::from_json(&stdout)
-            .map_err(|e| WorkerError::Report(format!("worker stdout is not a report: {e}")))
+        if self.trace {
+            let (report, mut spans) = crate::trace::split_sidecar(&stdout)
+                .map_err(|e| WorkerError::Report(format!("worker stdout is not a report: {e}")))?;
+            let pid = u32::try_from(shard).unwrap_or(u32::MAX).saturating_add(2);
+            crate::trace::rebase(&mut spans, pid, launch_us);
+            gradpim_obs::inject(spans);
+            Ok(report)
+        } else {
+            report::from_json(&stdout)
+                .map_err(|e| WorkerError::Report(format!("worker stdout is not a report: {e}")))
+        }
     }
 }
 
@@ -493,6 +530,7 @@ pub fn run_sharded<X: ShardExec + ?Sized>(
     let expected_schema = spec.schema();
     let subs = spec.shard_specs(opts.shards);
     let reports = engine.run_with_cancel(&subs, |shard, sub, cancel| {
+        let _span = gradpim_obs::span_lazy(|| format!("dist.shard{shard}"), "dist");
         let mut attempts = 0;
         loop {
             if cancel.should_cancel() {
@@ -513,7 +551,7 @@ pub fn run_sharded<X: ShardExec + ?Sized>(
                 Err(error) if attempts > opts.retries => {
                     return Err(DistError::Worker { shard, attempts, error })
                 }
-                Err(_) => {}
+                Err(_) => gradpim_obs::instant("dist.retry", "dist"),
             }
         }
     })?;
@@ -521,6 +559,7 @@ pub fn run_sharded<X: ShardExec + ?Sized>(
     // just against shard 0: with one shard, cross-shard comparison is
     // vacuous and a wrong worker (version skew, bad GRADPIM_SHARD_WORKER
     // override) would otherwise merge cleanly.
+    let _span = gradpim_obs::span("dist.merge", "dist");
     for (shard, report) in reports.iter().enumerate() {
         if report.schema != expected_schema {
             return Err(DistError::Merge(MergeError::SchemaMismatch { shard }));

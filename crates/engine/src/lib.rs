@@ -73,6 +73,7 @@ pub mod report;
 pub mod sched;
 pub mod serialize;
 pub mod sweeps;
+pub mod trace;
 
 use gradpim_dram::{MemError, MemorySystem};
 use gradpim_sim::phase::{with_drain_exec, DrainExec};

@@ -96,6 +96,7 @@ where
             .collect();
     }
     inner.batches.fetch_add(1, Ordering::Relaxed);
+    let _span = gradpim_obs::span_lazy(|| format!("sched.batch[{}]", jobs.len()), "sched");
 
     let order = dispatch_order(jobs.len(), costs);
     // Shared batch state, borrowed by every participant. The latch is

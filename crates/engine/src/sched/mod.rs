@@ -225,6 +225,7 @@ impl Inner {
                 if let Some(dq) = self.deques.get(v) {
                     if let Some(t) = lock_unpoisoned(dq).pop_front() {
                         self.steals.fetch_add(1, Ordering::Relaxed);
+                        gradpim_obs::instant("sched.steal", "sched");
                         return Some(t);
                     }
                 }
@@ -233,6 +234,7 @@ impl Inner {
         let t = lock_unpoisoned(&self.injector).pop_front();
         if t.is_some() {
             self.injector_pops.fetch_add(1, Ordering::Relaxed);
+            gradpim_obs::instant("sched.injector_pop", "sched");
         }
         t
     }
@@ -362,10 +364,9 @@ impl SchedHandle {
         // Lowest-indexed chunk panic, re-raised on the caller after every
         // chunk has finished (the borrows below must not outlive them).
         let panicked: Mutex<Option<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(None);
-        let run_chunk =
-            |i: usize, part: &mut [T]| match panic::catch_unwind(AssertUnwindSafe(|| {
-                part.iter_mut().map(&f).collect()
-            })) {
+        let run_chunk = |i: usize, part: &mut [T]| {
+            let _span = gradpim_obs::span_lazy(|| format!("sched.drain_chunk[{i}]"), "sched");
+            match panic::catch_unwind(AssertUnwindSafe(|| part.iter_mut().map(&f).collect())) {
                 Ok(results) => {
                     if let Some(slot) = slots.get(i) {
                         *lock_unpoisoned(slot) = Some(results);
@@ -377,7 +378,8 @@ impl SchedHandle {
                         *first = Some((i, payload));
                     }
                 }
-            };
+            }
+        };
         let latch = Latch::new(n - 1);
         let mut rest = chunks.into_iter().enumerate();
         #[allow(clippy::expect_used)]

@@ -18,6 +18,12 @@
 //! running point's multi-channel drain segments (see [`crate::sched`]),
 //! the tail shrinks twice over. Dispatch order is unobservable in the
 //! results.
+//!
+//! Under `GRADPIM_COST=measured` every job additionally records its
+//! wall-clock under its shape's [`cost::cost_key`], and later batches
+//! whose shapes are all priced switch from the static estimate to the
+//! observed durations (see [`cost::batch_costs`]). Like the estimate,
+//! measured costs only reorder dispatch — results are unchanged.
 
 use gradpim_sim::distributed::{scaling_specs, DistReport, DistSpec};
 use gradpim_sim::report::{Kind, Report, Schema, SweepRow, ToRow};
@@ -31,16 +37,29 @@ use gradpim_workloads::Network;
 use crate::sched::cost;
 use crate::Engine;
 
-/// Estimated cycles per spec, from each spec's workload shape — the
-/// longest-first dispatch seed (see [`cost::sweep_point_cycles`]).
+/// Dispatch cost per spec, from each spec's workload shape — the
+/// longest-first seed. Static [`cost::sweep_point_cycles`] estimates, or
+/// observed durations when measured-cost feedback has priced every shape
+/// (see [`cost::batch_costs`]).
 fn costs_of<T>(specs: &[T], workload: impl Fn(&T) -> (u64, usize, usize)) -> Vec<u64> {
-    specs
-        .iter()
-        .map(|s| {
-            let (params, batch, channels) = workload(s);
-            cost::sweep_point_cycles(params, batch, channels)
-        })
-        .collect()
+    let shapes: Vec<(u64, usize, usize)> = specs.iter().map(workload).collect();
+    cost::batch_costs(&shapes)
+}
+
+/// Runs one sweep job, recording its wall-clock under the shape's
+/// measured-cost key when `GRADPIM_COST=measured` feedback is on. The
+/// timing wraps the job from the outside, so results are untouched either
+/// way.
+fn measured<R, E>(shape: (u64, usize, usize), f: impl FnOnce() -> Result<R, E>) -> Result<R, E> {
+    if !gradpim_obs::cost_feedback() {
+        return f();
+    }
+    let start = std::time::Instant::now();
+    let out = f();
+    let (params, batch, channels) = shape;
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    gradpim_obs::record_measured_cost(&cost::cost_key(params, batch, channels), nanos);
+    out
 }
 
 /// Fig. 12a in parallel: speedup vs ops/bandwidth ratio.
@@ -55,7 +74,7 @@ pub fn ops_bandwidth_sweep(
 ) -> Result<Vec<OpsBwPoint>, PhaseError> {
     let specs = ops_bandwidth_specs(net, quick);
     let costs = costs_of(&specs, OpsBwSpec::workload);
-    engine.run_weighted(&specs, &costs, |_, s: &OpsBwSpec| s.run())
+    engine.run_weighted(&specs, &costs, |_, s: &OpsBwSpec| measured(s.workload(), || s.run()))
 }
 
 /// Fig. 12b in parallel: speedup vs minibatch size.
@@ -70,7 +89,7 @@ pub fn batch_sweep(
 ) -> Result<Vec<BatchPoint>, PhaseError> {
     let specs = batch_specs(nets, quick);
     let costs = costs_of(&specs, BatchSpec::workload);
-    engine.run_weighted(&specs, &costs, |_, s: &BatchSpec| s.run())
+    engine.run_weighted(&specs, &costs, |_, s: &BatchSpec| measured(s.workload(), || s.run()))
 }
 
 /// Fig. 12c/d in parallel: speedup and energy vs precision mix.
@@ -85,7 +104,7 @@ pub fn precision_sweep(
 ) -> Result<Vec<PrecisionPoint>, PhaseError> {
     let specs = precision_specs(nets, quick);
     let costs = costs_of(&specs, PrecisionSpec::workload);
-    engine.run_weighted(&specs, &costs, |_, s: &PrecisionSpec| s.run())
+    engine.run_weighted(&specs, &costs, |_, s: &PrecisionSpec| measured(s.workload(), || s.run()))
 }
 
 /// Fig. 13 in parallel: per-layer speedup scatter.
@@ -100,7 +119,13 @@ pub fn layer_scatter(
 ) -> Result<Vec<LayerPoint>, PhaseError> {
     let specs = layer_specs(nets, quick);
     let costs = costs_of(&specs, LayerSpec::workload);
-    engine.run_weighted(&specs, &costs, |_, s: &LayerSpec| s.run())
+    engine.run_weighted(&specs, &costs, |_, s: &LayerSpec| measured(s.workload(), || s.run()))
+}
+
+/// Workload shape of one Fig. 9 (network, design) job — [`costs_of`] and
+/// the [`measured`] wrap must key the same shape.
+fn design_shape((cfg, net): &(SystemConfig, Network)) -> (u64, usize, usize) {
+    (net.total_params() as u64, cfg.batch.unwrap_or(net.default_batch), cfg.base_dram.channels)
 }
 
 /// One row of the Fig. 9 design-space table: a network simulated on one
@@ -177,11 +202,12 @@ pub fn design_space(
             })
         })
         .collect();
-    let costs = costs_of(&jobs, |(cfg, net)| {
-        (net.total_params() as u64, cfg.batch.unwrap_or(net.default_batch), cfg.base_dram.channels)
-    });
-    engine.run_weighted(&jobs, &costs, |_, (cfg, net)| {
-        Ok(DesignPoint { design: cfg.design, report: TrainingSim::new(cfg.clone()).run(net)? })
+    let costs = costs_of(&jobs, design_shape);
+    engine.run_weighted(&jobs, &costs, |_, job| {
+        measured(design_shape(job), || {
+            let (cfg, net) = job;
+            Ok(DesignPoint { design: cfg.design, report: TrainingSim::new(cfg.clone()).run(net)? })
+        })
     })
 }
 
@@ -250,7 +276,8 @@ pub fn distributed_scaling(
 ) -> Result<Vec<ScalingRow>, PhaseError> {
     let specs = scaling_specs(net, node_counts, quick);
     let costs = costs_of(&specs, DistSpec::workload);
-    let reports = engine.run_weighted(&specs, &costs, |_, s: &DistSpec| s.run())?;
+    let reports = engine
+        .run_weighted(&specs, &costs, |_, s: &DistSpec| measured(s.workload(), || s.run()))?;
     // scaling_specs emits (baseline, gradpim) pairs per node count.
     Ok(node_counts
         .iter()

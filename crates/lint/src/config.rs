@@ -150,6 +150,14 @@ impl FileMeta {
         self.kind == FileKind::Lib && matches!(self.role, Role::Lib | Role::Tool)
     }
 
+    /// `obs-protocol`: same scope as `print-macro` — library sources only.
+    /// Trace/metrics emission must stay off the stdout report pipe, so
+    /// acquiring a stdout handle (`io::stdout()`) in library code is out;
+    /// exporters return strings and the CLI owns emission.
+    pub fn check_obs_protocol(&self) -> bool {
+        self.check_print_macro()
+    }
+
     /// `process-exit`: everywhere in our code except the CLI.
     pub fn check_process_exit(&self) -> bool {
         self.is_code() && self.role != Role::Vendor && !PROCESS_EXIT_OK.contains(&self.rel.as_str())

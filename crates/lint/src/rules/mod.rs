@@ -10,6 +10,7 @@
 //! | `hash-collection` | byte-identical reports | `HashMap`/`HashSet` in non-test lib/bin code |
 //! | `float-accum` | f64 sum order | `+=` on a float inside a loop in `merge*` functions |
 //! | `print-macro` | pipe-clean stdout | `print!`-family macros in library code |
+//! | `obs-protocol` | trace/metrics off the report pipe | `stdout()` handle acquisition in library code |
 //! | `process-exit` | CLI exit-code contract | `process::exit` outside `gradpim-cli` |
 //! | `thread-spawn` | global thread budget | thread creation outside the `engine::sched` subsystem |
 //! | `panic-discipline` | lowest-index panic propagation | `unwrap`/`expect`/`panic!`-family/bare indexing in sched, pool, dist, shard-worker |
@@ -30,6 +31,7 @@ pub const RULES: &[(&str, &str)] = &[
     ("hash-collection", "HashMap/HashSet in library code: iteration order is nondeterministic and feeds reports/traces; use BTreeMap/BTreeSet or sort before emission"),
     ("float-accum", "bare `+=` float accumulation inside a loop in merge code: f64 addition is not associative, canonical summation lives in Stats::merge_all"),
     ("print-macro", "print!/println!/eprint!/eprintln! in a library crate: stdout is the spec/report pipe; only the CLI may write the banner, to stderr"),
+    ("obs-protocol", "stdout() handle acquisition in a library crate: trace/metrics output must be returned as a string for the CLI to route, never written to the report pipe"),
     ("process-exit", "std::process::exit outside gradpim-cli: the CLI owns the exit-code contract"),
     ("thread-spawn", "thread creation outside the engine::sched subsystem: escapes the thread budget and panic propagation"),
     ("panic-discipline", "unwrap/expect/panic!/unreachable!/todo!/unimplemented!/bare indexing in the sched, pool, dist, or shard-worker path: panics must flow through lowest-index propagation"),
@@ -203,6 +205,7 @@ pub fn run_all(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnostic>) 
     simple::hash_collection(ctx, meta, diags);
     simple::float_accum(ctx, meta, diags);
     simple::print_macro(ctx, meta, diags);
+    simple::obs_protocol(ctx, meta, diags);
     simple::process_exit(ctx, meta, diags);
     simple::thread_spawn(ctx, meta, diags);
     simple::panic_discipline(ctx, meta, diags);

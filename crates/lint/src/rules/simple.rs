@@ -69,6 +69,35 @@ pub fn print_macro(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnosti
     }
 }
 
+/// `obs-protocol`: acquiring a stdout handle (`io::stdout()` or a bare
+/// `stdout()`) in library code. Stdout is the spec/report byte-identity
+/// protocol; observability output (traces, metrics, span dumps) must be
+/// returned as a string for the CLI to route, never written to the pipe
+/// directly. The `Command` builder method `.stdout(Stdio::piped())` is a
+/// different thing entirely and is excluded by the leading-`.` check.
+pub fn obs_protocol(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnostic>) {
+    if !meta.check_obs_protocol() {
+        return;
+    }
+    for i in 0..ctx.len().saturating_sub(1) {
+        if ctx.in_test[i] || ctx.kind(i) != TokKind::Ident {
+            continue;
+        }
+        if ctx.text(i) == "stdout" && ctx.text(i + 1) == "(" && (i == 0 || ctx.text(i - 1) != ".") {
+            ctx.error(
+                diags,
+                meta,
+                "obs-protocol",
+                i,
+                "`stdout()` in a library crate — stdout is the spec/report protocol; \
+                 return the trace/metrics text to the caller and let the CLI emit it, \
+                 or justify with an allow"
+                    .into(),
+            );
+        }
+    }
+}
+
 /// `process-exit`: `std::process::exit` outside `gradpim-cli`. The CLI
 /// owns the documented exit-code contract (0 ok / 1 runtime / 2 usage /
 /// 3 shard pipeline); a library calling `exit` would skip destructors and
@@ -426,6 +455,20 @@ mod tests {
     fn println_in_lib_is_flagged_strings_are_not() {
         let d = run("fn f() { println!(\"x\"); let s = \"println!\"; }", &lib_meta());
         assert_eq!(d.iter().filter(|d| d.rule == "print-macro").count(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn stdout_handle_in_lib_is_flagged_command_builder_is_not() {
+        let d = run("fn f() { let mut out = std::io::stdout(); }", &lib_meta());
+        assert_eq!(d.iter().filter(|d| d.rule == "obs-protocol").count(), 1, "{d:?}");
+        // `.stdout(Stdio::piped())` is the Command builder, not the pipe.
+        let d = run("fn f(c: &mut Command) { c.stdout(Stdio::piped()); }", &lib_meta());
+        assert!(d.iter().all(|d| d.rule != "obs-protocol"), "{d:?}");
+        // CLIs own stdout.
+        let cli =
+            FileMeta::classify("crates/engine", "crates/engine/src/bin/gradpim-cli.rs".into());
+        let d = run("fn f() { let mut out = std::io::stdout(); }", &cli);
+        assert!(d.iter().all(|d| d.rule != "obs-protocol"), "{d:?}");
     }
 
     #[test]

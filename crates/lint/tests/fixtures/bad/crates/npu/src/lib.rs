@@ -1,5 +1,6 @@
-//! Seeded violations: print-macro in library code, a crate root missing
-//! `#![forbid(unsafe_code)]`, and an unused allow (warning, not error).
+//! Seeded violations: print-macro in library code, an obs-protocol stdout
+//! handle, a crate root missing `#![forbid(unsafe_code)]`, and an unused
+//! allow (warning, not error).
 
 pub fn debug_dump(x: u32) {
     println!("x = {x}");
@@ -7,3 +8,7 @@ pub fn debug_dump(x: u32) {
 
 // gradpim-lint: allow(hash-collection): nothing below uses a hash map
 pub fn noop() {}
+
+pub fn dump_trace() {
+    let _out = std::io::stdout();
+}

@@ -90,8 +90,9 @@ fn every_rule_fires_in_the_seeded_fixture_workspace() {
         ("process-exit", "crates/engine/src/sched.rs", 9),
         ("schema-sync", "crates/sim/src/sweeps.rs", 9),
         ("allow-syntax", "crates/sim/src/sweeps.rs", 18),
-        ("forbid-unsafe", "crates/npu/src/lib.rs", 4),
-        ("print-macro", "crates/npu/src/lib.rs", 5),
+        ("forbid-unsafe", "crates/npu/src/lib.rs", 5),
+        ("print-macro", "crates/npu/src/lib.rs", 6),
+        ("obs-protocol", "crates/npu/src/lib.rs", 13),
     ];
     for &(rule, file, line) in expected {
         assert!(
@@ -120,7 +121,7 @@ fn every_rule_fires_in_the_seeded_fixture_workspace() {
         report.diags
     );
     // And nothing else: the error count is exactly the seeded set.
-    assert_eq!(report.errors(), 13, "{:#?}", report.diags);
+    assert_eq!(report.errors(), 14, "{:#?}", report.diags);
 }
 
 #[test]

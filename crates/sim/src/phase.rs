@@ -198,6 +198,19 @@ impl PhaseResult {
     }
 }
 
+/// Feeds the phase's headline observables (scaled wall-clock, raw
+/// simulated cycles, scaled energy) into the metrics registry — a no-op
+/// unless metrics are enabled — and passes the result through, so every
+/// executor records through one line.
+fn observed(context: &'static str, result: PhaseResult) -> PhaseResult {
+    if gradpim_obs::metrics_enabled() {
+        gradpim_obs::observe(&format!("phase.{context}.wall_ns"), result.time_ns);
+        gradpim_obs::observe(&format!("phase.{context}.sim_cycles"), result.sim_cycles as f64);
+        gradpim_obs::observe(&format!("phase.{context}.energy_pj"), result.energy.total_pj());
+    }
+    result
+}
+
 /// A memory request for the streaming drivers.
 #[derive(Debug, Clone, Copy)]
 enum Req {
@@ -212,6 +225,7 @@ fn run_requests(
     reqs: impl Iterator<Item = Req>,
     context: &'static str,
 ) -> Result<(), PhaseError> {
+    let _span = gradpim_obs::span_lazy(|| format!("phase.{context}"), "phase");
     for r in reqs {
         loop {
             let res = match r {
@@ -308,7 +322,7 @@ pub fn stream_phase(
         }
     });
     run_requests(&mut mem, reqs, "stream")?;
-    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+    Ok(observed("stream", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
 }
 
 /// The baseline (and TensorDIMM) update phase: the update engine streams
@@ -404,7 +418,7 @@ pub fn baseline_update_phase(
     }
     let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
     run_requests(&mut mem, merged.into_iter(), "baseline-update")?;
-    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+    Ok(observed("baseline-update", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
 }
 
 /// The GradPIM update phase proper: the Fig. 5 (middle) update kernel
@@ -473,7 +487,7 @@ fn pim_kernel_phase(
         plan.streams.iter().map(|s| (s.channel, s.rank, s.bankgroup, s.ops.as_slice())),
         "pim-kernel",
     )?;
-    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+    Ok(observed("pim-kernel", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
 }
 
 /// The AoS-PB update phase (§VI-B): per-bank units, arrays interleaved as
@@ -536,7 +550,7 @@ pub fn aos_per_bank_update_phase(
     }
     let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
     run_unit_streams(&mut mem, streams.iter().map(|s| (s.0, s.1, s.2, s.3.as_slice())), "aos-pb")?;
-    Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+    Ok(observed("aos-pb", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
 }
 
 /// Round-robin enqueue of per-unit op streams with backpressure
@@ -546,6 +560,7 @@ fn run_unit_streams<'a>(
     streams: impl Iterator<Item = (usize, u8, u8, &'a [PimOp])>,
     context: &'static str,
 ) -> Result<(), PhaseError> {
+    let _span = gradpim_obs::span_lazy(|| format!("phase.{context}"), "phase");
     let streams: Vec<_> = streams.collect();
     let mut cursors = vec![0usize; streams.len()];
     loop {

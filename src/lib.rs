@@ -16,6 +16,7 @@
 //! | [`npu`] | `gradpim-npu` | Diannao-like NPU performance model |
 //! | [`sim`] | `gradpim-sim` | system co-simulation (Baseline / GradPIM-DR / GradPIM-BD / TensorDIMM / AoS / AoS-PB) |
 //! | [`engine`] | `gradpim-engine` | parallel execution engine: threaded channels, sweep scheduler, `gradpim-cli` |
+//! | [`obs`] | `gradpim-obs` | tracing spans, metrics registry, measured-cost feedback (Chrome-trace export lives in [`engine::trace`]) |
 //!
 //! # Quickstart
 //!
@@ -44,6 +45,7 @@ pub use gradpim_core as core;
 pub use gradpim_dram as dram;
 pub use gradpim_engine as engine;
 pub use gradpim_npu as npu;
+pub use gradpim_obs as obs;
 pub use gradpim_optim as optim;
 pub use gradpim_sim as sim;
 pub use gradpim_workloads as workloads;
