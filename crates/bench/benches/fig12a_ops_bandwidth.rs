@@ -12,7 +12,7 @@ use gradpim_workloads::models;
 
 fn main() {
     banner("Fig. 12a", "Speedup (%) vs operations/bandwidth ratio on AlphaGoZero");
-    let quick = if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+    let quick = if gradpim_bench::env::full_fidelity() {
         None
     } else {
         Some((12 * 1024u64, 96 * 1024usize))

@@ -9,7 +9,7 @@ use gradpim_sim::sweeps::batch_sweep;
 
 fn main() {
     banner("Fig. 12b", "Speedup (%) vs minibatch size");
-    let quick = if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+    let quick = if gradpim_bench::env::full_fidelity() {
         None
     } else {
         Some((12 * 1024u64, 96 * 1024usize))

@@ -11,7 +11,7 @@ use gradpim_sim::sweeps::precision_sweep;
 
 fn main() {
     banner("Fig. 12d", "Energy over baseline (%) per precision mix (lower is better)");
-    let quick = if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+    let quick = if gradpim_bench::env::full_fidelity() {
         None
     } else {
         Some((12 * 1024u64, 96 * 1024usize))

@@ -10,7 +10,7 @@ use gradpim_sim::sweeps::layer_scatter;
 
 fn main() {
     banner("Fig. 13", "Per-layer speedup (%) vs weight/activation ratio");
-    let quick = if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+    let quick = if gradpim_bench::env::full_fidelity() {
         None
     } else {
         Some((4 * 1024u64, 48 * 1024usize))

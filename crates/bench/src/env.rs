@@ -1,0 +1,16 @@
+//! The bench harness's designated environment-variable module.
+//!
+//! Every `std::env::var` read in this crate (the `src/` support library
+//! *and* the `benches/` figure targets) lives here — enforced by
+//! `gradpim-lint`'s `env-discipline` rule (see `gradpim_engine::env` for
+//! the rationale). Knobs owned by this crate:
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `GRADPIM_FULL` | `=1` runs the figure benches at full fidelity instead of the scaled default |
+
+/// `GRADPIM_FULL=1` requests full-fidelity bench runs: no traffic caps,
+/// paper-scale measurements.
+pub fn full_fidelity() -> bool {
+    std::env::var("GRADPIM_FULL").as_deref() == Ok("1")
+}

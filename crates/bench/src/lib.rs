@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod env;
+
 use gradpim_sim::{Design, SystemConfig};
 use gradpim_workloads::{models, Network};
 
@@ -15,7 +17,7 @@ use gradpim_workloads::{models, Network};
 /// `GRADPIM_FULL=1` is set, which removes all caps).
 pub fn bench_config(design: Design) -> SystemConfig {
     let mut c = SystemConfig::new(design);
-    if std::env::var("GRADPIM_FULL").as_deref() != Ok("1") {
+    if !env::full_fidelity() {
         // Doubled when the event-driven fast-forward core landed.
         c.max_sim_bursts = 48 * 1024;
         c.max_sim_params = 256 * 1024;

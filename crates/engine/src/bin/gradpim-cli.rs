@@ -346,7 +346,7 @@ fn engine_for(args: &Args) -> Engine {
 /// Whether the `GRADPIM_SCHED_STATS=1` stderr rendering of the metrics
 /// registry was requested (the legacy alias for `--metrics`-style output).
 fn sched_stats_requested() -> bool {
-    std::env::var("GRADPIM_SCHED_STATS").as_deref() == Ok("1")
+    gradpim_engine::env::sched_stats()
 }
 
 /// Turns span recording and metrics collection on per the run's arguments
@@ -549,7 +549,7 @@ fn run(args: &Args) -> Result<(), CliError> {
 /// spans and ships them back spliced into the report JSON as a `"trace"`
 /// member (see [`trace::report_with_sidecar`]).
 fn run_shard_worker(path: &str, args: &Args) -> Result<(), CliError> {
-    let sidecar = std::env::var(dist::TRACE_SIDECAR_ENV).as_deref() == Ok("1");
+    let sidecar = gradpim_engine::env::trace_sidecar();
     if sidecar {
         gradpim_obs::set_tracing(true);
     }

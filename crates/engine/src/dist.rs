@@ -320,7 +320,7 @@ impl ProcessWorker {
     /// The [`std::env::current_exe`] failure, when no override is set and
     /// the executable path cannot be determined.
     pub fn from_env() -> std::io::Result<Self> {
-        match std::env::var_os(WORKER_PROGRAM_ENV) {
+        match crate::env::shard_worker_program() {
             Some(program) => Ok(Self::new(PathBuf::from(program))),
             None => std::env::current_exe().map(Self::new),
         }

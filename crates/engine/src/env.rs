@@ -1,0 +1,45 @@
+//! The engine's designated environment-variable module.
+//!
+//! Every `std::env::var`/`var_os` read in this crate lives here — enforced
+//! by `gradpim-lint`'s `env-discipline` rule. Environment knobs are
+//! reproducibility inputs: a read scattered at its point of use is
+//! per-host nondeterminism the byte-identity CI gates cannot see until a
+//! stray variable flips a report on someone else's machine. Keeping the
+//! reads in one audited module per crate makes the knob surface
+//! enumerable (the README's knob table mirrors these functions) and keeps
+//! environment access off hot paths.
+//!
+//! Knobs owned by this crate:
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `GRADPIM_THREADS` | worker-thread count for [`crate::Engine::from_env`] |
+//! | `GRADPIM_SHARD_WORKER` | worker program override for the `--shards` pipeline ([`crate::dist::WORKER_PROGRAM_ENV`]) |
+//! | `GRADPIM_TRACE_SIDECAR` | coordinator→worker request for a trace sidecar ([`crate::dist::TRACE_SIDECAR_ENV`]) |
+//! | `GRADPIM_SCHED_STATS` | `=1` renders the metrics registry to stderr after a CLI run |
+
+use std::ffi::OsString;
+
+/// Raw `GRADPIM_THREADS` value, when set. Parsing/clamping stays with
+/// [`crate::Engine::from_env`], the single consumer.
+pub fn threads_var() -> Option<String> {
+    std::env::var("GRADPIM_THREADS").ok()
+}
+
+/// The shard-worker program override ([`crate::dist::WORKER_PROGRAM_ENV`]),
+/// when set — the test/transport hook for the `--shards` pipeline.
+pub fn shard_worker_program() -> Option<OsString> {
+    std::env::var_os(crate::dist::WORKER_PROGRAM_ENV)
+}
+
+/// True when the coordinator asked this worker process for a trace
+/// sidecar ([`crate::dist::TRACE_SIDECAR_ENV`] `=1`).
+pub fn trace_sidecar() -> bool {
+    std::env::var(crate::dist::TRACE_SIDECAR_ENV).as_deref() == Ok("1")
+}
+
+/// True when `GRADPIM_SCHED_STATS=1` requests the stderr metrics
+/// rendering (the legacy alias for the CLI's `--metrics`).
+pub fn sched_stats() -> bool {
+    std::env::var("GRADPIM_SCHED_STATS").as_deref() == Ok("1")
+}

@@ -230,13 +230,15 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
-                #[allow(clippy::expect_used)] // UTF-8 validity is by construction.
                 Some(_) => {
                     // Consume one UTF-8 character (the input is a &str, so
-                    // the bytes are valid UTF-8 by construction).
+                    // the bytes are valid UTF-8 by construction; a decode
+                    // failure is unreachable but degrades to an error).
                     let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).expect("input was a &str");
-                    let c = s.chars().next().expect("peeked a byte");
+                    let c = std::str::from_utf8(rest)
+                        .ok()
+                        .and_then(|s| s.chars().next())
+                        .ok_or_else(|| self.err("invalid UTF-8 in string"))?;
                     if (c as u32) < 0x20 {
                         return Err(self.err("unescaped control character in string"));
                     }
@@ -283,8 +285,10 @@ impl Parser<'_> {
                 return Err(self.err("expected digits in exponent"));
             }
         }
-        #[allow(clippy::expect_used)] // The number lexer only consumes ASCII.
-        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number token");
+        // The number lexer only consumes ASCII, so decoding cannot fail;
+        // degrade to a parse error rather than panicking on the emit path.
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("non-ASCII number token"))?;
         Ok(Json::Num(raw.to_string()))
     }
 

@@ -67,6 +67,7 @@
 
 pub mod channels;
 pub mod dist;
+pub mod env;
 mod json;
 pub mod pool;
 pub mod report;
@@ -119,7 +120,7 @@ impl Engine {
     /// batches, channel drains, shard fan-out) inherits that budget
     /// instead of re-reading the environment.
     pub fn from_env() -> Self {
-        let var = std::env::var("GRADPIM_THREADS").ok();
+        let var = crate::env::threads_var();
         let auto = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).ok();
         let (threads, warning) = resolve_threads(var.as_deref(), auto);
         if let Some(warning) = warning {

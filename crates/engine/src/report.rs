@@ -224,10 +224,9 @@ fn parse_cell(cell: &Json, col: &Column, row: usize) -> Result<Value, ParseError
         (Kind::Int, Json::Num(raw)) => raw.parse::<i64>().map(Value::Int).map_err(|_| {
             structural(format!("row {row}, column `{}`: `{raw}` is not a 64-bit integer", col.name))
         }),
-        #[allow(clippy::expect_used)] // Every lexed JSON number token parses as f64.
-        (Kind::Float, Json::Num(raw)) => {
-            Ok(Value::Float(raw.parse::<f64>().expect("JSON number tokens parse as f64")))
-        }
+        (Kind::Float, Json::Num(raw)) => raw.parse::<f64>().map(Value::Float).map_err(|_| {
+            structural(format!("row {row}, column `{}`: `{raw}` is not a float", col.name))
+        }),
         // The emitter's encoding for non-finite floats.
         (Kind::Float, Json::Str(s)) => match s.as_str() {
             "NaN" => Ok(Value::Float(f64::NAN)),

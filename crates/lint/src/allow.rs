@@ -103,6 +103,7 @@ pub fn collect(
                     line: tok.line,
                     col: tok.col,
                     message: format!("malformed gradpim-lint comment: {why}"),
+                    chain: Vec::new(),
                 });
                 continue;
             }
@@ -117,6 +118,7 @@ pub fn collect(
                 message: format!(
                     "unknown rule `{rule}` in allow (see `gradpim-lint rules` for the rule table)"
                 ),
+                chain: Vec::new(),
             });
             continue;
         }
@@ -159,6 +161,7 @@ impl Allows {
                     "allow({}) suppresses nothing on line {} — remove it",
                     e.rule, e.covers
                 ),
+                chain: Vec::new(),
             });
         }
     }

@@ -104,6 +104,31 @@ const PANIC_SCOPE_PREFIXES: &[&str] = &["crates/engine/src/sched/"];
 /// handoff is the workspace's single unsafe block.
 const UNSAFE_DENY_OK: &[&str] = &["crates/engine/src/lib.rs"];
 
+/// Files whose non-test functions are `panic-reach` roots beyond the
+/// per-site panic-discipline scope: the report/serialize emit paths,
+/// where a panic mid-emission truncates the byte-identical report rather
+/// than deadlocking a batch.
+const PANIC_REACH_EXTRA_ROOTS: &[&str] =
+    &["crates/engine/src/report.rs", "crates/engine/src/serialize.rs"];
+
+/// Call-graph absorption boundaries for `panic-reach`, as qualified-name
+/// suffixes with the reason each one is sound. An absorbed function is
+/// neither a root nor traversed through: panics below it are converted to
+/// errors at runtime, so reachability stops there.
+///
+/// * `ExperimentSpec::run` — every shard payload and pool job it launches
+///   executes under `catch_unwind` with bounded crashed-shard retry
+///   (PR 4/5): a panic below this boundary becomes a job error or a
+///   retried shard, not a protocol hang.
+const PANIC_REACH_ABSORBED: &[(&str, &str)] =
+    &[("ExperimentSpec::run", "payloads run under catch_unwind with bounded crashed-shard retry")];
+
+/// True when `qname` (a fully-qualified fn name) is a registered
+/// `panic-reach` absorption boundary.
+pub fn panic_reach_absorbed(qname: &str) -> bool {
+    PANIC_REACH_ABSORBED.iter().any(|(s, _)| qname == *s || qname.ends_with(&format!("::{s}")))
+}
+
 impl FileMeta {
     /// Classifies `rel` (workspace-relative path) inside `member`.
     pub fn classify(member: &str, rel: String) -> FileMeta {
@@ -133,14 +158,43 @@ impl FileMeta {
         matches!(self.kind, FileKind::Lib | FileKind::Bin)
     }
 
-    /// `hash-collection`: non-test library/binary code of our own crates.
+    /// `hash-collection`: every file of our own crates — tests, benches,
+    /// and examples included. A hash-ordered collection in a test can
+    /// green-light nondeterministic expectations just as well as one on
+    /// the report path.
     pub fn check_hash_collection(&self) -> bool {
+        self.role != Role::Vendor
+    }
+
+    /// `float-accum`: non-test library/binary code of our own crates (the
+    /// merge-path summation rule stays scoped to shipped code).
+    pub fn check_float_accum(&self) -> bool {
         self.is_code() && self.role != Role::Vendor
     }
 
-    /// `float-accum`: same scope as `hash-collection`.
-    pub fn check_float_accum(&self) -> bool {
-        self.check_hash_collection()
+    /// `float-taint`: same scope as `float-accum` — the source-to-sink
+    /// refinement runs wherever the syntactic rule does.
+    pub fn check_float_taint(&self) -> bool {
+        self.check_float_accum()
+    }
+
+    /// `env-discipline`: every file of our own crates — tests, benches,
+    /// and examples included — except each crate's designated `src/env.rs`
+    /// module, the single place process-environment reads may live.
+    pub fn check_env_discipline(&self) -> bool {
+        self.role != Role::Vendor && !self.is_env_module()
+    }
+
+    /// True for a crate's designated environment module (`src/env.rs`).
+    pub fn is_env_module(&self) -> bool {
+        let in_member = self.rel.strip_prefix(&self.member).unwrap_or(&self.rel);
+        in_member.trim_start_matches('/') == "src/env.rs"
+    }
+
+    /// `panic-reach` roots: every file under per-site panic discipline
+    /// plus the report/serialize emit paths.
+    pub fn panic_reach_root(&self) -> bool {
+        self.check_panic_discipline() || PANIC_REACH_EXTRA_ROOTS.contains(&self.rel.as_str())
     }
 
     /// `print-macro`: library sources only — stdout is the spec/report
@@ -336,7 +390,21 @@ mod tests {
 
         let m = FileMeta::classify("crates/engine", "crates/engine/tests/shard_pipeline.rs".into());
         assert_eq!(m.kind, FileKind::Test);
-        assert!(!m.check_hash_collection() && !m.check_panic_discipline());
+        assert!(m.check_hash_collection(), "tests are covered since the role extension");
+        assert!(m.check_env_discipline(), "tests read knobs through env modules too");
+        assert!(!m.check_panic_discipline() && !m.check_float_accum());
+
+        let m = FileMeta::classify("crates/sim", "crates/sim/src/env.rs".into());
+        assert!(!m.check_env_discipline(), "the designated env module reads the environment");
+        assert!(m.is_env_module());
+        let m = FileMeta::classify("crates/sim", "crates/sim/src/config.rs".into());
+        assert!(m.check_env_discipline());
+
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/report.rs".into());
+        assert!(m.panic_reach_root(), "report emission is a protocol root");
+        assert!(!m.check_panic_discipline());
+        assert!(panic_reach_absorbed("gradpim_engine::serialize::ExperimentSpec::run"));
+        assert!(!panic_reach_absorbed("gradpim_engine::serialize::ExperimentSpec::runner"));
     }
 
     #[test]

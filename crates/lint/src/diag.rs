@@ -14,6 +14,8 @@
 
 use std::fmt;
 
+use crate::json::push_json_str;
+
 /// How bad a diagnostic is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Severity {
@@ -33,6 +35,17 @@ impl Severity {
     }
 }
 
+/// One frame of a graph-rule call chain: a function and where it is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Fully-qualified function name (`crate::module::[Type::]fn`).
+    pub name: String,
+    /// Workspace-relative file of the definition.
+    pub file: String,
+    /// 1-based line of the call site (or the definition, for frame 0).
+    pub line: usize,
+}
+
 /// One finding: a rule, a location, and a message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -48,6 +61,9 @@ pub struct Diagnostic {
     pub col: usize,
     /// What is wrong and what to do instead.
     pub message: String,
+    /// For graph rules (`panic-reach`): the call chain from a protocol
+    /// root to the reported site, root first. Empty for token rules.
+    pub chain: Vec<Frame>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -61,7 +77,11 @@ impl fmt::Display for Diagnostic {
             self.col,
             self.rule,
             self.message
-        )
+        )?;
+        for (i, frame) in self.chain.iter().enumerate() {
+            write!(f, "\n    #{i} {} ({}:{})", frame.name, frame.file, frame.line)?;
+        }
+        Ok(())
     }
 }
 
@@ -91,32 +111,12 @@ pub fn render_human(diags: &[Diagnostic], files_checked: usize) -> String {
     out
 }
 
-/// Appends `s` as a quoted JSON string with the canonical escape set used
-/// across the workspace (`gradpim_engine::json` conventions): `"` and `\`
-/// backslash-escaped, `\n`/`\r`/`\t` short forms, other control characters
-/// as `\u00XX`.
-fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
 /// Renders the machine-readable report (already-sorted diagnostics), e.g.:
 ///
 /// ```json
 /// {
 ///   "tool": "gradpim-lint",
-///   "version": 1,
+///   "version": 2,
 ///   "files_checked": 92,
 ///   "errors": 1,
 ///   "warnings": 0,
@@ -126,13 +126,23 @@ fn push_json_str(out: &mut String, s: &str) {
 ///   ]
 /// }
 /// ```
+///
+/// Version 2 adds an optional `chain` member per diagnostic — the
+/// root-first call chain of a graph rule, present only when non-empty:
+///
+/// ```json
+/// {"rule": "panic-reach", ..., "chain": [
+///   {"name": "engine::pool::run_ordered", "file": "...", "line": 41},
+///   {"name": "engine::util::checked", "file": "...", "line": 7}
+/// ]}
+/// ```
 pub fn render_json(diags: &[Diagnostic], files_checked: usize) -> String {
     let errors = diags.iter().filter(|d| d.severity == Severity::Error).count();
     let warnings = diags.len() - errors;
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"tool\": \"gradpim-lint\",\n");
-    out.push_str("  \"version\": 1,\n");
+    out.push_str("  \"version\": 2,\n");
     out.push_str(&format!("  \"files_checked\": {files_checked},\n"));
     out.push_str(&format!("  \"errors\": {errors},\n"));
     out.push_str(&format!("  \"warnings\": {warnings},\n"));
@@ -147,6 +157,20 @@ pub fn render_json(diags: &[Diagnostic], files_checked: usize) -> String {
         push_json_str(&mut out, &d.file);
         out.push_str(&format!(", \"line\": {}, \"col\": {}, \"message\": ", d.line, d.col));
         push_json_str(&mut out, &d.message);
+        if !d.chain.is_empty() {
+            out.push_str(", \"chain\": [");
+            for (k, fr) in d.chain.iter().enumerate() {
+                if k > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str("{\"name\": ");
+                push_json_str(&mut out, &fr.name);
+                out.push_str(", \"file\": ");
+                push_json_str(&mut out, &fr.file);
+                out.push_str(&format!(", \"line\": {}}}", fr.line));
+            }
+            out.push(']');
+        }
         out.push('}');
     }
     out.push_str(if diags.is_empty() { "]\n" } else { "\n  ]\n" });
@@ -166,6 +190,7 @@ mod tests {
             line,
             col: 1,
             message: "m".into(),
+            chain: Vec::new(),
         }
     }
 
@@ -192,5 +217,25 @@ mod tests {
         let json = render_json(&[], 3);
         assert!(json.contains("\"diagnostics\": []"), "{json}");
         assert!(json.contains("\"errors\": 0"), "{json}");
+    }
+
+    #[test]
+    fn chains_render_in_both_formats() {
+        let mut d = diag("a.rs", 9, "panic-reach");
+        d.chain = vec![
+            Frame { name: "engine::pool::run".into(), file: "pool.rs".into(), line: 4 },
+            Frame { name: "engine::util::f".into(), file: "util.rs".into(), line: 9 },
+        ];
+        let human = d.to_string();
+        assert!(human.contains("\n    #0 engine::pool::run (pool.rs:4)"), "{human}");
+        assert!(human.contains("\n    #1 engine::util::f (util.rs:9)"), "{human}");
+        let json = render_json(&[d], 1);
+        assert!(
+            json.contains(r#""chain": [{"name": "engine::pool::run", "file": "pool.rs", "line": 4}, {"name": "engine::util::f", "file": "util.rs", "line": 9}]"#),
+            "{json}"
+        );
+        // Chain-free diagnostics omit the member entirely.
+        let json = render_json(&[diag("a.rs", 1, "r")], 1);
+        assert!(!json.contains("chain"), "{json}");
     }
 }

@@ -1,0 +1,1023 @@
+//! The workspace symbol graph and approximate call graph — the
+//! cross-file layer the graph rules (`panic-reach`) run on.
+//!
+//! Built from the [`crate::parser`] item trees of every workspace file:
+//!
+//! * a **module tree** derived from the file layout (`src/lib.rs`,
+//!   `src/foo.rs`, `src/foo/bar.rs`, `src/bin/*.rs`, `tests/*.rs`, …)
+//!   plus inline `mod name { … }` items;
+//! * a **symbol index** of every `fn` (free functions, inherent and trait
+//!   `impl` methods, trait declarations) under its fully-qualified name;
+//! * **`use`-path resolution** per file (aliases, braced groups, globs);
+//! * an **approximate call graph**: edges are added only where resolution
+//!   is confident, so the graph under-approximates reachability rather
+//!   than flooding it. The edge rules, in order:
+//!
+//!   1. *path calls* (`a::b::f(…)`, `Type::assoc(…)`, `Self::f(…)`,
+//!      `crate::`/`super::`/`self::` forms) resolved through the use map
+//!      and module tree;
+//!   2. *bare calls* (`f(…)`) resolved in the caller's own module, its
+//!      use imports, or glob imports;
+//!   3. *`self.m(…)`* resolved against every inherent/trait impl of the
+//!      enclosing impl's self type;
+//!   4. *other method calls* (`x.m(…)`) only when `m` is a declared trait
+//!      method (linking every impl of that trait — the dynamic-dispatch
+//!      approximation) or is defined exactly once in the workspace and is
+//!      not a ubiquitous std method name (`COMMON_METHODS`).
+//!
+//! The same body scan records **panic sites**: `panic!`-family macros and
+//! `.unwrap()`/`.expect()` calls that do *not* resolve to a workspace
+//! method (so `self.expect(…)` on a hand-rolled parser with its own
+//! `expect` is a call edge, not a false positive).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+use crate::config::{FileKind, FileMeta};
+use crate::lexer::TokKind;
+use crate::parser::{Item, ItemKind};
+use crate::rules::FileCtx;
+
+/// One function definition in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Fully-qualified name: `crate::module::[Type::]name`.
+    pub qname: String,
+    /// Bare function name.
+    pub name: String,
+    /// The `impl` self type (or trait, for trait-declaration methods).
+    pub self_ty: Option<String>,
+    /// The trait in `impl Trait for Type`, when this is a trait impl method.
+    pub trait_impl: Option<String>,
+    /// Index into [`Graph::files`].
+    pub file: usize,
+    /// 1-based line of the `fn` name.
+    pub line: usize,
+    /// True for `#[cfg(test)]`-masked fns and fns in `tests/`/`benches/`
+    /// files — excluded from graph-rule traversal.
+    pub in_test: bool,
+    /// Significant-token body range in its file, when the fn has a body.
+    body: Option<(usize, usize)>,
+    /// Module path segments (crate name first).
+    module: Vec<String>,
+}
+
+/// One call edge out of a function body.
+#[derive(Debug, Clone, Copy)]
+pub struct CallEdge {
+    /// Callee: index into [`Graph::fns`].
+    pub to: usize,
+    /// 1-based line of the call site in the caller's file.
+    pub line: usize,
+}
+
+/// One potential panic site inside a function body.
+#[derive(Debug, Clone)]
+pub struct PanicSite {
+    /// 1-based line / column of the site.
+    pub line: usize,
+    /// Column.
+    pub col: usize,
+    /// What the site is (`.unwrap()`, `panic!`, …).
+    pub what: String,
+}
+
+/// The workspace symbol/call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Workspace-relative file paths, aligned with [`FnDef::file`].
+    pub files: Vec<String>,
+    /// Per-file metadata, aligned with `files`.
+    pub metas: Vec<FileMeta>,
+    /// Every function definition, in deterministic (file, token) order.
+    pub fns: Vec<FnDef>,
+    /// Outgoing call edges per function (aligned with `fns`), deduplicated
+    /// per callee (first call site wins), sorted by callee id.
+    pub calls: Vec<Vec<CallEdge>>,
+    /// Potential panic sites per function (aligned with `fns`).
+    pub panics: Vec<Vec<PanicSite>>,
+}
+
+/// Method names too ubiquitous in std to ever resolve by the
+/// "defined exactly once in the workspace" heuristic — a `v.push(x)` must
+/// not become an edge to some workspace type's `push`.
+const COMMON_METHODS: &[&str] = &[
+    "new",
+    "clone",
+    "default",
+    "fmt",
+    "from",
+    "into",
+    "to_string",
+    "len",
+    "is_empty",
+    "push",
+    "pop",
+    "insert",
+    "remove",
+    "get",
+    "contains",
+    "iter",
+    "into_iter",
+    "next",
+    "as_ref",
+    "as_mut",
+    "as_str",
+    "write",
+    "read",
+    "flush",
+    "clear",
+    "take",
+    "join",
+    "send",
+    "recv",
+    "lock",
+    "wait",
+    "drop",
+    "eq",
+    "cmp",
+    "hash",
+    "min",
+    "max",
+    "abs",
+    "sum",
+    "count",
+    "map",
+    "filter",
+    "collect",
+    "extend",
+    "split",
+    "trim",
+    "parse",
+    "expect",
+    "unwrap",
+    "ok",
+    "err",
+    "run",
+    "clamp",
+    "rev",
+    "sort",
+    "drain",
+    "last",
+    "first",
+    "position",
+    "load",
+    "store",
+    "swap",
+    "get_or_init",
+    "call",
+];
+
+/// Keywords that look like bare calls when followed by `(`.
+const CALLISH_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "else", "fn", "let",
+    "mut", "ref", "break", "continue", "unsafe", "await", "dyn", "impl", "where", "use", "pub",
+    "crate", "self", "super", "true", "false", "box", "yield", "static", "const", "type",
+];
+
+/// Reads the crate identifier for a workspace member: the `name = "…"` of
+/// its `Cargo.toml` with `-` mapped to `_`, falling back to the member
+/// directory's basename (fixture mini-workspaces carry no per-member
+/// manifests).
+fn crate_name(root: &Path, member: &str) -> String {
+    let manifest = if member.is_empty() {
+        root.join("Cargo.toml")
+    } else {
+        root.join(member).join("Cargo.toml")
+    };
+    if let Ok(text) = std::fs::read_to_string(&manifest) {
+        for line in text.lines() {
+            let line = line.trim();
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let v = rest.trim().trim_matches('"');
+                    if !v.is_empty() {
+                        return v.replace('-', "_");
+                    }
+                }
+            }
+        }
+    }
+    let base = if member.is_empty() {
+        root.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default()
+    } else {
+        member.rsplit('/').next().unwrap_or(member).to_string()
+    };
+    if base.is_empty() {
+        "crate_root".into()
+    } else {
+        base.replace('-', "_")
+    }
+}
+
+/// The module path of a file (crate segment first). `src/bin/*`,
+/// `tests/*`, `benches/*`, and `examples/*` files are their own crate
+/// roots named after the file stem.
+fn file_module(meta: &FileMeta, crate_of_member: &str) -> Vec<String> {
+    let in_member =
+        meta.rel.strip_prefix(&meta.member).unwrap_or(&meta.rel).trim_start_matches('/');
+    let stem =
+        |p: &str| p.rsplit('/').next().unwrap_or(p).trim_end_matches(".rs").replace('-', "_");
+    match meta.kind {
+        FileKind::Bin => {
+            if in_member == "src/main.rs" {
+                vec![crate_of_member.to_string()]
+            } else {
+                vec![stem(in_member)]
+            }
+        }
+        FileKind::Test | FileKind::Example => vec![stem(in_member)],
+        FileKind::Lib => {
+            let mut m = vec![crate_of_member.to_string()];
+            if let Some(subpath) = in_member.strip_prefix("src/") {
+                if subpath != "lib.rs" {
+                    let parts: Vec<&str> = subpath.trim_end_matches(".rs").split('/').collect();
+                    for (i, p) in parts.iter().enumerate() {
+                        if i + 1 == parts.len() && *p == "mod" {
+                            continue; // src/foo/mod.rs → crate::foo
+                        }
+                        m.push(p.replace('-', "_"));
+                    }
+                }
+            }
+            m
+        }
+    }
+}
+
+/// One `use` import: `alias` (the name visible in the file) and the full
+/// path it expands to.
+#[derive(Debug)]
+struct UseMap {
+    aliases: BTreeMap<String, Vec<String>>,
+    globs: Vec<Vec<String>>,
+}
+
+/// Parses the use-tree of one `use` item (sig-token range `lo..hi`,
+/// positioned after the `use` keyword) into `map`, prefix-first.
+/// Error-tolerant: malformed trees just contribute fewer aliases.
+fn parse_use_tree(ctx: &FileCtx<'_>, lo: usize, hi: usize, prefix: &[String], map: &mut UseMap) {
+    let mut path: Vec<String> = prefix.to_vec();
+    let mut i = lo;
+    let mut last: Option<String> = None;
+    while i < hi {
+        let t = ctx.text(i);
+        match t {
+            ":" => {}
+            "," | ";" => break,
+            "{" => {
+                // Group: recurse per comma-separated branch.
+                if let Some(seg) = last.take() {
+                    path.push(seg);
+                }
+                let mut j = i + 1;
+                let mut depth = 1usize;
+                let mut branch = j;
+                while j < hi && depth > 0 {
+                    match ctx.text(j) {
+                        "{" => depth += 1,
+                        "}" => {
+                            depth -= 1;
+                            if depth == 0 {
+                                parse_use_tree(ctx, branch, j, &path, map);
+                            }
+                        }
+                        "," if depth == 1 => {
+                            parse_use_tree(ctx, branch, j, &path, map);
+                            branch = j + 1;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return;
+            }
+            "*" => {
+                if let Some(seg) = last.take() {
+                    path.push(seg);
+                }
+                map.globs.push(path);
+                return;
+            }
+            "as" if ctx.kind(i) == TokKind::Ident => {
+                // `path as alias`.
+                if i + 1 < hi && ctx.kind(i + 1) == TokKind::Ident {
+                    if let Some(seg) = last.take() {
+                        path.push(seg);
+                    }
+                    let alias = ctx.text(i + 1).trim_start_matches("r#").to_string();
+                    map.aliases.insert(alias, path);
+                }
+                return;
+            }
+            "self" => {
+                // `a::{self, …}` imports `a` under its own last segment.
+                if let Some(tail) = path.last().cloned() {
+                    map.aliases.insert(tail, path.clone());
+                }
+                last = None;
+            }
+            _ if ctx.kind(i) == TokKind::Ident => {
+                if let Some(seg) = last.take() {
+                    path.push(seg);
+                }
+                last = Some(t.trim_start_matches("r#").to_string());
+            }
+            _ => break,
+        }
+        i += 1;
+    }
+    if let Some(seg) = last {
+        path.push(seg);
+        let alias = path.last().cloned().unwrap_or_default();
+        map.aliases.insert(alias, path);
+    }
+}
+
+/// Rewrites `crate`/`self`/`super` leading segments of collected use
+/// paths into absolute module paths (approximated against the file's
+/// top-level module), so alias expansion and qname lookup share one
+/// namespace.
+fn normalize_use_paths(uses: &mut UseMap, module: &[String]) {
+    let fix = |path: &mut Vec<String>| {
+        let prefix: Option<Vec<String>> = match path.first().map(String::as_str) {
+            Some("crate") => module.first().cloned().map(|c| vec![c]),
+            Some("self") => Some(module.to_vec()),
+            Some("super") => module.len().checked_sub(1).map(|n| module[..n].to_vec()),
+            _ => None,
+        };
+        if let Some(p) = prefix {
+            path.splice(0..1, p);
+        }
+    };
+    let aliases = std::mem::take(&mut uses.aliases);
+    uses.aliases = aliases
+        .into_iter()
+        .map(|(k, mut v)| {
+            fix(&mut v);
+            (k, v)
+        })
+        .collect();
+    for g in &mut uses.globs {
+        fix(g);
+    }
+}
+
+/// Per-file context assembled during the symbol pass.
+struct FileSyms {
+    uses: UseMap,
+}
+
+/// Builds the workspace graph from every file's parsed item tree.
+/// `files` pairs each file's [`FileMeta`] with its [`FileCtx`].
+pub fn build(root: &Path, files: &[(&FileMeta, &FileCtx<'_>)]) -> Graph {
+    let mut g = Graph::default();
+    let mut crate_names: BTreeMap<String, String> = BTreeMap::new();
+    for (meta, _) in files {
+        crate_names.entry(meta.member.clone()).or_insert_with(|| crate_name(root, &meta.member));
+    }
+    let crate_set: BTreeSet<String> = crate_names.values().cloned().collect();
+
+    // Pass 1: symbols. Walk each file's item tree, collecting fns (with
+    // their impl context), module paths, trait declarations, and uses.
+    let mut mod_exists: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut file_syms: Vec<FileSyms> = Vec::new();
+    // method name → trait names declaring it.
+    let mut trait_decls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for (fi, (meta, ctx)) in files.iter().enumerate() {
+        g.files.push(meta.rel.clone());
+        g.metas.push((*meta).clone());
+        let module = file_module(meta, &crate_names[&meta.member]);
+        for k in 1..=module.len() {
+            mod_exists.insert(module[..k].to_vec());
+        }
+        let mut uses = UseMap { aliases: BTreeMap::new(), globs: Vec::new() };
+        let file_is_test = meta.kind == FileKind::Test;
+        collect_items(
+            ctx,
+            &ctx.items,
+            fi,
+            &module,
+            None,
+            None,
+            file_is_test,
+            &mut g,
+            &mut mod_exists,
+            &mut trait_decls,
+            &mut uses,
+        );
+        normalize_use_paths(&mut uses, &module);
+        file_syms.push(FileSyms { uses });
+    }
+
+    // Symbol indexes for resolution.
+    // qname → fn ids (covers both free fns and Type::method forms).
+    let mut by_qname: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    // (self type, method) → fn ids.
+    let mut by_ty_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    // method name → fn ids with a self type.
+    let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    // (impl'd trait, method) → fn ids.
+    let mut by_trait_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+    for (id, f) in g.fns.iter().enumerate() {
+        by_qname.entry(&f.qname).or_default().push(id);
+        if let Some(ty) = &f.self_ty {
+            by_ty_method.entry((ty, &f.name)).or_default().push(id);
+            methods_by_name.entry(&f.name).or_default().push(id);
+        }
+        if let Some(tr) = &f.trait_impl {
+            by_trait_method.entry((tr, &f.name)).or_default().push(id);
+        }
+    }
+
+    // Pass 2: bodies — call edges and panic sites.
+    let mut calls: Vec<Vec<CallEdge>> = vec![Vec::new(); g.fns.len()];
+    let mut panics: Vec<Vec<PanicSite>> = vec![Vec::new(); g.fns.len()];
+    for id in 0..g.fns.len() {
+        let f = &g.fns[id];
+        let Some((lo, hi)) = f.body else { continue };
+        let (meta, ctx) = files[f.file];
+        let syms = &file_syms[f.file];
+        let _ = meta;
+        scan_body(
+            ctx,
+            lo,
+            hi,
+            f,
+            syms,
+            &crate_set,
+            &mod_exists,
+            &by_qname,
+            &by_ty_method,
+            &methods_by_name,
+            &trait_decls,
+            &by_trait_method,
+            &mut calls[id],
+            &mut panics[id],
+        );
+        let edges = &mut calls[id];
+        edges.sort_by_key(|e| (e.to, e.line));
+        edges.dedup_by_key(|e| e.to);
+    }
+    g.calls = calls;
+    g.panics = panics;
+    g
+}
+
+/// Recursive symbol collection over one item level.
+#[allow(clippy::too_many_arguments)] // internal walker, mirrors the build state
+fn collect_items(
+    ctx: &FileCtx<'_>,
+    items: &[Item],
+    file: usize,
+    module: &[String],
+    impl_ty: Option<&str>,
+    impl_trait: Option<&str>,
+    file_is_test: bool,
+    g: &mut Graph,
+    mod_exists: &mut BTreeSet<Vec<String>>,
+    trait_decls: &mut BTreeMap<String, BTreeSet<String>>,
+    uses: &mut UseMap,
+) {
+    for item in items {
+        match item.kind {
+            ItemKind::Fn => {
+                let Some(name) = &item.name else { continue };
+                let tok = item.name_tok.unwrap_or(item.span.0);
+                let in_test = file_is_test || ctx.in_test.get(tok).copied().unwrap_or(false);
+                let mut qname = module.join("::");
+                if let Some(ty) = impl_ty {
+                    qname.push_str("::");
+                    qname.push_str(ty);
+                }
+                qname.push_str("::");
+                qname.push_str(name);
+                g.fns.push(FnDef {
+                    qname,
+                    name: name.clone(),
+                    self_ty: impl_ty.map(str::to_string),
+                    trait_impl: impl_trait.map(str::to_string),
+                    file,
+                    line: ctx.tok(tok).line,
+                    in_test,
+                    body: item.body,
+                    module: module.to_vec(),
+                });
+            }
+            ItemKind::Mod => {
+                let Some(name) = &item.name else { continue };
+                let mut sub = module.to_vec();
+                sub.push(name.clone());
+                mod_exists.insert(sub.clone());
+                collect_items(
+                    ctx,
+                    &item.children,
+                    file,
+                    &sub,
+                    None,
+                    None,
+                    file_is_test,
+                    g,
+                    mod_exists,
+                    trait_decls,
+                    uses,
+                );
+            }
+            ItemKind::Impl => {
+                collect_items(
+                    ctx,
+                    &item.children,
+                    file,
+                    module,
+                    item.name.as_deref(),
+                    item.trait_name.as_deref(),
+                    file_is_test,
+                    g,
+                    mod_exists,
+                    trait_decls,
+                    uses,
+                );
+            }
+            ItemKind::Trait => {
+                let Some(tr) = &item.name else { continue };
+                for m in &item.children {
+                    if m.kind == ItemKind::Fn {
+                        if let Some(mn) = &m.name {
+                            trait_decls.entry(mn.clone()).or_default().insert(tr.clone());
+                        }
+                    }
+                }
+                // Default trait methods are bodies too: index them under
+                // the trait name as self type.
+                collect_items(
+                    ctx,
+                    &item.children,
+                    file,
+                    module,
+                    Some(tr),
+                    None,
+                    file_is_test,
+                    g,
+                    mod_exists,
+                    trait_decls,
+                    uses,
+                );
+            }
+            ItemKind::Use => {
+                // The range after the `use` keyword.
+                let mut lo = item.span.0;
+                while lo < item.span.1 && ctx.text(lo) != "use" {
+                    lo += 1;
+                }
+                parse_use_tree(ctx, lo + 1, item.span.1, &[], uses);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Resolves the leading segment of a path in module `module` with `uses`
+/// in scope; returns the expanded prefix.
+fn resolve_first(
+    seg: &str,
+    module: &[String],
+    uses: &UseMap,
+    crate_set: &BTreeSet<String>,
+    mod_exists: &BTreeSet<Vec<String>>,
+) -> Option<Vec<String>> {
+    if seg == "crate" {
+        return Some(vec![module.first().cloned()?]);
+    }
+    if seg == "self" {
+        return Some(module.to_vec());
+    }
+    if seg == "super" {
+        let n = module.len().checked_sub(1)?;
+        return Some(module[..n].to_vec());
+    }
+    if let Some(path) = uses.aliases.get(seg) {
+        return Some(path.clone());
+    }
+    if crate_set.contains(seg) {
+        return Some(vec![seg.to_string()]);
+    }
+    let mut sub = module.to_vec();
+    sub.push(seg.to_string());
+    if mod_exists.contains(&sub) {
+        return Some(sub);
+    }
+    None
+}
+
+/// Scans one fn body for call edges and panic sites.
+#[allow(clippy::too_many_arguments)] // internal scanner over the build's index maps
+fn scan_body(
+    ctx: &FileCtx<'_>,
+    lo: usize,
+    hi: usize,
+    f: &FnDef,
+    syms: &FileSyms,
+    crate_set: &BTreeSet<String>,
+    mod_exists: &BTreeSet<Vec<String>>,
+    by_qname: &BTreeMap<&str, Vec<usize>>,
+    by_ty_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    trait_decls: &BTreeMap<String, BTreeSet<String>>,
+    by_trait_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    edges: &mut Vec<CallEdge>,
+    panics: &mut Vec<PanicSite>,
+) {
+    let lookup_qname = |segs: &[String]| -> Vec<usize> {
+        by_qname.get(segs.join("::").as_str()).cloned().unwrap_or_default()
+    };
+    let mut i = lo;
+    while i < hi {
+        if ctx.kind(i) != TokKind::Ident || ctx.in_test.get(i).copied().unwrap_or(false) {
+            i += 1;
+            continue;
+        }
+        let name = ctx.text(i);
+        // panic!-family macros.
+        if matches!(name, "panic" | "unreachable" | "todo" | "unimplemented")
+            && i + 1 < hi
+            && ctx.text(i + 1) == "!"
+        {
+            let t = ctx.tok(i);
+            panics.push(PanicSite { line: t.line, col: t.col, what: format!("{name}!") });
+            i += 2;
+            continue;
+        }
+        // Call candidate: Ident [::<…>] ( …
+        let Some(paren) = call_paren(ctx, i, hi) else {
+            i += 1;
+            continue;
+        };
+        let prev = i.checked_sub(1).map(|p| ctx.text(p));
+        if prev == Some(".") {
+            // Method call. Receiver `self`?
+            let self_recv = i >= 2 && ctx.text(i - 2) == "self" && !is_field_access(ctx, i - 2);
+            let mut resolved: Vec<usize> = Vec::new();
+            if self_recv {
+                if let Some(ty) = &f.self_ty {
+                    resolved = by_ty_method.get(&(ty.as_str(), name)).cloned().unwrap_or_default();
+                }
+            }
+            if resolved.is_empty() && matches!(name, "unwrap" | "expect") {
+                // An unresolved `.unwrap()`/`.expect()` is a std panic site.
+                let t = ctx.tok(i);
+                panics.push(PanicSite { line: t.line, col: t.col, what: format!(".{name}()") });
+                i = paren;
+                continue;
+            }
+            if resolved.is_empty() && !self_recv && !COMMON_METHODS.contains(&name) {
+                if let Some(traits) = trait_decls.get(name) {
+                    // Dynamic-dispatch approximation: every impl of every
+                    // trait declaring this method.
+                    for tr in traits {
+                        if let Some(ids) = by_trait_method.get(&(tr.as_str(), name)) {
+                            resolved.extend(ids.iter().copied());
+                        }
+                        // Include trait default-method bodies.
+                        if let Some(ids) = by_ty_method.get(&(tr.as_str(), name)) {
+                            resolved.extend(ids.iter().copied());
+                        }
+                    }
+                } else if let Some(ids) = methods_by_name.get(name) {
+                    if ids.len() == 1 {
+                        resolved = ids.clone();
+                    }
+                }
+            }
+            let line = ctx.tok(i).line;
+            edges.extend(resolved.into_iter().map(|to| CallEdge { to, line }));
+            i = paren;
+            continue;
+        }
+        let path_call = i >= 2 && ctx.text(i - 1) == ":" && ctx.text(i - 2) == ":";
+        if !is_fn_name(name) {
+            i = if path_call || prev == Some(".") { paren } else { i + 1 };
+            continue;
+        }
+        let line = ctx.tok(i).line;
+        if path_call {
+            // Walk segments backwards: (Ident ::)+ name.
+            let mut segs: Vec<String> = Vec::new();
+            let mut j = i;
+            while j >= 3 && ctx.text(j - 1) == ":" && ctx.text(j - 2) == ":" {
+                let s = j - 3;
+                if ctx.kind(s) != TokKind::Ident {
+                    break;
+                }
+                segs.push(ctx.text(s).trim_start_matches("r#").to_string());
+                j = s;
+            }
+            segs.reverse();
+            let mut resolved: Vec<usize> = Vec::new();
+            if segs.first().map(String::as_str) == Some("Self") {
+                if let Some(ty) = &f.self_ty {
+                    resolved = by_ty_method.get(&(ty.as_str(), name)).cloned().unwrap_or_default();
+                }
+            } else if let Some(first) = segs.first() {
+                if let Some(mut full) =
+                    resolve_first(first, &f.module, &syms.uses, crate_set, mod_exists)
+                {
+                    full.extend(segs[1..].iter().cloned());
+                    full.push(name.to_string());
+                    resolved = lookup_qname(&full);
+                    if resolved.is_empty() && segs.len() >= 2 {
+                        // `path::Type::method` where the impl lives in a
+                        // sibling module: fall back to (Type, method).
+                        let ty = &segs[segs.len() - 1];
+                        resolved =
+                            by_ty_method.get(&(ty.as_str(), name)).cloned().unwrap_or_default();
+                    }
+                } else if segs.len() == 1 {
+                    // `Type::method(…)` with `Type` not importable: the
+                    // type may live in this very module or be re-exported.
+                    let ty = &segs[0];
+                    if ty.chars().next().is_some_and(char::is_uppercase) {
+                        resolved =
+                            by_ty_method.get(&(ty.as_str(), name)).cloned().unwrap_or_default();
+                    }
+                }
+            }
+            edges.extend(resolved.into_iter().map(|to| CallEdge { to, line }));
+            i = paren;
+            continue;
+        }
+        // Bare call: own module, then use aliases, then glob imports.
+        let mut full = f.module.clone();
+        full.push(name.to_string());
+        let mut resolved = lookup_qname(&full);
+        if resolved.is_empty() {
+            if let Some(path) = syms.uses.aliases.get(name) {
+                resolved = lookup_qname(path);
+            }
+        }
+        if resolved.is_empty() {
+            for glob in &syms.uses.globs {
+                let mut p = glob.clone();
+                p.push(name.to_string());
+                resolved = lookup_qname(&p);
+                if !resolved.is_empty() {
+                    break;
+                }
+            }
+        }
+        // A bare call inside an inline mod can also target the file's
+        // top-level module (parent scopes are searched outward).
+        if resolved.is_empty() && f.module.len() > 1 {
+            for k in (1..f.module.len()).rev() {
+                let mut p = f.module[..k].to_vec();
+                p.push(name.to_string());
+                resolved = lookup_qname(&p);
+                if !resolved.is_empty() {
+                    break;
+                }
+            }
+        }
+        edges.extend(resolved.into_iter().map(|to| CallEdge { to, line }));
+        i = paren;
+    }
+}
+
+/// True when the `self` at `i` is itself a field access (`x.self` cannot
+/// occur, but guard anyway).
+fn is_field_access(ctx: &FileCtx<'_>, i: usize) -> bool {
+    i > 0 && ctx.text(i - 1) == "."
+}
+
+/// For an identifier at `i`, the position just past `(` when this is a
+/// call (allowing one `::<…>` turbofish in between); `None` otherwise.
+fn call_paren(ctx: &FileCtx<'_>, i: usize, hi: usize) -> Option<usize> {
+    let mut j = i + 1;
+    if j + 2 < hi && ctx.text(j) == ":" && ctx.text(j + 1) == ":" && ctx.text(j + 2) == "<" {
+        let mut depth = 0usize;
+        j += 2;
+        while j < hi {
+            match ctx.text(j) {
+                "<" => depth += 1,
+                ">" if j > 0 && ctx.text(j - 1) == "-" && ctx.adjacent(j - 1) => {}
+                ">" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                "(" | ")" | ";" | "{" => return None,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    (j < hi && ctx.text(j) == "(").then_some(j + 1)
+}
+
+/// Callable-name filter: lowercase/underscore start (uppercase names are
+/// tuple-struct/variant constructors) and not a control-flow keyword.
+fn is_fn_name(name: &str) -> bool {
+    !CALLISH_KEYWORDS.contains(&name)
+        && name.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+/// Renders the graph as deterministic JSON (the `graph --json` artifact):
+/// fn records sorted by id (definition order), then every edge and panic
+/// site. The document round-trips through [`crate::json::parse`].
+pub fn render_json(g: &Graph) -> String {
+    use std::fmt::Write as _;
+    let esc = |s: &str| {
+        let mut out = String::new();
+        crate::json::push_json_str(&mut out, s);
+        out
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"tool\": \"gradpim-lint\",\n");
+    out.push_str("  \"kind\": \"graph\",\n");
+    out.push_str("  \"version\": 1,\n");
+    let _ = writeln!(out, "  \"files\": {},", g.files.len());
+    let _ = writeln!(out, "  \"functions\": {},", g.fns.len());
+    let edge_count: usize = g.calls.iter().map(Vec::len).sum();
+    let _ = writeln!(out, "  \"edges\": {},", edge_count);
+    out.push_str("  \"fns\": [");
+    for (id, f) in g.fns.iter().enumerate() {
+        out.push_str(if id == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"id\": {id}, \"qname\": {}, \"file\": {}, \"line\": {}, \"test\": {}}}",
+            esc(&f.qname),
+            esc(&g.files[f.file]),
+            f.line,
+            f.in_test
+        );
+    }
+    out.push_str(if g.fns.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"calls\": [");
+    let mut first = true;
+    for (from, edges) in g.calls.iter().enumerate() {
+        for e in edges {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(out, "    {{\"from\": {from}, \"to\": {}, \"line\": {}}}", e.to, e.line);
+        }
+    }
+    out.push_str(if first { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"panic_sites\": [");
+    let mut first = true;
+    for (id, sites) in g.panics.iter().enumerate() {
+        for s in sites {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(
+                out,
+                "    {{\"fn\": {id}, \"line\": {}, \"col\": {}, \"what\": {}}}",
+                s.line,
+                s.col,
+                esc(&s.what)
+            );
+        }
+    }
+    out.push_str(if first { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// A short human summary (the `graph` subcommand's default rendering).
+pub fn render_human(g: &Graph) -> String {
+    let edge_count: usize = g.calls.iter().map(Vec::len).sum();
+    let site_count: usize = g.panics.iter().map(Vec::len).sum();
+    let mut per_crate: BTreeMap<&str, usize> = BTreeMap::new();
+    for f in &g.fns {
+        if let Some(c) = f.module.first() {
+            *per_crate.entry(c.as_str()).or_default() += 1;
+        }
+    }
+    let mut out = format!(
+        "gradpim-lint graph: {} files, {} fns, {} call edges, {} potential panic sites\n",
+        g.files.len(),
+        g.fns.len(),
+        edge_count,
+        site_count
+    );
+    for (c, n) in per_crate {
+        out.push_str(&format!("  {c:<24} {n} fns\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(member: &str, rel: &str) -> FileMeta {
+        FileMeta::classify(member, rel.into())
+    }
+
+    fn build_two(files: &[(&FileMeta, &str)]) -> (Graph, Vec<FileCtx<'static>>) {
+        // Leak sources for 'static FileCtx lifetimes in tests.
+        let ctxs: Vec<FileCtx<'static>> = files
+            .iter()
+            .map(|(_, src)| FileCtx::new(Box::leak(src.to_string().into_boxed_str())))
+            .collect();
+        let pairs: Vec<(&FileMeta, &FileCtx<'_>)> =
+            files.iter().map(|(m, _)| *m).zip(ctxs.iter()).collect();
+        let g = build(Path::new("/nonexistent-root"), &pairs);
+        (g, ctxs)
+    }
+
+    fn fn_id(g: &Graph, qname: &str) -> usize {
+        g.fns.iter().position(|f| f.qname == qname).unwrap_or_else(|| {
+            panic!("no fn {qname} in {:?}", g.fns.iter().map(|f| &f.qname).collect::<Vec<_>>())
+        })
+    }
+
+    fn calls(g: &Graph, from: &str, to: &str) -> bool {
+        let (a, b) = (fn_id(g, from), fn_id(g, to));
+        g.calls[a].iter().any(|e| e.to == b)
+    }
+
+    #[test]
+    fn cross_file_and_cross_crate_path_calls_resolve() {
+        let m1 = meta("crates/engine", "crates/engine/src/dist.rs");
+        let m2 = meta("crates/engine", "crates/engine/src/report.rs");
+        let m3 = meta("crates/sim", "crates/sim/src/sweeps.rs");
+        let (g, _c) = build_two(&[
+            (&m1, "use crate::report;\nfn coordinate() { report::from_json(\"x\"); sim::sweeps::fig(3); }\nmod sim { }\n"),
+            (&m2, "pub fn from_json(doc: &str) { parse_cell(doc); }\nfn parse_cell(s: &str) {}\n"),
+            (&m3, "pub fn fig(n: u32) {}\n"),
+        ]);
+        assert!(calls(&g, "engine::dist::coordinate", "engine::report::from_json"));
+        assert!(calls(&g, "engine::report::from_json", "engine::report::parse_cell"));
+        // `sim::sweeps::fig` resolves through the crate-name set.
+        assert!(calls(&g, "engine::dist::coordinate", "sim::sweeps::fig"));
+    }
+
+    #[test]
+    fn self_method_with_own_expect_is_an_edge_not_a_panic_site() {
+        let m = meta("crates/engine", "crates/engine/src/json.rs");
+        let src = "struct Parser;\nimpl Parser {\n fn expect(&mut self, b: u8) {}\n fn array(&mut self) { self.expect(b'['); }\n fn string(&mut self) { \"x\".parse::<f64>().expect(\"msg\"); }\n}\n";
+        let (g, _c) = build_two(&[(&m, src)]);
+        assert!(calls(&g, "engine::json::Parser::array", "engine::json::Parser::expect"));
+        assert!(g.panics[fn_id(&g, "engine::json::Parser::array")].is_empty(), "{g:#?}");
+        // The turbofish .expect on a std Result IS a site.
+        assert_eq!(g.panics[fn_id(&g, "engine::json::Parser::string")].len(), 1, "{g:#?}");
+    }
+
+    #[test]
+    fn trait_method_calls_link_every_impl() {
+        let m = meta("crates/engine", "crates/engine/src/dist.rs");
+        let src = "trait Exec { fn run_shard(&self); }\n\
+                   struct A; impl Exec for A { fn run_shard(&self) { helper(); } }\n\
+                   struct B; impl Exec for B { fn run_shard(&self) {} }\n\
+                   fn helper() {}\n\
+                   fn drive(e: &dyn Exec) { e.run_shard(); }\n";
+        let (g, _c) = build_two(&[(&m, src)]);
+        assert!(calls(&g, "engine::dist::drive", "engine::dist::A::run_shard"));
+        assert!(calls(&g, "engine::dist::drive", "engine::dist::B::run_shard"));
+        assert!(calls(&g, "engine::dist::A::run_shard", "engine::dist::helper"));
+    }
+
+    #[test]
+    fn common_method_names_never_resolve_by_uniqueness() {
+        let m = meta("crates/sim", "crates/sim/src/report.rs");
+        let src = "struct Report;\nimpl Report { fn push(&mut self) { panic!(\"schema\"); } }\n\
+                   fn feed(v: &mut Vec<u32>) { v.push(1); }\n";
+        let (g, _c) = build_two(&[(&m, src)]);
+        assert!(!calls(&g, "sim::report::feed", "sim::report::Report::push"));
+    }
+
+    #[test]
+    fn test_code_is_marked_and_panic_free() {
+        let m = meta("crates/engine", "crates/engine/src/pool.rs");
+        let src = "fn real() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        let (g, _c) = build_two(&[(&m, src)]);
+        assert!(!g.fns[fn_id(&g, "engine::pool::real")].in_test);
+        let t = fn_id(&g, "engine::pool::tests::t");
+        assert!(g.fns[t].in_test);
+    }
+
+    #[test]
+    fn use_groups_aliases_and_globs_parse() {
+        let m1 = meta("crates/engine", "crates/engine/src/lib.rs");
+        let m2 = meta("crates/engine", "crates/engine/src/util.rs");
+        let src1 = "use crate::util::{alpha, beta as b, self};\nuse crate::util::*;\n\
+                    fn go() { alpha(); b(); gamma(); util::alpha(); }\npub mod util;\n";
+        let src2 = "pub fn alpha() {}\npub fn beta() {}\npub fn gamma() {}\n";
+        let (g, _c) = build_two(&[(&m1, src1), (&m2, src2)]);
+        assert!(calls(&g, "engine::go", "engine::util::alpha"));
+        assert!(calls(&g, "engine::go", "engine::util::beta"));
+        assert!(calls(&g, "engine::go", "engine::util::gamma"));
+    }
+
+    #[test]
+    fn graph_json_is_parseable() {
+        let m = meta("crates/engine", "crates/engine/src/pool.rs");
+        let (g, _c) = build_two(&[(&m, "fn a() { b(); x.unwrap(); }\nfn b() {}\n")]);
+        let doc = render_json(&g);
+        let v = crate::json::parse(&doc).expect("graph JSON parses");
+        let crate::json::Value::Obj(map) = v else { panic!("not an object") };
+        assert!(map.contains_key("fns") && map.contains_key("calls"), "{doc}");
+    }
+}

@@ -1,0 +1,314 @@
+//! A minimal JSON reader/writer for the linter's own artifacts.
+//!
+//! `gradpim-lint` is dependency-free by charter and cannot reach
+//! `gradpim_engine::json` (a private module), so it carries this small
+//! recursive-descent parser: enough to round-trip-validate the `graph
+//! --json` dump and the `check --json` report in tests and CI tooling.
+//! Numbers are kept as their source text (the artifacts only contain
+//! integers; no float semantics needed).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value. Object members are sorted (BTreeMap) — fine for
+/// validation, which never re-serializes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, as its source text.
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// The object member `key`, when this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// This value as an integer, when it is a numeric literal.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// This value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// This value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+///
+/// # Errors
+///
+/// A human-readable message with a byte offset on malformed input.
+pub fn parse(src: &str) -> Result<Value, String> {
+    let mut p = Parser { src: src.as_bytes(), pos: 0 };
+    p.ws();
+    let v = p.value()?;
+    p.ws();
+    if p.pos != p.src.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err<T>(&self, what: &str) -> Result<T, String> {
+        Err(format!("{what} at byte {}", self.pos))
+    }
+
+    fn ws(&mut self) {
+        while self.src.get(self.pos).is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.src.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected `{}`", b as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.src.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b't') => self.lit("true", Value::Bool(true)),
+            Some(b'f') => self.lit("false", Value::Bool(false)),
+            Some(b'n') => self.lit("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.src[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err("bad literal")
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.src.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while self
+            .src
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("empty number");
+        }
+        match std::str::from_utf8(&self.src[start..self.pos]) {
+            Ok(s) => Ok(Value::Num(s.to_string())),
+            Err(_) => self.err("non-ASCII number"),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.src.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.src.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .src
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => out.push(c),
+                                // Surrogate halves etc.: artifacts never
+                                // emit them; replace rather than reject.
+                                None => out.push('\u{fffd}'),
+                            }
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar (input is a &str, so byte
+                    // boundaries are valid).
+                    let rest = &self.src[self.pos..];
+                    let step = match std::str::from_utf8(rest) {
+                        Ok(s) => s.chars().next().map_or(1, char::len_utf8),
+                        Err(_) => 1,
+                    };
+                    let end = self.pos + step;
+                    if let Ok(s) = std::str::from_utf8(&self.src[self.pos..end]) {
+                        out.push_str(s);
+                    }
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[')?;
+        self.ws();
+        let mut out = Vec::new();
+        if self.src.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.ws();
+            match self.src.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.ws();
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(out));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{')?;
+        self.ws();
+        let mut out = BTreeMap::new();
+        if self.src.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(out));
+        }
+        loop {
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            let v = self.value()?;
+            out.insert(key, v);
+            self.ws();
+            match self.src.get(self.pos) {
+                Some(b',') => {
+                    self.pos += 1;
+                    self.ws();
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(out));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+/// Appends `s` as a quoted JSON string with the canonical escape set used
+/// across the workspace (`gradpim_engine::json` conventions): `"` and `\`
+/// backslash-escaped, `\n`/`\r`/`\t` short forms, other control characters
+/// as `\u00XX`.
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn documents_round_trip() {
+        let v = parse(r#"{"a": [1, -2, 3.5], "b": "x\ny", "c": true, "d": null}"#)
+            .expect("well-formed document parses");
+        assert_eq!(v.get("a").and_then(Value::as_arr).map(<[Value]>::len), Some(3));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x\ny"));
+        assert_eq!(v.get("c"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn escaped_strings_written_here_parse_back() {
+        let mut doc = String::from("{");
+        push_json_str(&mut doc, "key");
+        doc.push_str(": ");
+        push_json_str(&mut doc, "quote \" slash \\ tab\t nl\n ctl\u{1}");
+        doc.push('}');
+        let v = parse(&doc).expect("own escapes parse");
+        assert_eq!(
+            v.get("key").and_then(Value::as_str),
+            Some("quote \" slash \\ tab\t nl\n ctl\u{1}")
+        );
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        for bad in ["", "{", "[1,", "\"abc", "{\"a\" 1}", "tru", "1 2", "{\"a\": }"] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

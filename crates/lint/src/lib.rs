@@ -20,18 +20,29 @@
 //! Justifications are mandatory and unused allows are themselves
 //! reported, so the suppression set cannot silently rot.
 //!
-//! Layout: [`lexer`] tokenizes, [`rules`] holds the rule set and per-file
-//! context, [`allow`] the escape hatch, [`config`] the scoping tables,
-//! [`diag`] the severity model and renderers. [`check_workspace`] is the
-//! CLI's entry point; [`check_source`] checks one in-memory file (used by
-//! the golden/fixture tests).
+//! The analysis has two layers. The **token layer**: [`lexer`] tokenizes
+//! (exact source partition, never panics) and the per-file rules in
+//! [`rules`] pattern-match the stream. The **structural layer** built on
+//! top of it: [`parser`] derives an error-tolerant item tree per file
+//! (same partition discipline, proptested the same way), [`graph`]
+//! assembles the workspace symbol graph and approximate call graph from
+//! those trees, and graph rules such as `panic-reach` traverse it,
+//! reporting multi-frame call chains. [`allow`] is the escape hatch,
+//! [`config`] the scoping tables, [`diag`] the severity model and
+//! renderers, [`json`] a minimal reader for round-trip-validating the
+//! tool's own artifacts. [`check_workspace`] is the CLI's entry point;
+//! [`check_source`] checks one in-memory file with the per-file rules
+//! (used by the golden/fixture tests).
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
 pub mod config;
 pub mod diag;
+pub mod graph;
+pub mod json;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 use std::fs;
@@ -87,26 +98,83 @@ fn matches_filter(rel: &str, filters: &[String]) -> bool {
     })
 }
 
+/// Loads every workspace file and builds its analysis context. The graph
+/// layer and `check_workspace` share this front end.
+fn load_workspace(root: &Path) -> Result<(Vec<FileMeta>, Vec<String>), String> {
+    let metas = config::workspace_files(root)?;
+    let mut sources = Vec::with_capacity(metas.len());
+    for meta in &metas {
+        let path = root.join(&meta.rel);
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        sources.push(src);
+    }
+    Ok((metas, sources))
+}
+
+/// Builds the workspace symbol/call graph (the `graph` subcommand's
+/// entry point).
+///
+/// # Errors
+///
+/// Propagates workspace-discovery and file-read failures.
+pub fn workspace_graph(root: &Path) -> Result<graph::Graph, String> {
+    let (metas, sources) = load_workspace(root)?;
+    let ctxs: Vec<FileCtx<'_>> = sources.iter().map(|s| FileCtx::new(s)).collect();
+    let pairs: Vec<(&FileMeta, &FileCtx<'_>)> = metas.iter().zip(ctxs.iter()).collect();
+    Ok(graph::build(root, &pairs))
+}
+
 /// Lints the whole workspace rooted at `root` (every member listed in the
 /// root `Cargo.toml`, plus the root facade package), optionally narrowed
 /// to paths under `filters`. Diagnostics come back in canonical order.
+///
+/// The per-file rules and the graph rules (`panic-reach`) both run here;
+/// graph diagnostics are routed through the inline-allow set of the file
+/// they anchor to, exactly like token diagnostics. The graph itself is
+/// always built from the *whole* workspace — path filters narrow only the
+/// reporting, never the call-graph context.
 ///
 /// # Errors
 ///
 /// A human-readable message when the workspace manifest cannot be parsed
 /// or a listed source file cannot be read.
 pub fn check_workspace(root: &Path, filters: &[String]) -> Result<CheckReport, String> {
+    let (metas, sources) = load_workspace(root)?;
+    let ctxs: Vec<FileCtx<'_>> = sources.iter().map(|s| FileCtx::new(s)).collect();
+
+    // Per-file rules and allow collection, with the allow sets held open
+    // so graph diagnostics can still be suppressed per file.
+    let names = rules::rule_names();
+    let mut per_file: Vec<Vec<Diagnostic>> = vec![Vec::new(); metas.len()];
+    let mut hygiene: Vec<Vec<Diagnostic>> = vec![Vec::new(); metas.len()];
+    let mut allows: Vec<allow::Allows> = Vec::with_capacity(metas.len());
+    for (i, (meta, ctx)) in metas.iter().zip(ctxs.iter()).enumerate() {
+        rules::run_all(ctx, meta, &mut per_file[i]);
+        allows.push(allow::collect(ctx.src, &ctx.tokens, &meta.rel, &names, &mut hygiene[i]));
+    }
+
+    // Graph rules over the whole workspace, routed into per-file lists.
+    let pairs: Vec<(&FileMeta, &FileCtx<'_>)> = metas.iter().zip(ctxs.iter()).collect();
+    let g = graph::build(root, &pairs);
+    rules::panic_reach::check(&g, &mut |file, d| per_file[file].push(d));
+
+    // Subtract allows, report unused ones, then apply the path filters to
+    // the *reporting*.
     let mut diags = Vec::new();
     let mut files_checked = 0usize;
-    for meta in config::workspace_files(root)? {
+    for (i, meta) in metas.iter().enumerate() {
         if !matches_filter(&meta.rel, filters) {
             continue;
         }
-        let path = root.join(&meta.rel);
-        let src = fs::read_to_string(&path)
-            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         files_checked += 1;
-        diags.extend(check_source(&meta, &src));
+        diags.append(&mut hygiene[i]);
+        for d in per_file[i].drain(..) {
+            if !allows[i].suppress(d.rule, d.line) {
+                diags.push(d);
+            }
+        }
+        allows[i].unused(&meta.rel, &mut diags);
     }
     if files_checked == 0 && !filters.is_empty() {
         return Err(format!(

@@ -1,14 +1,19 @@
 //! The `gradpim-lint` CLI.
 //!
 //! ```text
-//! gradpim-lint check [--json] [-o PATH] [--root DIR] [PATH ...]
+//! gradpim-lint check [--strict] [--json] [-o PATH] [--root DIR] [PATH ...]
+//! gradpim-lint graph [--json] [-o PATH] [--root DIR]
 //! gradpim-lint rules
 //! ```
 //!
 //! `check` lints the workspace (or just the given workspace-relative
 //! paths) and prints the report — human by default, machine-readable with
 //! `--json` (written to `-o PATH` instead of stdout when given, as CI
-//! does for the artifact). `rules` prints the rule table.
+//! does for the artifact). `--strict` promotes the `unused-allow` warning
+//! to an error, so the suppression set must shrink when a rule sharpens
+//! (CI runs strict). `graph` dumps the workspace symbol/call graph the
+//! cross-file rules run on — a summary by default, the full JSON artifact
+//! with `--json`. `rules` prints the rule table.
 //!
 //! Exit codes follow the workspace CLI contract: `0` clean (warnings do
 //! not fail the run), `1` lint errors found, `2` usage or I/O error.
@@ -24,16 +29,24 @@ const USAGE: &str = "\
 gradpim-lint: determinism/protocol static analysis for the GradPIM workspace
 
 USAGE:
-    gradpim-lint check [--json] [-o PATH] [--root DIR] [PATH ...]
+    gradpim-lint check [--strict] [--json] [-o PATH] [--root DIR] [PATH ...]
+    gradpim-lint graph [--json] [-o PATH] [--root DIR]
     gradpim-lint rules
 
 OPTIONS (check):
+    --strict     promote the `unused-allow` warning to an error (CI mode)
     --json       emit the machine-readable JSON report instead of the
                  human rendering
     -o PATH      write the report to PATH instead of stdout
     --root DIR   workspace root (default: current directory)
     PATH ...     workspace-relative files or directories to narrow the
                  run (default: every member's src/tests/examples/benches)
+
+OPTIONS (graph):
+    --json       emit the full symbol/call-graph dump (CI artifact)
+                 instead of the human summary
+    -o PATH      write the dump to PATH instead of stdout
+    --root DIR   workspace root (default: current directory)
 
 EXIT CODES:
     0  clean (warnings allowed)
@@ -43,18 +56,25 @@ EXIT CODES:
 
 struct CheckArgs {
     json: bool,
+    strict: bool,
     out: Option<PathBuf>,
     root: PathBuf,
     filters: Vec<String>,
 }
 
 fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
-    let mut parsed =
-        CheckArgs { json: false, out: None, root: PathBuf::from("."), filters: Vec::new() };
+    let mut parsed = CheckArgs {
+        json: false,
+        strict: false,
+        out: None,
+        root: PathBuf::from("."),
+        filters: Vec::new(),
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--json" => parsed.json = true,
+            "--strict" => parsed.strict = true,
             "-o" | "--out" => {
                 i += 1;
                 let path = args.get(i).ok_or_else(|| format!("{} needs a PATH", args[i - 1]))?;
@@ -75,7 +95,16 @@ fn parse_check_args(args: &[String]) -> Result<CheckArgs, String> {
 
 fn run_check(args: &[String]) -> Result<ExitCode, String> {
     let args = parse_check_args(args)?;
-    let report = check_workspace(&args.root, &args.filters)?;
+    let mut report = check_workspace(&args.root, &args.filters)?;
+    if args.strict {
+        // Strict mode: a stale suppression is a build break, so the allow
+        // set must shrink when a sharper rule lands.
+        for d in &mut report.diags {
+            if d.rule == "unused-allow" {
+                d.severity = diag::Severity::Error;
+            }
+        }
+    }
     let rendered = if args.json {
         diag::render_json(&report.diags, report.files_checked)
     } else {
@@ -99,6 +128,33 @@ fn run_check(args: &[String]) -> Result<ExitCode, String> {
     Ok(if report.errors() == 0 { ExitCode::SUCCESS } else { ExitCode::from(1) })
 }
 
+fn run_graph(args: &[String]) -> Result<ExitCode, String> {
+    let args = parse_check_args(args)?;
+    if args.strict || !args.filters.is_empty() {
+        return Err("graph takes only --json, -o PATH, and --root DIR".into());
+    }
+    let g = gradpim_lint::workspace_graph(&args.root)?;
+    let rendered = if args.json {
+        gradpim_lint::graph::render_json(&g)
+    } else {
+        gradpim_lint::graph::render_human(&g)
+    };
+    match &args.out {
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!(
+                "gradpim-lint: graph of {} files, {} fns -> {}",
+                g.files.len(),
+                g.fns.len(),
+                path.display()
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
 fn run_rules() -> ExitCode {
     println!("gradpim-lint rules (all deny by default; suppress one site with");
     println!("`// gradpim-lint: allow(<rule>): <justification>`):");
@@ -113,6 +169,13 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => match run_check(&args[1..]) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("gradpim-lint: error: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        Some("graph") => match run_graph(&args[1..]) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("gradpim-lint: error: {msg}");

@@ -1,0 +1,93 @@
+//! `env-discipline`: every `std::env::var` / `var_os` read must live in
+//! the crate's designated `src/env.rs` module.
+//!
+//! A `GRADPIM_*` knob read inline at its point of use is per-host
+//! nondeterminism the byte-identity CI gates cannot see: the same binary
+//! produces different reports on a machine with a stray variable set, and
+//! nothing in the diff says why. Routing every read through one audited
+//! module per crate makes the knob surface enumerable (the README knob
+//! table is checked against those modules) and keeps reads out of hot
+//! paths. The rule is deliberately broader than `GRADPIM_*`: *any*
+//! process-environment read is a reproducibility input and belongs in the
+//! one place reviewers look.
+
+use crate::config::FileMeta;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules::FileCtx;
+
+/// Flags `env::var(`/`env::var_os(` outside the crate's `src/env.rs`.
+pub fn check(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnostic>) {
+    if !meta.check_env_discipline() {
+        return;
+    }
+    for i in 3..ctx.len() {
+        if ctx.in_test[i] || ctx.kind(i) != TokKind::Ident {
+            continue;
+        }
+        let name = ctx.text(i);
+        if !matches!(name, "var" | "var_os") {
+            continue;
+        }
+        // `env :: var (` — puncts lex as single characters.
+        let is_env_path =
+            ctx.text(i - 1) == ":" && ctx.text(i - 2) == ":" && ctx.text(i - 3) == "env";
+        let is_call = i + 1 < ctx.len() && ctx.text(i + 1) == "(";
+        if is_env_path && is_call {
+            ctx.error(
+                diags,
+                meta,
+                "env-discipline",
+                i,
+                format!(
+                    "`env::{name}` read outside the crate's designated `src/env.rs` module: \
+                     environment knobs are reproducibility inputs and must be read (and \
+                     documented) in one place per crate"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str, meta: &FileMeta) -> Vec<Diagnostic> {
+        let ctx = FileCtx::new(src);
+        let mut d = Vec::new();
+        check(&ctx, meta, &mut d);
+        d
+    }
+
+    #[test]
+    fn inline_env_read_is_flagged() {
+        let meta = FileMeta::classify("crates/sim", "crates/sim/src/config.rs".into());
+        let src = "fn cap() -> bool { std::env::var(\"GRADPIM_FULL\").is_ok() }";
+        let d = run(src, &meta);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "env-discipline");
+        let src2 = "use std::env;\nfn cap() -> bool { env::var_os(\"GRADPIM_FULL\").is_some() }";
+        assert_eq!(run(src2, &meta).len(), 1);
+    }
+
+    #[test]
+    fn the_env_module_itself_is_exempt() {
+        let meta = FileMeta::classify("crates/sim", "crates/sim/src/env.rs".into());
+        let src = "pub fn full() -> bool { std::env::var(\"GRADPIM_FULL\").is_ok() }";
+        assert!(run(src, &meta).is_empty());
+    }
+
+    #[test]
+    fn tests_and_benches_are_covered() {
+        let meta = FileMeta::classify("crates/sim", "crates/sim/benches/fig.rs".into());
+        let src = "fn main() { let _ = std::env::var(\"GRADPIM_FULL\"); }";
+        assert_eq!(run(src, &meta).len(), 1);
+    }
+
+    #[test]
+    fn unrelated_var_idents_do_not_fire() {
+        let meta = FileMeta::classify("crates/sim", "crates/sim/src/config.rs".into());
+        assert!(run("fn f() { let var = 3; g(var); m::var(1); }", &meta).is_empty());
+    }
+}

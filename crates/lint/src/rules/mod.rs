@@ -18,13 +18,20 @@
 //! | `forbid-unsafe` | memory safety audit trail | crate root missing `#![forbid(unsafe_code)]` |
 //! | `allow-syntax` | escape-hatch hygiene | malformed/unknown `gradpim-lint:` comments |
 //! | `unused-allow` *(warning)* | stale suppressions | an allow that suppresses nothing |
+//! | `env-discipline` | per-host reproducibility | `std::env::var`/`var_os` outside a crate's `src/env.rs` |
+//! | `float-taint` | f64 sum order at the source | unordered iteration feeding a float accumulation in row/merge code |
+//! | `panic-reach` *(graph)* | protocol-loop integrity | a panic site reachable from a protocol root through the call graph |
 
+pub mod env_discipline;
+pub mod float_taint;
+pub mod panic_reach;
 mod schema_sync;
 mod simple;
 
 use crate::config::FileMeta;
 use crate::diag::{Diagnostic, Severity};
 use crate::lexer::{lex, TokKind, Token};
+use crate::parser::{parse_items, Item};
 
 /// Every rule id, for `gradpim-lint rules` and allow-comment validation.
 pub const RULES: &[(&str, &str)] = &[
@@ -39,6 +46,9 @@ pub const RULES: &[(&str, &str)] = &[
     ("forbid-unsafe", "crate root missing #![forbid(unsafe_code)] (or the registered #![deny(unsafe_code)] exception)"),
     ("allow-syntax", "malformed gradpim-lint allow comment (unknown rule, missing justification)"),
     ("unused-allow", "an allow comment that suppresses nothing (warning)"),
+    ("env-discipline", "std::env::var/var_os read outside the crate's designated src/env.rs module: scattered env reads are per-host nondeterminism the byte-identity gates cannot see"),
+    ("float-taint", "float accumulation fed by iteration over an unordered (hash) collection in ToRow::row/merge code: source-ordered nondeterminism reaches the report bytes"),
+    ("panic-reach", "a potential panic site transitively reachable from a protocol root (pool/sched/dist/shard-worker/report/serialize) through the workspace call graph; the diagnostic carries the full call chain"),
 ];
 
 /// Rule names usable in allow comments.
@@ -57,16 +67,21 @@ pub struct FileCtx<'s> {
     /// Per-`sig` entry: true when the token sits inside a `#[test]` /
     /// `#[cfg(test)]` item, where test-only idioms are fine.
     pub in_test: Vec<bool>,
+    /// The structural item tree over the significant tokens (see
+    /// [`crate::parser`]) — the layer the symbol graph is built from.
+    pub items: Vec<Item>,
 }
 
 impl<'s> FileCtx<'s> {
-    /// Lexes `src` and computes the test-region mask.
+    /// Lexes `src`, computes the test-region mask, and parses the item
+    /// tree.
     pub fn new(src: &'s str) -> Self {
         let tokens = lex(src);
         let sig: Vec<usize> =
             tokens.iter().enumerate().filter(|(_, t)| t.is_significant()).map(|(i, _)| i).collect();
         let in_test = test_mask(src, &tokens, &sig);
-        Self { src, tokens, sig, in_test }
+        let items = parse_items(src, &tokens, &sig);
+        Self { src, tokens, sig, in_test, items }
     }
 
     /// The `i`-th significant token.
@@ -117,6 +132,7 @@ impl<'s> FileCtx<'s> {
             line: t.line,
             col: t.col,
             message,
+            chain: Vec::new(),
         });
     }
 }
@@ -211,6 +227,8 @@ pub fn run_all(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnostic>) 
     simple::panic_discipline(ctx, meta, diags);
     simple::forbid_unsafe(ctx, meta, diags);
     schema_sync::check(ctx, meta, diags);
+    env_discipline::check(ctx, meta, diags);
+    float_taint::check(ctx, meta, diags);
 }
 
 #[cfg(test)]

@@ -370,6 +370,7 @@ fn check_impl(
             line: t.line,
             col: t.col,
             message,
+            chain: Vec::new(),
         });
     };
 

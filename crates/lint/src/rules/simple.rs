@@ -330,7 +330,7 @@ pub fn float_accum(ctx: &FileCtx<'_>, meta: &FileMeta, diags: &mut Vec<Diagnosti
 /// The field/variable a `+=` at significant-token `plus` assigns into:
 /// the identifier just left of the operator, looking through one index
 /// bracket group (`self.commands[i] +=` → `commands`).
-fn accum_target<'s>(ctx: &FileCtx<'s>, plus: usize) -> Option<&'s str> {
+pub(super) fn accum_target<'s>(ctx: &FileCtx<'s>, plus: usize) -> Option<&'s str> {
     let mut j = plus.checked_sub(1)?;
     if ctx.text(j) == "]" {
         let mut depth = 1usize;
@@ -350,7 +350,7 @@ fn accum_target<'s>(ctx: &FileCtx<'s>, plus: usize) -> Option<&'s str> {
 /// Names in this file with a float type: struct fields declared `: f64` /
 /// `: f32`, and `let` bindings with a float annotation or float-literal
 /// initializer.
-fn float_names<'s>(ctx: &FileCtx<'s>) -> BTreeSet<&'s str> {
+pub(super) fn float_names<'s>(ctx: &FileCtx<'s>) -> BTreeSet<&'s str> {
     let mut out = BTreeSet::new();
     for i in 0..ctx.len().saturating_sub(2) {
         if ctx.kind(i) != TokKind::Ident || ctx.text(i + 1) != ":" {

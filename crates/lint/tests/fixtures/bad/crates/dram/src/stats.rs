@@ -1,0 +1,13 @@
+//! Seeded violations: float-taint (hash-ordered iteration feeding a
+//! float accumulation inside a `merge*` sink), plus the hash-collection
+//! and float-accum hits that ride along on the same tokens.
+
+use std::collections::HashMap;
+
+pub fn merge_energy(parts: &HashMap<u32, f64>) -> f64 {
+    let mut total: f64 = 0.0;
+    for (_, pj) in parts {
+        total += pj;
+    }
+    total
+}

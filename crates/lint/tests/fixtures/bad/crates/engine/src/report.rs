@@ -1,0 +1,9 @@
+//! Seeded violation root: panic-reach — the report emit path reaches an
+//! unwrap two calls away in `util.rs`; the golden test pins the rendered
+//! chain frame by frame.
+
+use crate::util::render_cell;
+
+pub fn emit_rows() -> String {
+    render_cell(42)
+}

@@ -1,0 +1,10 @@
+//! Helpers on the seeded panic-reach chain: `render_cell` forwards to
+//! `parse_or_die`, whose `unwrap` is the reachable panic site.
+
+pub fn render_cell(x: u32) -> String {
+    parse_or_die(x)
+}
+
+fn parse_or_die(x: u32) -> String {
+    checked_format(x).unwrap()
+}

@@ -1,0 +1,6 @@
+//! Seeded violation: env-discipline — an environment read outside the
+//! crate's designated `src/env.rs` module.
+
+pub fn points() -> usize {
+    std::env::var("GRADPIM_POINTS").ok().and_then(|v| v.parse().ok()).unwrap_or(8)
+}

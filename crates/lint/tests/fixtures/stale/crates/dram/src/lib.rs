@@ -1,0 +1,6 @@
+//! Clean but for one stale allow: the warning the `--strict` flag
+//! promotes to an error.
+#![forbid(unsafe_code)]
+
+// gradpim-lint: allow(print-macro): nothing below prints
+pub fn noop() {}

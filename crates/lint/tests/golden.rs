@@ -43,7 +43,7 @@ fn golden_human_rendering() {
 #[test]
 fn golden_json_rendering() {
     let expected = format!(
-        "{{\n  \"tool\": \"gradpim-lint\",\n  \"version\": 1,\n  \"files_checked\": 1,\n  \
+        "{{\n  \"tool\": \"gradpim-lint\",\n  \"version\": 2,\n  \"files_checked\": 1,\n  \
          \"errors\": 1,\n  \"warnings\": 1,\n  \"diagnostics\": [\n    \
          {{\"rule\": \"hash-collection\", \"severity\": \"error\", \
          \"file\": \"crates/dram/src/storage.rs\", \"line\": 1, \"col\": 23, \
@@ -80,6 +80,16 @@ fn every_rule_fires_in_the_seeded_fixture_workspace() {
         ("hash-collection", "crates/dram/src/lib.rs", 4),
         ("hash-collection", "crates/dram/src/lib.rs", 6),
         ("float-accum", "crates/dram/src/lib.rs", 17),
+        // stats.rs seeds the float-taint source→sink chain; the blunt
+        // hash-collection and float-accum rules fire on the same tokens.
+        ("hash-collection", "crates/dram/src/stats.rs", 5),
+        ("hash-collection", "crates/dram/src/stats.rs", 7),
+        ("float-accum", "crates/dram/src/stats.rs", 10),
+        ("float-taint", "crates/dram/src/stats.rs", 10),
+        ("env-discipline", "crates/sim/src/config.rs", 5),
+        // The reachable unwrap sits two calls below the report.rs root;
+        // the chain itself is pinned frame by frame in its own test.
+        ("panic-reach", "crates/engine/src/util.rs", 9),
         ("panic-discipline", "crates/engine/src/pool.rs", 7),
         // The pool is a scheduler front-end now — spawning there is a
         // violation like anywhere else.
@@ -121,7 +131,39 @@ fn every_rule_fires_in_the_seeded_fixture_workspace() {
         report.diags
     );
     // And nothing else: the error count is exactly the seeded set.
-    assert_eq!(report.errors(), 14, "{:#?}", report.diags);
+    assert_eq!(report.errors(), 20, "{:#?}", report.diags);
+}
+
+#[test]
+fn panic_reach_chain_is_pinned_frame_by_frame() {
+    let report = check_workspace(&fixture_root(), &[]).expect("fixture workspace lints");
+    let d =
+        report.diags.iter().find(|d| d.rule == "panic-reach").expect("seeded panic-reach finding");
+    assert_eq!((d.file.as_str(), d.line), ("crates/engine/src/util.rs", 9));
+    // Root-first: frame 0 anchors the root at its definition, each later
+    // frame anchors the callee at the call site in its caller's file.
+    let frames: Vec<(&str, &str, usize)> =
+        d.chain.iter().map(|f| (f.name.as_str(), f.file.as_str(), f.line)).collect();
+    assert_eq!(
+        frames,
+        [
+            ("engine::report::emit_rows", "crates/engine/src/report.rs", 7),
+            ("engine::util::render_cell", "crates/engine/src/report.rs", 8),
+            ("engine::util::parse_or_die", "crates/engine/src/util.rs", 5),
+        ],
+        "{:#?}",
+        d.chain
+    );
+    // And the human rendering carries the chain, indented under the line.
+    let human = d.to_string();
+    assert!(
+        human.contains("\n    #0 engine::report::emit_rows (crates/engine/src/report.rs:7)"),
+        "{human}"
+    );
+    assert!(
+        human.contains("\n    #2 engine::util::parse_or_die (crates/engine/src/util.rs:5)"),
+        "{human}"
+    );
 }
 
 #[test]

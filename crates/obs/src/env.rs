@@ -1,0 +1,16 @@
+//! The observability crate's designated environment-variable module.
+//!
+//! Every `std::env::var` read in this crate lives here — enforced by
+//! `gradpim-lint`'s `env-discipline` rule (see `gradpim_engine::env` for
+//! the rationale). Knobs owned by this crate:
+//!
+//! | variable | effect |
+//! |---|---|
+//! | `GRADPIM_COST` | `=measured` enables measured-cost feedback for scheduler dispatch order |
+
+/// True when `GRADPIM_COST=measured` requests measured-cost feedback.
+/// Dispatch *order* is the only thing this can change — results are
+/// order-independent by the scheduler's contract.
+pub fn cost_measured() -> bool {
+    std::env::var("GRADPIM_COST").as_deref() == Ok("measured")
+}

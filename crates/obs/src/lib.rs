@@ -32,6 +32,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod env;
+
 use std::borrow::Cow;
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -413,7 +415,7 @@ pub fn cost_feedback() -> bool {
     match COST_OVERRIDE.load(Ordering::Relaxed) {
         1 => true,
         2 => false,
-        _ => std::env::var("GRADPIM_COST").as_deref() == Ok("measured"),
+        _ => env::cost_measured(),
     }
 }
 

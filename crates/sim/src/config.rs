@@ -192,7 +192,7 @@ impl SystemConfig {
 /// landed: dead cycles are skipped in bulk, so simulating more real traffic
 /// costs what the old caps used to.
 fn default_burst_cap() -> u64 {
-    if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+    if crate::env::full_fidelity() {
         u64::MAX
     } else {
         192 * 1024
@@ -202,7 +202,7 @@ fn default_burst_cap() -> u64 {
 /// Default update-phase cap in parameters (raised 4×, 256Ki → 1Mi, with the
 /// event-driven core — see [`default_burst_cap`]).
 fn default_param_cap() -> usize {
-    if std::env::var("GRADPIM_FULL").as_deref() == Ok("1") {
+    if crate::env::full_fidelity() {
         usize::MAX
     } else {
         1024 * 1024

@@ -29,6 +29,7 @@
 
 pub mod config;
 pub mod distributed;
+pub mod env;
 pub mod functional;
 pub mod phase;
 pub mod report;

@@ -68,8 +68,7 @@ impl std::error::Error for PhaseError {
 
 /// `GRADPIM_REFERENCE=1` forces per-cycle stepping (differential runs).
 fn reference_mode() -> bool {
-    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    *MODE.get_or_init(|| std::env::var("GRADPIM_REFERENCE").as_deref() == Ok("1"))
+    crate::env::reference_mode()
 }
 
 /// An injected drain executor: same contract as
