@@ -4,14 +4,15 @@
 //!
 //! ```text
 //! gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]
-//!             [--shards N [--shard-retries K]]
+//!             [--shards N [--shard-retries K]] [--cache DIR]
 //!             [--format table|csv|json] [-o PATH] [--emit-spec PATH]
 //!             [--trace PATH] [--metrics PATH]
 //! gradpim-cli --run-spec FILE [--shards N [--shard-retries K]] [--threads N]
-//!             [--format table|csv|json] [-o PATH] [--trace PATH] [--metrics PATH]
+//!             [--cache DIR] [--format table|csv|json] [-o PATH]
+//!             [--trace PATH] [--metrics PATH]
 //! gradpim-cli shard-worker FILE|- [--threads N] [-o PATH]
-//! gradpim-cli check-report FILE
-//! gradpim-cli check-trace FILE
+//! gradpim-cli check {report|trace|cache} PATH
+//! gradpim-cli cache {stats|clear|verify} [--cache DIR]
 //! gradpim-cli list
 //!
 //! experiments:
@@ -43,8 +44,18 @@
 //! sizes the engine's persistent worker pool; `--quick` (the default)
 //! caps simulated traffic per point, `--full` uses the library's generous
 //! defaults (combine with `GRADPIM_FULL=1` to remove caps entirely).
-//! `check-report` parses a previously emitted report JSON and reports its
-//! shape — a cheap integrity gate for scripted pipelines.
+//! `check report` parses a previously emitted report JSON and reports its
+//! shape — a cheap integrity gate for scripted pipelines; `check trace`
+//! and `check cache` do the same for trace files and cache stores. The
+//! older `check-report FILE` / `check-trace FILE` spellings remain as
+//! deprecated aliases.
+//!
+//! Caching: `--cache DIR` (or ambient `GRADPIM_CACHE`) attaches a
+//! content-addressed on-disk result store ([`gradpim_engine::cache`]).
+//! Row-group results and phase executor results are memoized under keys
+//! that capture the full workload shape, so a warm rerun is byte-identical
+//! to a cold one and a fully-cached `--shards N` run launches zero worker
+//! processes. `cache stats|clear|verify` inspect or reset the store.
 //!
 //! Observability: `--trace PATH` records spans across every layer (CLI
 //! stage → shard workers → scheduler → phase executors) and writes a
@@ -60,9 +71,12 @@
 #![forbid(unsafe_code)]
 
 use std::io::Read as _;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
+use gradpim_engine::cache::{self, CacheBackend, DiskCache};
 use gradpim_engine::dist::{self, DistError, ProcessWorker, ShardOptions};
 use gradpim_engine::serialize::{Experiment, ExperimentSpec};
 use gradpim_engine::{report, trace, Engine};
@@ -95,12 +109,25 @@ enum Mode {
     /// Worker mode: execute one shard sub-spec (`-` = stdin) and print
     /// its report JSON.
     ShardWorker(String),
-    /// Parse a report JSON and print its shape.
+    /// Parse a report JSON and print its shape (`check report`, plus the
+    /// deprecated `check-report` alias).
     CheckReport(String),
-    /// Parse a Chrome-trace JSON and print its shape.
+    /// Parse a Chrome-trace JSON and print its shape (`check trace`, plus
+    /// the deprecated `check-trace` alias).
     CheckTrace(String),
+    /// Open a cache store and verify every entry (`check cache`).
+    CheckCache(String),
+    /// Inspect or reset the resolved cache store.
+    Cache(CacheCmd),
     /// Print experiments and networks.
     List,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheCmd {
+    Stats,
+    Clear,
+    Verify,
 }
 
 struct Args {
@@ -118,15 +145,20 @@ struct Args {
     trace: Option<String>,
     /// `--metrics PATH`: write the metrics registry JSON.
     metrics: Option<String>,
+    /// `--cache DIR`: the on-disk result store (overrides `GRADPIM_CACHE`).
+    cache: Option<String>,
 }
 
-/// A runtime failure, split by exit code (usage errors never reach this
-/// type — they fail in [`parse_args`]).
+/// A runtime failure, split by exit code. Most usage errors fail in
+/// [`parse_args`]; [`CliError::Usage`] covers the ones only visible at
+/// run time (e.g. `cache stats` with no store resolvable).
 enum CliError {
     /// Ordinary runtime failure → exit 1.
     Run(String),
     /// Shard-pipeline failure → exit [`EXIT_SHARD`].
     Shard(String),
+    /// Late-detected usage error → exit [`EXIT_USAGE`].
+    Usage(String),
 }
 
 fn rt(e: impl ToString) -> CliError {
@@ -144,14 +176,15 @@ fn log(msg: impl std::fmt::Display) {
 fn usage() -> String {
     let mut s = String::from(
         "usage: gradpim-cli <experiment> [--quick|--full] [--threads N] [--nets a,b,..]\n\
-         \u{20}                   [--shards N [--shard-retries K]]\n\
+         \u{20}                   [--shards N [--shard-retries K]] [--cache DIR]\n\
          \u{20}                   [--format table|csv|json] [-o PATH] [--emit-spec PATH]\n\
          \u{20}                   [--trace PATH] [--metrics PATH]\n\
          \u{20}      gradpim-cli --run-spec FILE [--shards N [--shard-retries K]] [--threads N]\n\
-         \u{20}                   [--format table|csv|json] [-o PATH] [--trace PATH] [--metrics PATH]\n\
+         \u{20}                   [--cache DIR] [--format table|csv|json] [-o PATH]\n\
+         \u{20}                   [--trace PATH] [--metrics PATH]\n\
          \u{20}      gradpim-cli shard-worker FILE|- [--threads N] [-o PATH]\n\
-         \u{20}      gradpim-cli check-report FILE\n\
-         \u{20}      gradpim-cli check-trace FILE\n\
+         \u{20}      gradpim-cli check {report|trace|cache} PATH\n\
+         \u{20}      gradpim-cli cache {stats|clear|verify} [--cache DIR]\n\
          \u{20}      gradpim-cli list\n\n\
          experiments:\n",
     );
@@ -159,9 +192,14 @@ fn usage() -> String {
         s.push_str(&format!("  {:<8} {}\n", e.name(), e.describe()));
     }
     s.push_str("  list     print experiments and networks\n");
-    s.push_str("  check-report FILE   validate an emitted report JSON\n");
-    s.push_str("  check-trace FILE   validate an emitted Chrome-trace JSON\n");
+    s.push_str("  check {report|trace|cache} PATH   validate an emitted artifact or cache store\n");
+    s.push_str("  cache {stats|clear|verify}   inspect or reset the result store\n");
+    s.push_str("                               (from --cache DIR or GRADPIM_CACHE)\n");
     s.push_str("  shard-worker FILE|-   run one shard sub-spec, report JSON on stdout\n");
+    s.push_str(
+        "\ndeprecated (kept for existing scripts): `check-report FILE` and\n\
+         `check-trace FILE` are aliases of `check report` / `check trace`.\n",
+    );
     s
 }
 
@@ -178,6 +216,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         shard_retries: None,
         trace: None,
         metrics: None,
+        cache: None,
     };
     let mut mode = None;
     let mut it = argv.iter();
@@ -237,11 +276,46 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                 let v = it.next().ok_or("--metrics needs a path")?;
                 args.metrics = Some(v.clone());
             }
+            "--cache" => {
+                let v = it.next().ok_or("--cache needs a directory path")?;
+                args.cache = Some(v.clone());
+            }
             "--run-spec" => {
                 let v = it.next().ok_or("--run-spec needs a spec file path")?;
                 set_mode(&mut mode, Mode::RunSpec(v.clone()))?;
             }
             "list" => set_mode(&mut mode, Mode::List)?,
+            "check" => {
+                let what = it.next().ok_or("check needs a target: report, trace, or cache")?;
+                let path = it.next().ok_or_else(|| format!("check {what} needs a path"))?;
+                let checked = match what.as_str() {
+                    "report" => Mode::CheckReport(path.clone()),
+                    "trace" => Mode::CheckTrace(path.clone()),
+                    "cache" => Mode::CheckCache(path.clone()),
+                    other => {
+                        return Err(format!(
+                            "unknown check target `{other}` (expected report, trace, or cache)"
+                        ))
+                    }
+                };
+                set_mode(&mut mode, checked)?;
+            }
+            "cache" => {
+                let sub = it.next().ok_or("cache needs a subcommand: stats, clear, or verify")?;
+                let cmd = match sub.as_str() {
+                    "stats" => CacheCmd::Stats,
+                    "clear" => CacheCmd::Clear,
+                    "verify" => CacheCmd::Verify,
+                    other => {
+                        return Err(format!(
+                            "unknown cache subcommand `{other}` (expected stats, clear, or verify)"
+                        ))
+                    }
+                };
+                set_mode(&mut mode, Mode::Cache(cmd))?;
+            }
+            // Deprecated aliases of `check report` / `check trace`, kept so
+            // existing scripts and CI pipelines keep working unchanged.
             "check-report" => {
                 let v = it.next().ok_or("check-report needs a report file path")?;
                 set_mode(&mut mode, Mode::CheckReport(v.clone()))?;
@@ -288,25 +362,40 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                         drop --trace/--metrics"
                 .into());
         }
+        if args.cache.is_some() {
+            return Err(
+                "the coordinator controls the worker cache (GRADPIM_CACHE); drop --cache".into()
+            );
+        }
     }
     if args.shard_retries.is_some() && args.shards.is_none() {
         return Err("--shard-retries needs --shards".into());
     }
-    if args.shards.is_some()
-        && matches!(args.mode, Mode::List | Mode::CheckReport(_) | Mode::CheckTrace(_))
-    {
+    let inert_mode = matches!(
+        args.mode,
+        Mode::List | Mode::CheckReport(_) | Mode::CheckTrace(_) | Mode::CheckCache(_)
+    );
+    if args.shards.is_some() && (inert_mode || matches!(args.mode, Mode::Cache(_))) {
         return Err("--shards applies to experiments and --run-spec only".into());
     }
     if args.shards.is_some() && args.emit_spec.is_some() {
         return Err("--emit-spec writes the spec without running it; drop --shards".into());
     }
     if (args.trace.is_some() || args.metrics.is_some())
-        && matches!(args.mode, Mode::List | Mode::CheckReport(_) | Mode::CheckTrace(_))
+        && (inert_mode || matches!(args.mode, Mode::Cache(_)))
     {
         return Err("--trace/--metrics apply to experiments and --run-spec only".into());
     }
     if args.emit_spec.is_some() && (args.trace.is_some() || args.metrics.is_some()) {
         return Err("--emit-spec writes the spec without running it; drop --trace/--metrics".into());
+    }
+    if args.cache.is_some() && inert_mode {
+        return Err(
+            "--cache applies to experiments, --run-spec, and the cache subcommand only".into()
+        );
+    }
+    if args.cache.is_some() && args.emit_spec.is_some() {
+        return Err("--emit-spec writes the spec without running it; drop --cache".into());
     }
     Ok(args)
 }
@@ -336,11 +425,34 @@ fn emit_output(output: Option<&str>, text: &str) -> Result<(), CliError> {
     }
 }
 
+/// Opens the run's result store, if one is configured (`--cache DIR`, else
+/// ambient `GRADPIM_CACHE`). An unusable directory logs an explicit
+/// fallback and returns `None` — the run proceeds uncached rather than
+/// failing.
+fn cache_store(args: &Args) -> Option<Arc<dyn CacheBackend>> {
+    cache::store_with_log(args.cache.as_deref(), &mut |m: &str| log(m))
+}
+
 fn engine_for(args: &Args) -> Engine {
-    match args.threads {
+    let engine = match args.threads {
         Some(n) => Engine::new(n),
-        None => Engine::from_env(),
+        None => Engine::from_env_with(&mut |m: &str| log(m)),
+    };
+    match cache_store(args) {
+        Some(store) => engine.with_cache(store),
+        None => engine,
     }
+}
+
+/// Pluralization helper for entry counts.
+fn entries(n: usize) -> String {
+    format!("{n} entr{}", if n == 1 { "y" } else { "ies" })
+}
+
+/// The shared rendering for `check {report|trace|cache}` validation
+/// failures (and their deprecated aliases): one shape, every artifact.
+fn check_failure(path: &str, what: &str, err: impl std::fmt::Display) -> CliError {
+    CliError::Run(format!("`{path}` is not a valid {what}: {err}"))
 }
 
 /// Whether the `GRADPIM_SCHED_STATS=1` stderr rendering of the metrics
@@ -414,8 +526,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         Mode::CheckReport(path) => {
             let doc = std::fs::read_to_string(path)
                 .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
-            let report = report::from_json(&doc)
-                .map_err(|e| CliError::Run(format!("`{path}` is not a valid report: {e}")))?;
+            let report = report::from_json(&doc).map_err(|e| check_failure(path, "report", e))?;
             println!(
                 "{path}: valid report, {} rows x {} columns ({})",
                 report.rows.len(),
@@ -433,8 +544,7 @@ fn run(args: &Args) -> Result<(), CliError> {
         Mode::CheckTrace(path) => {
             let doc = std::fs::read_to_string(path)
                 .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
-            let summary = trace::summarize(&doc)
-                .map_err(|e| CliError::Run(format!("`{path}` is not a valid trace: {e}")))?;
+            let summary = trace::summarize(&doc).map_err(|e| check_failure(path, "trace", e))?;
             let cats: Vec<String> =
                 summary.cats.iter().map(|(cat, n)| format!("{cat}={n}")).collect();
             println!(
@@ -445,6 +555,25 @@ fn run(args: &Args) -> Result<(), CliError> {
             );
             return Ok(());
         }
+        Mode::CheckCache(path) => {
+            let store =
+                DiskCache::open(Path::new(path)).map_err(|e| check_failure(path, "cache", e))?;
+            let problems = store.verify();
+            if !problems.is_empty() {
+                for p in &problems {
+                    log(p);
+                }
+                return Err(check_failure(
+                    path,
+                    "cache",
+                    format!("{} corrupt", entries(problems.len())),
+                ));
+            }
+            let s = store.stats();
+            println!("{path}: valid cache, {} ({} bytes)", entries(s.entries), s.bytes);
+            return Ok(());
+        }
+        Mode::Cache(cmd) => return run_cache_cmd(*cmd, args),
         Mode::ShardWorker(path) => return run_shard_worker(path, args),
         Mode::Experiment(_) | Mode::RunSpec(_) => {}
     }
@@ -461,7 +590,12 @@ fn run(args: &Args) -> Result<(), CliError> {
             ExperimentSpec::from_json(&doc)
                 .map_err(|e| CliError::Run(format!("`{path}` is not a valid spec: {e}")))?
         }
-        Mode::List | Mode::CheckReport(_) | Mode::CheckTrace(_) | Mode::ShardWorker(_) => {
+        Mode::List
+        | Mode::CheckReport(_)
+        | Mode::CheckTrace(_)
+        | Mode::CheckCache(_)
+        | Mode::Cache(_)
+        | Mode::ShardWorker(_) => {
             // gradpim-lint: allow(panic-discipline): these modes return from the
             // match above before spec construction; the arm is exhaustiveness only.
             unreachable!("handled above")
@@ -489,16 +623,31 @@ fn run(args: &Args) -> Result<(), CliError> {
             Some(shards) => {
                 let opts = ShardOptions::new(shards)
                     .retries(args.shard_retries.unwrap_or(ShardOptions::DEFAULT_RETRIES));
+                // One resolution for the whole pipeline: the coordinator's
+                // engine gets the store (so a fully-cached spec skips the
+                // workers entirely) and the workers get the same directory
+                // via GRADPIM_CACHE. If the store does not open, nobody
+                // caches — workers never diverge from the coordinator.
+                let store = cache_store(args);
+                let cache_dir = store
+                    .is_some()
+                    .then(|| cache::resolve_dir(args.cache.as_deref()))
+                    .flatten()
+                    .map(PathBuf::from);
                 let worker = ProcessWorker::from_env()
                     .map_err(|e| CliError::Run(format!("cannot locate the worker program: {e}")))?
                     .threads(args.threads)
-                    .trace(args.trace.is_some());
+                    .trace(args.trace.is_some())
+                    .cache(cache_dir);
                 // Coordinator jobs are cheap poll-waits on child processes,
                 // not simulation work: size this pool by the shard count so
                 // every worker process runs concurrently even when the
                 // simulation thread knob (--threads / GRADPIM_THREADS) is 1
                 // — that knob is forwarded to the workers instead.
-                let coordinator = Engine::new(shards);
+                let coordinator = match store {
+                    Some(store) => Engine::new(shards).with_cache(store),
+                    None => Engine::new(shards),
+                };
                 log(format!(
                     "{} ({} mode) across {} worker process{} (retry budget {})",
                     spec.experiment,
@@ -540,6 +689,44 @@ fn run(args: &Args) -> Result<(), CliError> {
     emit_output(args.output.as_deref(), &text)?;
     finish_observability(args)?;
     log(format!("done in {:.2}s", t0.elapsed().as_secs_f64()));
+    Ok(())
+}
+
+/// `cache stats|clear|verify`: operate on the store named by `--cache DIR`
+/// or ambient `GRADPIM_CACHE`. Unlike a run (which degrades to uncached),
+/// these commands exist to touch the store, so an unresolvable or
+/// unusable one is an error.
+fn run_cache_cmd(cmd: CacheCmd, args: &Args) -> Result<(), CliError> {
+    let Some(dir) = cache::resolve_dir(args.cache.as_deref()) else {
+        return Err(CliError::Usage(
+            "the cache subcommand needs a store: pass --cache DIR or set GRADPIM_CACHE".into(),
+        ));
+    };
+    let store = DiskCache::open(Path::new(&dir)).map_err(CliError::Run)?;
+    match cmd {
+        CacheCmd::Stats => {
+            let s = store.stats();
+            println!("{dir}: {} ({} bytes)", entries(s.entries), s.bytes);
+        }
+        CacheCmd::Clear => {
+            let removed = store.clear();
+            println!("{dir}: cleared {}", entries(removed));
+        }
+        CacheCmd::Verify => {
+            let problems = store.verify();
+            if !problems.is_empty() {
+                for p in &problems {
+                    log(p);
+                }
+                return Err(CliError::Run(format!(
+                    "{dir}: {} failed verification",
+                    entries(problems.len())
+                )));
+            }
+            let s = store.stats();
+            println!("{dir}: {} verified", entries(s.entries));
+        }
+    }
     Ok(())
 }
 
@@ -614,6 +801,10 @@ fn main() -> ExitCode {
         Err(CliError::Shard(e)) => {
             log(e);
             ExitCode::from(EXIT_SHARD)
+        }
+        Err(CliError::Usage(e)) => {
+            log(e);
+            ExitCode::from(EXIT_USAGE)
         }
     }
 }

@@ -295,6 +295,7 @@ pub struct ProcessWorker {
     program: PathBuf,
     threads: Option<usize>,
     trace: bool,
+    cache: Option<PathBuf>,
 }
 
 /// How often a waiting coordinator polls its worker for exit and the
@@ -308,7 +309,7 @@ impl ProcessWorker {
     /// A worker launcher for `program` (invoked as
     /// `<program> shard-worker -`).
     pub fn new(program: impl Into<PathBuf>) -> Self {
-        Self { program: program.into(), threads: None, trace: false }
+        Self { program: program.into(), threads: None, trace: false, cache: None }
     }
 
     /// The default coordinator worker: the program named by
@@ -341,6 +342,19 @@ impl ProcessWorker {
     #[must_use]
     pub fn trace(mut self, trace: bool) -> Self {
         self.trace = trace;
+        self
+    }
+
+    /// Hands the coordinator's on-disk cache directory to every worker
+    /// (sets [`crate::cache::CACHE_DIR_ENV`] on the child), so shard
+    /// workers consult — and fill — the same store. `None` explicitly
+    /// *removes* the variable from the child environment: the
+    /// coordinator's resolved cache policy is authoritative, and an
+    /// ambient `GRADPIM_CACHE` never silently diverges workers from an
+    /// uncached coordinator.
+    #[must_use]
+    pub fn cache(mut self, dir: Option<PathBuf>) -> Self {
+        self.cache = dir;
         self
     }
 }
@@ -387,6 +401,14 @@ impl ShardExec for ProcessWorker {
             cmd.env(TRACE_SIDECAR_ENV, "1");
         } else {
             cmd.env_remove(TRACE_SIDECAR_ENV);
+        }
+        match &self.cache {
+            Some(dir) => {
+                cmd.env(crate::cache::CACHE_DIR_ENV, dir);
+            }
+            None => {
+                cmd.env_remove(crate::cache::CACHE_DIR_ENV);
+            }
         }
         cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::piped());
         let mut child = cmd.spawn().map_err(|e| {
@@ -528,6 +550,13 @@ pub fn run_sharded<X: ShardExec + ?Sized>(
     // before any worker process exists.
     let layout = spec.layout().map_err(DistError::Spec)?;
     let expected_schema = spec.schema();
+    // A fully-cached spec needs no workers at all: every row group comes
+    // out of the engine's store through the in-process run — byte-identical
+    // to the merged worker output, with zero launches.
+    if spec.fully_cached(engine) {
+        gradpim_obs::instant("dist.cache_skip", "dist");
+        return spec.run(engine).map_err(DistError::Spec);
+    }
     let subs = spec.shard_specs(opts.shards);
     let reports = engine.run_with_cancel(&subs, |shard, sub, cancel| {
         let _span = gradpim_obs::span_lazy(|| format!("dist.shard{shard}"), "dist");
@@ -867,6 +896,36 @@ mod tests {
             DistError::Worker { shard: 0, attempts: 1, error: WorkerError::Cancelled }
         ));
         assert_eq!(*exec.0.lock().unwrap(), 1);
+    }
+
+    #[test]
+    fn fully_cached_spec_launches_no_workers() {
+        if gradpim_sim::env::reference_mode() {
+            return; // reference mode bypasses the cache by design
+        }
+        struct NeverLaunch;
+        impl ShardExec for NeverLaunch {
+            fn run_shard(
+                &self,
+                _sub: &ExperimentSpec,
+                _shard: usize,
+                _attempt: usize,
+                _cancel: &Cancel<'_>,
+            ) -> Result<Report, WorkerError> {
+                panic!("no worker may launch on a full cache hit");
+            }
+        }
+        let store: std::sync::Arc<dyn crate::cache::CacheBackend> =
+            std::sync::Arc::new(crate::cache::MemCache::new());
+        let engine = Engine::sequential().with_cache(store);
+        let cold = spec().run(&engine).unwrap(); // fills every group
+        let merged = run_sharded(&spec(), ShardOptions::new(3), &NeverLaunch, &engine).unwrap();
+        assert_eq!(merged, cold);
+        // An engine without the filled store still needs workers.
+        let uncached = Engine::sequential();
+        let via_workers =
+            run_sharded(&spec(), ShardOptions::new(2), &InProcess, &uncached).unwrap();
+        assert_eq!(via_workers, cold);
     }
 
     #[test]

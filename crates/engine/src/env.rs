@@ -17,6 +17,7 @@
 //! | `GRADPIM_SHARD_WORKER` | worker program override for the `--shards` pipeline ([`crate::dist::WORKER_PROGRAM_ENV`]) |
 //! | `GRADPIM_TRACE_SIDECAR` | coordinator→worker request for a trace sidecar ([`crate::dist::TRACE_SIDECAR_ENV`]) |
 //! | `GRADPIM_SCHED_STATS` | `=1` renders the metrics registry to stderr after a CLI run |
+//! | `GRADPIM_CACHE` | on-disk result-cache directory (the ambient form of `gradpim-cli --cache DIR`; see [`crate::cache`]) |
 
 use std::ffi::OsString;
 
@@ -42,4 +43,12 @@ pub fn trace_sidecar() -> bool {
 /// rendering (the legacy alias for the CLI's `--metrics`).
 pub fn sched_stats() -> bool {
     std::env::var("GRADPIM_SCHED_STATS").as_deref() == Ok("1")
+}
+
+/// The on-disk result-cache directory (`GRADPIM_CACHE`), when set — the
+/// ambient fallback for `gradpim-cli --cache DIR`. Resolution and
+/// writability handling stay with [`crate::cache::store_with_log`], the
+/// single consumer.
+pub fn cache_dir() -> Option<String> {
+    std::env::var(crate::cache::CACHE_DIR_ENV).ok()
 }

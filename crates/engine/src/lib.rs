@@ -65,6 +65,7 @@
 // manifest's unwrap_used/expect_used warns target shipping code only.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod cache;
 pub mod channels;
 pub mod dist;
 pub mod env;
@@ -76,19 +77,26 @@ pub mod serialize;
 pub mod sweeps;
 pub mod trace;
 
-use gradpim_dram::{MemError, MemorySystem};
-use gradpim_sim::phase::{with_drain_exec, DrainExec};
+use std::sync::Arc;
 
+use gradpim_dram::{MemError, MemorySystem};
+use gradpim_sim::phase::{with_drain_exec, with_phase_memo, DrainExec, PhaseMemo};
+
+use cache::CacheBackend;
 use pool::WorkerPool;
 use sched::SchedStats;
 
 /// The parallel execution engine: a persistent [`WorkerPool`] — i.e. one
 /// [`sched::Scheduler`], spawned once, reused by every sweep, joined on
 /// drop — shared by the channel-threaded stepping and the sweep
-/// scheduler.
+/// scheduler. An optional result cache ([`Engine::with_cache`]) memoizes
+/// phase executions inside every job and row groups in
+/// [`serialize::ExperimentSpec::run`] — bit-identical results, less
+/// re-simulation.
 #[derive(Debug)]
 pub struct Engine {
     pool: WorkerPool,
+    cache: Option<Arc<dyn CacheBackend>>,
 }
 
 impl Engine {
@@ -96,7 +104,7 @@ impl Engine {
     /// The scheduler threads are spawned now and reused by every
     /// subsequent [`Engine::run`] call; nothing below ever spawns more.
     pub fn new(threads: usize) -> Self {
-        Self { pool: WorkerPool::new(threads) }
+        Self { pool: WorkerPool::new(threads), cache: None }
     }
 
     /// A single-threaded engine: every job runs inline on the calling
@@ -131,6 +139,45 @@ impl Engine {
             WARN_ONCE.call_once(|| eprintln!("gradpim-engine: {warning}"));
         }
         Self::new(threads)
+    }
+
+    /// [`Engine::from_env`] with the warning routed through `log` instead
+    /// of a once-per-process stderr write — the CLI passes its own
+    /// `gradpim-cli:` logger so a misconfigured environment produces an
+    /// attributed diagnostic on every affected invocation instead of
+    /// silently degrading after the first.
+    pub fn from_env_with(log: &mut dyn FnMut(&str)) -> Self {
+        let var = crate::env::threads_var();
+        let auto = std::thread::available_parallelism().map(std::num::NonZeroUsize::get).ok();
+        let (threads, warning) = resolve_threads(var.as_deref(), auto);
+        if let Some(warning) = warning {
+            log(&warning);
+        }
+        Self::new(threads)
+    }
+
+    /// Attaches a result cache: every job run by this engine gets a
+    /// [`gradpim_sim::phase::PhaseMemo`] over `store` installed (phase
+    /// results served from / stored to the cache, bit-identically), and
+    /// [`serialize::ExperimentSpec::run`] additionally consults `store`
+    /// at row-group granularity. `GRADPIM_REFERENCE=1` bypasses the memo
+    /// exactly as it bypasses the drain hook.
+    #[must_use]
+    pub fn with_cache(mut self, store: Arc<dyn CacheBackend>) -> Self {
+        self.cache = Some(store);
+        self
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&Arc<dyn CacheBackend>> {
+        self.cache.as_ref()
+    }
+
+    /// The phase memo jobs run under, when a cache is attached.
+    fn phase_memo(&self) -> Option<Arc<dyn PhaseMemo>> {
+        self.cache
+            .as_ref()
+            .map(|c| Arc::new(cache::CacheMemo::new(c.clone())) as Arc<dyn PhaseMemo>)
     }
 
     /// The worker count — the global thread budget.
@@ -175,7 +222,8 @@ impl Engine {
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
         let exec = self.drain_exec();
-        self.pool.run_ordered(jobs, move |i, job| with_drain_exec(exec.clone(), || f(i, job)))
+        let memo = self.phase_memo();
+        self.pool.run_ordered(jobs, move |i, job| in_job_env(&exec, &memo, || f(i, job)))
     }
 
     /// [`Engine::run`] with per-job cost estimates (see [`sched::cost`])
@@ -195,8 +243,9 @@ impl Engine {
         F: Fn(usize, &T) -> Result<R, E> + Sync,
     {
         let exec = self.drain_exec();
+        let memo = self.phase_memo();
         self.pool.scheduler().run_ordered_with(jobs, Some(costs), move |i, job, _| {
-            with_drain_exec(exec.clone(), || f(i, job))
+            in_job_env(&exec, &memo, || f(i, job))
         })
     }
 
@@ -216,8 +265,9 @@ impl Engine {
         F: Fn(usize, &T, &pool::Cancel<'_>) -> Result<R, E> + Sync,
     {
         let exec = self.drain_exec();
+        let memo = self.phase_memo();
         self.pool.run_ordered_with(jobs, move |i, job, cancel| {
-            with_drain_exec(exec.clone(), || f(i, job, cancel))
+            in_job_env(&exec, &memo, || f(i, job, cancel))
         })
     }
 
@@ -237,6 +287,16 @@ impl Engine {
     pub fn run_until(&self, mem: &mut MemorySystem, cycle: u64) {
         channels::par_run_until_on(&self.pool.scheduler().handle(), mem, cycle)
     }
+}
+
+/// One job's ambient environment: the engine's drain hook, plus — when a
+/// cache is attached — the phase memo. Both are thread-local
+/// installations scoped exactly to the job body.
+fn in_job_env<R>(exec: &DrainExec, memo: &Option<Arc<dyn PhaseMemo>>, f: impl FnOnce() -> R) -> R {
+    with_drain_exec(exec.clone(), || match memo {
+        Some(m) => with_phase_memo(m.clone(), f),
+        None => f(),
+    })
 }
 
 /// `GRADPIM_THREADS` resolution, factored pure so every fallback is unit-
@@ -320,6 +380,45 @@ mod tests {
         let stats = engine.sched_stats();
         assert_eq!(stats.spawned, 15, "budget is threads - 1, resolved exactly once");
         assert!(stats.max_live <= stats.spawned);
+    }
+
+    #[test]
+    fn from_env_with_routes_warnings_to_the_caller() {
+        let mut logged = Vec::new();
+        let engine = Engine::from_env_with(&mut |m: &str| logged.push(m.to_string()));
+        assert!(engine.threads() >= 1);
+        // Same resolution as the ambient constructor, warning or not.
+        assert_eq!(engine.threads(), Engine::from_env().threads());
+        // Warnings (if the test environment is misconfigured) reach the
+        // caller's sink — never a hidden once-gated stderr write.
+        for warning in &logged {
+            assert!(
+                warning.contains("GRADPIM_THREADS") || warning.contains("parallelism"),
+                "{warning}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_engine_runs_are_bit_identical_and_fill_the_store() {
+        if gradpim_sim::env::reference_mode() {
+            return; // reference mode bypasses the memo by design
+        }
+        let nets = [gradpim_workloads::models::mlp()];
+        let quick = Some((1500, 20_000));
+        let cold = sweeps::batch_sweep(&nets, quick, &Engine::sequential()).unwrap();
+        let store: Arc<dyn CacheBackend> = Arc::new(cache::MemCache::new());
+        let engine = Engine::sequential().with_cache(store.clone());
+        assert!(engine.cache().is_some());
+        let warm = sweeps::batch_sweep(&nets, quick, &engine).unwrap();
+        assert_eq!(warm, cold);
+        let filled = store.stats();
+        assert!(filled.entries > 0, "phase results must land in the store");
+        // A second run is served from the memo: identical bytes, no new
+        // entries.
+        let warm2 = sweeps::batch_sweep(&nets, quick, &engine).unwrap();
+        assert_eq!(warm2, cold);
+        assert_eq!(store.stats(), filled);
     }
 
     #[test]

@@ -29,19 +29,17 @@
 
 use std::fmt;
 
-use gradpim_sim::distributed::{scaling_specs, DistSpec};
-use gradpim_sim::report::Report;
+use gradpim_sim::report::{Report, Schema, SweepRow};
 use gradpim_sim::sweeps::{
-    batch_specs, layer_specs, ops_bandwidth_specs, precision_specs, BatchSpec, LayerSpec,
-    OpsBwSpec, PrecisionSpec, QuickCaps,
+    BatchSize, LayerScatter, OpsBandwidth, Precision, QuickCaps, SweepFamily,
 };
-use gradpim_sim::{Design, PhaseError};
+use gradpim_sim::PhaseError;
 use gradpim_workloads::{models, Network};
 
 use crate::json::{self, Json};
 use crate::report::ParseError;
-use crate::sweeps::ScalingRow;
-use crate::{sweeps, Engine};
+use crate::sweeps::{DesignSpace, Scaling};
+use crate::{cache, sweeps, Engine};
 
 /// The node counts of the Fig. 14 scaling study, shared by
 /// [`ExperimentSpec::run`] and [`ExperimentSpec::layout`] so the two can
@@ -105,6 +103,33 @@ impl Experiment {
             Experiment::Fig14 => "distributed-training node scaling (Fig. 14)",
         }
     }
+}
+
+impl Experiment {
+    /// Dispatches `visitor` to this experiment's [`SweepFamily`]
+    /// implementation — the **single** experiment-kind match in the
+    /// crate. [`ExperimentSpec::run`], [`ExperimentSpec::layout`],
+    /// [`ExperimentSpec::schema`], and the cache all go through here, so
+    /// the three can never disagree on an experiment's group structure.
+    fn with_family<V: FamilyVisitor>(self, visitor: V) -> V::Out {
+        match self {
+            Experiment::Fig09 => visitor.visit::<DesignSpace>(),
+            Experiment::Fig12a => visitor.visit::<OpsBandwidth>(),
+            Experiment::Fig12b => visitor.visit::<BatchSize>(),
+            Experiment::Fig12c => visitor.visit::<Precision>(),
+            Experiment::Fig13 => visitor.visit::<LayerScatter>(),
+            Experiment::Fig14 => visitor.visit::<Scaling>(),
+        }
+    }
+}
+
+/// A generic operation over an experiment's [`SweepFamily`] — the
+/// dispatch target of [`Experiment::with_family`].
+trait FamilyVisitor {
+    /// What the operation produces.
+    type Out;
+    /// Runs the operation with the experiment's family as `F`.
+    fn visit<F: SweepFamily>(self) -> Self::Out;
 }
 
 impl fmt::Display for Experiment {
@@ -335,35 +360,33 @@ impl ExperimentSpec {
     /// [`SpecError::UnknownNetwork`], exactly as [`ExperimentSpec::run`]
     /// would fail before simulating.
     pub fn layout(&self) -> Result<Vec<usize>, SpecError> {
-        let nets = self.resolve_networks()?;
-        let quick = self.quick;
-        Ok(match self.experiment {
-            Experiment::Fig09 => vec![Design::ALL.len(); nets.len()],
-            Experiment::Fig12a => {
-                vec![1; nets.iter().map(|n| ops_bandwidth_specs(n, quick).len()).sum()]
+        struct Layout<'a> {
+            nets: &'a [Network],
+            quick: QuickCaps,
+        }
+        impl FamilyVisitor for Layout<'_> {
+            type Out = Vec<usize>;
+            fn visit<F: SweepFamily>(self) -> Vec<usize> {
+                F::groups(self.nets, self.quick).iter().map(|g| F::rows_per_group(g)).collect()
             }
-            Experiment::Fig12b => vec![1; batch_specs(&nets, quick).len()],
-            Experiment::Fig12c => vec![1; precision_specs(&nets, quick).len()],
-            Experiment::Fig13 => vec![1; layer_specs(&nets, quick).len()],
-            Experiment::Fig14 => vec![1; nets.len() * FIG14_NODES.len()],
-        })
+        }
+        let nets = self.resolve_networks()?;
+        Ok(self.experiment.with_family(Layout { nets: &nets, quick: self.quick }))
     }
 
     /// The report schema this experiment produces — statically known, so
     /// a coordinator can validate worker output against it without
     /// trusting any worker (including a lone `--shards 1` worker, where
     /// cross-shard comparison proves nothing).
-    pub fn schema(&self) -> gradpim_sim::report::Schema {
-        use gradpim_sim::report::ToRow as _;
-        use gradpim_sim::sweeps::{BatchPoint, LayerPoint, OpsBwPoint, PrecisionPoint};
-        match self.experiment {
-            Experiment::Fig09 => sweeps::design_space_schema(),
-            Experiment::Fig12a => OpsBwPoint::schema(),
-            Experiment::Fig12b => BatchPoint::schema(),
-            Experiment::Fig12c => PrecisionPoint::schema(),
-            Experiment::Fig13 => LayerPoint::schema(),
-            Experiment::Fig14 => ScalingRow::schema(),
+    pub fn schema(&self) -> Schema {
+        struct SchemaOf;
+        impl FamilyVisitor for SchemaOf {
+            type Out = Schema;
+            fn visit<F: SweepFamily>(self) -> Schema {
+                F::schema()
+            }
         }
+        self.experiment.with_family(SchemaOf)
     }
 
     /// Splits this spec into `count` sub-specs, shard `i` carrying
@@ -392,79 +415,124 @@ impl ExperimentSpec {
     /// only its own row groups (see [`Shard`]) through the very same code
     /// path, so shard slices cannot drift from the whole either.
     ///
+    /// When the engine carries a cache ([`Engine::with_cache`]), each row
+    /// group is first looked up by content key (see [`crate::cache`]);
+    /// validated hits are served verbatim and only the missed groups are
+    /// simulated — with the same bit-identity guarantee, since a hit is
+    /// the byte-exact stored output of the same group.
+    ///
     /// # Errors
     ///
     /// [`SpecError::UnknownNetwork`] before any simulation starts, or the
     /// first (input-order) [`SpecError::Phase`] from the sweep.
     pub fn run(&self, engine: &Engine) -> Result<Report, SpecError> {
-        let nets = self.resolve_networks()?;
-        let quick = self.quick;
-        let keep = |g: usize| self.shard.is_none_or(|s| g % s.count == s.index);
-        Ok(match self.experiment {
-            Experiment::Fig09 => {
-                // Group = one network: the speedup column of each row
-                // references the same network's Baseline row, so a
-                // network's designs never split across shards.
-                let kept: Vec<Network> = retain_groups(nets, keep);
-                let pts = sweeps::design_space(&kept, &Design::ALL, quick, engine)?;
-                sweeps::design_space_report(&pts)
+        struct Run<'a> {
+            spec: &'a ExperimentSpec,
+            engine: &'a Engine,
+        }
+        impl FamilyVisitor for Run<'_> {
+            type Out = Result<Report, SpecError>;
+            fn visit<F: SweepFamily>(self) -> Self::Out {
+                run_family::<F>(self.spec, self.engine)
             }
-            Experiment::Fig12a => {
-                let mut g = 0;
-                let mut specs: Vec<OpsBwSpec> = Vec::new();
-                for net in &nets {
-                    for spec in ops_bandwidth_specs(net, quick) {
-                        if keep(g) {
-                            specs.push(spec);
-                        }
-                        g += 1;
-                    }
-                }
-                Report::from_points(&engine.run(&specs, |_, s: &OpsBwSpec| s.run())?)
-            }
-            Experiment::Fig12b => {
-                let specs = retain_groups(batch_specs(&nets, quick), keep);
-                Report::from_points(&engine.run(&specs, |_, s: &BatchSpec| s.run())?)
-            }
-            Experiment::Fig12c => {
-                let specs = retain_groups(precision_specs(&nets, quick), keep);
-                Report::from_points(&engine.run(&specs, |_, s: &PrecisionSpec| s.run())?)
-            }
-            Experiment::Fig13 => {
-                let specs = retain_groups(layer_specs(&nets, quick), keep);
-                Report::from_points(&engine.run(&specs, |_, s: &LayerSpec| s.run())?)
-            }
-            Experiment::Fig14 => {
-                // Group = one (network, node count) row, i.e. one
-                // consecutive (baseline, gradpim) spec pair.
-                let mut g = 0;
-                let mut groups: Vec<(&str, usize)> = Vec::new();
-                let mut jobs: Vec<DistSpec> = Vec::new();
-                for net in &nets {
-                    let specs = scaling_specs(net, &FIG14_NODES, quick);
-                    for (pair, &nodes) in specs.chunks_exact(2).zip(FIG14_NODES.iter()) {
-                        if keep(g) {
-                            groups.push((net.name.as_str(), nodes));
-                            jobs.extend(pair.iter().cloned());
-                        }
-                        g += 1;
-                    }
-                }
-                let reports = engine.run(&jobs, |_, s: &DistSpec| s.run())?;
-                let rows: Vec<ScalingRow> = groups
-                    .iter()
-                    .zip(reports.chunks_exact(2))
-                    .map(|(&(network, nodes), pair)| ScalingRow {
-                        network: network.to_string(),
-                        nodes,
-                        baseline: pair[0],
-                        gradpim: pair[1],
-                    })
-                    .collect();
-                Report::from_points(&rows)
-            }
-        })
+        }
+        self.experiment.with_family(Run { spec: self, engine })
     }
+
+    /// True when the engine carries a cache that already holds **every**
+    /// row group this spec would run — i.e. [`ExperimentSpec::run`] would
+    /// simulate nothing. Probed with [`cache::CacheBackend::contains`],
+    /// so planning does not perturb the hit/miss counters; a spec with no
+    /// groups at all reports `false` (nothing to serve). The shard
+    /// coordinator uses this to skip launching workers outright
+    /// ([`crate::dist::run_sharded`]).
+    pub fn fully_cached(&self, engine: &Engine) -> bool {
+        struct Cached<'a> {
+            spec: &'a ExperimentSpec,
+            engine: &'a Engine,
+        }
+        impl FamilyVisitor for Cached<'_> {
+            type Out = bool;
+            fn visit<F: SweepFamily>(self) -> bool {
+                if gradpim_sim::env::reference_mode() {
+                    return false;
+                }
+                let Some(store) = self.engine.cache() else {
+                    return false;
+                };
+                let Ok(nets) = self.spec.resolve_networks() else {
+                    return false;
+                };
+                let quick = self.spec.quick;
+                let keep = |g: usize| self.spec.shard.is_none_or(|s| g % s.count == s.index);
+                let groups = retain_groups(F::groups(&nets, quick), keep);
+                !groups.is_empty()
+                    && groups.iter().all(|g| store.contains(&cache::group_key::<F>(quick, g)))
+            }
+        }
+        self.experiment.with_family(Cached { spec: self, engine })
+    }
+}
+
+/// The one generic experiment executor behind [`ExperimentSpec::run`]:
+/// enumerate the family's row groups, keep this shard's slice, serve
+/// cached groups from the store, simulate the rest (cost-seeded,
+/// longest-first), and reassemble the report in figure order.
+fn run_family<F: SweepFamily>(spec: &ExperimentSpec, engine: &Engine) -> Result<Report, SpecError> {
+    let nets = spec.resolve_networks()?;
+    let quick = spec.quick;
+    let keep = |g: usize| spec.shard.is_none_or(|s| g % s.count == s.index);
+    let groups = retain_groups(F::groups(&nets, quick), keep);
+
+    // Row-group cache consultation: a schema-validated hit pins the
+    // group's rows; a miss queues the group's specs for simulation.
+    // GRADPIM_REFERENCE=1 bypasses the cache exactly as it bypasses the
+    // phase memo and the drain hook — reference runs recompute everything.
+    let store = if gradpim_sim::env::reference_mode() { None } else { engine.cache() };
+    let mut keys: Vec<Option<String>> = Vec::with_capacity(groups.len());
+    let mut hits: Vec<Option<Vec<SweepRow>>> = Vec::with_capacity(groups.len());
+    for group in &groups {
+        let key = store.map(|_| cache::group_key::<F>(quick, group));
+        let hit = match (store, &key) {
+            (Some(s), Some(k)) => cache::load_group::<F>(s.as_ref(), k, F::rows_per_group(group)),
+            _ => None,
+        };
+        keys.push(key);
+        hits.push(hit);
+    }
+
+    // Simulate only the missed groups' specs, flattened in figure order.
+    let jobs: Vec<F::Spec> = groups
+        .iter()
+        .zip(&hits)
+        .filter(|(_, hit)| hit.is_none())
+        .flat_map(|(group, _)| group.iter().cloned())
+        .collect();
+    let costs = sweeps::costs_of(&jobs, F::workload);
+    let outs = engine.run_weighted(&jobs, &costs, |_, s: &F::Spec| {
+        sweeps::measured(F::workload(s), || F::run_spec(s))
+    })?;
+
+    // Reassemble in group order, storing freshly computed groups back.
+    let mut outs = outs.into_iter();
+    let mut report = Report::new(F::schema());
+    for ((group, key), hit) in groups.iter().zip(&keys).zip(hits) {
+        let rows = match hit {
+            Some(rows) => rows,
+            None => {
+                let fresh: Vec<F::Out> = outs.by_ref().take(group.len()).collect();
+                let rows = F::group_rows(group, fresh);
+                if let (Some(s), Some(k)) = (store, key) {
+                    cache::store_group::<F>(s.as_ref(), k, &rows);
+                }
+                rows
+            }
+        };
+        for row in rows {
+            report.push(row);
+        }
+    }
+    Ok(report)
 }
 
 /// Keeps the groups selected by `keep`, preserving relative order — the
@@ -507,6 +575,7 @@ impl From<PhaseError> for SpecError {
 mod tests {
     use super::*;
     use gradpim_sim::report::Value;
+    use gradpim_sim::Design;
 
     const QUICK: QuickCaps = Some((1500, 20_000));
 

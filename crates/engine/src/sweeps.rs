@@ -30,6 +30,7 @@ use gradpim_sim::report::{Kind, Report, Schema, SweepRow, ToRow};
 use gradpim_sim::sweeps::{
     batch_specs, layer_specs, ops_bandwidth_specs, precision_specs, BatchPoint, BatchSpec,
     LayerPoint, LayerSpec, OpsBwPoint, OpsBwSpec, PrecisionPoint, PrecisionSpec, QuickCaps,
+    SweepFamily,
 };
 use gradpim_sim::{Design, PhaseError, SystemConfig, TrainingReport, TrainingSim};
 use gradpim_workloads::Network;
@@ -41,7 +42,7 @@ use crate::Engine;
 /// longest-first seed. Static [`cost::sweep_point_cycles`] estimates, or
 /// observed durations when measured-cost feedback has priced every shape
 /// (see [`cost::batch_costs`]).
-fn costs_of<T>(specs: &[T], workload: impl Fn(&T) -> (u64, usize, usize)) -> Vec<u64> {
+pub(crate) fn costs_of<T>(specs: &[T], workload: impl Fn(&T) -> (u64, usize, usize)) -> Vec<u64> {
     let shapes: Vec<(u64, usize, usize)> = specs.iter().map(workload).collect();
     cost::batch_costs(&shapes)
 }
@@ -50,7 +51,10 @@ fn costs_of<T>(specs: &[T], workload: impl Fn(&T) -> (u64, usize, usize)) -> Vec
 /// measured-cost key when `GRADPIM_COST=measured` feedback is on. The
 /// timing wraps the job from the outside, so results are untouched either
 /// way.
-fn measured<R, E>(shape: (u64, usize, usize), f: impl FnOnce() -> Result<R, E>) -> Result<R, E> {
+pub(crate) fn measured<R, E>(
+    shape: (u64, usize, usize),
+    f: impl FnOnce() -> Result<R, E>,
+) -> Result<R, E> {
     if !gradpim_obs::cost_feedback() {
         return f();
     }
@@ -291,6 +295,118 @@ pub fn distributed_scaling(
         .collect())
 }
 
+/// The Fig. 9 design-space study as a [`SweepFamily`]: one row group per
+/// network, containing that network on every design of [`Design::ALL`]
+/// (network-major, exactly the [`design_space`] job order). The group is
+/// the unit of sharding *and* caching because each row's speedup column
+/// references the same group's `Baseline` row.
+///
+/// [`ExperimentSpec::run`](crate::serialize::ExperimentSpec::run)
+/// dispatches fig09 through this impl; [`design_space`] /
+/// [`design_space_report`] remain as thin direct-call surfaces over the
+/// same arithmetic.
+#[derive(Debug, Clone, Copy)]
+pub struct DesignSpace;
+
+impl SweepFamily for DesignSpace {
+    type Spec = (SystemConfig, Network);
+    type Out = DesignPoint;
+
+    const NAME: &'static str = "design-space";
+
+    fn groups(nets: &[Network], quick: QuickCaps) -> Vec<Vec<Self::Spec>> {
+        nets.iter()
+            .map(|net| {
+                Design::ALL
+                    .iter()
+                    .map(|&d| {
+                        let mut cfg = SystemConfig::new(d);
+                        cfg.apply_quick(quick);
+                        (cfg, net.clone())
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        design_space_schema()
+    }
+
+    fn run_spec(spec: &Self::Spec) -> Result<Self::Out, PhaseError> {
+        let (cfg, net) = spec;
+        Ok(DesignPoint { design: cfg.design, report: TrainingSim::new(cfg.clone()).run(net)? })
+    }
+
+    fn workload(spec: &Self::Spec) -> (u64, usize, usize) {
+        design_shape(spec)
+    }
+
+    fn group_rows(_group: &[Self::Spec], outs: Vec<Self::Out>) -> Vec<SweepRow> {
+        // One group is one network, so the group-local baseline tracking
+        // is exactly design_space_report's whole-run tracking restricted
+        // to the group: byte-identical rows.
+        design_space_report(&outs).rows
+    }
+}
+
+/// The Fig. 14 node-scaling study as a [`SweepFamily`]: one row group per
+/// (network, node count) pair — a consecutive (baseline, GradPIM-BD)
+/// [`DistSpec`] pair folding into a single [`ScalingRow`]. Node counts are
+/// the experiment's fixed [`crate::serialize::FIG14_NODES`]; for arbitrary
+/// node counts use [`distributed_scaling`] directly.
+#[derive(Debug, Clone, Copy)]
+pub struct Scaling;
+
+impl SweepFamily for Scaling {
+    type Spec = DistSpec;
+    type Out = DistReport;
+
+    const NAME: &'static str = "scaling";
+
+    fn groups(nets: &[Network], quick: QuickCaps) -> Vec<Vec<Self::Spec>> {
+        nets.iter()
+            .flat_map(|net| {
+                crate::serialize::FIG14_NODES
+                    .iter()
+                    .map(move |&nodes| scaling_specs(net, &[nodes], quick))
+            })
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        ScalingRow::schema()
+    }
+
+    fn run_spec(spec: &Self::Spec) -> Result<Self::Out, PhaseError> {
+        spec.run()
+    }
+
+    fn workload(spec: &Self::Spec) -> (u64, usize, usize) {
+        spec.workload()
+    }
+
+    fn rows_per_group(group: &[Self::Spec]) -> usize {
+        group.len() / 2
+    }
+
+    fn group_rows(group: &[Self::Spec], outs: Vec<Self::Out>) -> Vec<SweepRow> {
+        group
+            .chunks_exact(2)
+            .zip(outs.chunks_exact(2))
+            .map(|(pair, reports)| {
+                ScalingRow {
+                    network: pair[0].net.name.clone(),
+                    nodes: pair[0].dist.nodes,
+                    baseline: reports[0],
+                    gradpim: reports[1],
+                }
+                .row()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -315,6 +431,32 @@ mod tests {
         assert_eq!(pts[0].design, Design::Baseline);
         assert_eq!(pts[1].design, Design::GradPimBuffered);
         assert!(pts[0].report.total_time_ns() > pts[1].report.total_time_ns());
+    }
+
+    #[test]
+    fn design_space_family_matches_the_report_path() {
+        let nets = [models::mlp()];
+        let pts = design_space(&nets, &Design::ALL, QUICK, &Engine::sequential()).unwrap();
+        let old = design_space_report(&pts);
+        assert_eq!(DesignSpace::report(&nets, QUICK).unwrap(), old);
+        let layout: Vec<usize> = DesignSpace::groups(&nets, QUICK)
+            .iter()
+            .map(|g| DesignSpace::rows_per_group(g))
+            .collect();
+        assert_eq!(layout, vec![Design::ALL.len()]);
+    }
+
+    #[test]
+    fn scaling_family_matches_distributed_scaling() {
+        let net = models::mlp();
+        let nodes = crate::serialize::FIG14_NODES;
+        let rows = distributed_scaling(&net, &nodes, QUICK, &Engine::sequential()).unwrap();
+        let old = Report::from_points(&rows);
+        let nets = [net];
+        assert_eq!(Scaling::report(&nets, QUICK).unwrap(), old);
+        let layout: Vec<usize> =
+            Scaling::groups(&nets, QUICK).iter().map(|g| Scaling::rows_per_group(g)).collect();
+        assert_eq!(layout, vec![1; nodes.len()]);
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! End-to-end tests of the result cache: warm reruns byte-identical to
+//! cold ones (as a property over arbitrary specs, shard counts, and
+//! overlapping network subsets), partial overlaps executing only the
+//! uncached row groups, and the real `gradpim-cli` coordinator skipping
+//! worker launches entirely on a full cache hit.
+
+// Integration tests build without cfg(test), so the crate-root carve-out
+// for the manifest's unwrap_used/expect_used warns is restated here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+use std::sync::Arc;
+
+use gradpim_engine::cache::{CacheBackend, MemCache};
+use gradpim_engine::dist::{run_sharded, InProcess, ShardOptions, WORKER_PROGRAM_ENV};
+use gradpim_engine::report::to_json;
+use gradpim_engine::serialize::{Experiment, ExperimentSpec};
+use gradpim_engine::Engine;
+use proptest::prelude::*;
+
+/// The binary under test, built by cargo for this test run.
+const CLI: &str = env!("CARGO_BIN_EXE_gradpim-cli");
+
+/// Doc-sized caps so every process in these tests simulates quickly.
+const QUICK: gradpim_sim::sweeps::QuickCaps = Some((1500, 20_000));
+
+fn fig12b_spec() -> ExperimentSpec {
+    ExperimentSpec::new(Experiment::Fig12b, QUICK, Some(vec!["MLP1".into()]))
+}
+
+/// A unique scratch path for this test process.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("gradpim-cache-test-{}-{name}", std::process::id()))
+}
+
+/// Runs the CLI with ambient `GRADPIM_CACHE` scrubbed: these tests pass
+/// the store explicitly via `--cache`, so a developer's environment must
+/// not leak into the assertions.
+fn run_cli(args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(CLI);
+    cmd.args(args);
+    cmd.env_remove("GRADPIM_CACHE");
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().expect("run gradpim-cli")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn mem_store() -> Arc<dyn CacheBackend> {
+    Arc::new(MemCache::new())
+}
+
+proptest! {
+    // Each case runs a whole (capped) experiment several times — keep the
+    // count modest; key derivation and store behavior are also covered
+    // deterministically in the `cache` unit tests.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    #[test]
+    fn warm_reruns_are_byte_identical_across_overlapping_specs(
+        exp in 0usize..Experiment::ALL.len(),
+        shards in 1usize..=4,
+        overlap in 0usize..3,
+        bursts in 256u64..1500,
+        params in 4096usize..20_000,
+    ) {
+        if gradpim_sim::env::reference_mode() {
+            return Ok(()); // reference mode bypasses the cache by design
+        }
+        let caps = Some((bursts, params));
+        let second: Vec<String> = match overlap {
+            0 => vec!["MLP1".into()],                    // full overlap
+            1 => vec!["MLP1".into(), "ResNet18".into()], // partial overlap
+            _ => vec!["ResNet18".into()],                // disjoint
+        };
+        let prime = ExperimentSpec::new(Experiment::ALL[exp], caps, Some(vec!["MLP1".into()]));
+        let spec = ExperimentSpec::new(Experiment::ALL[exp], caps, Some(second));
+
+        let cold = to_json(&spec.run(&Engine::sequential()).expect("cold run"));
+
+        let store = mem_store();
+        let cached = Engine::sequential().with_cache(store.clone());
+        prime.run(&cached).expect("priming run");
+        let warm = to_json(&spec.run(&cached).expect("warm run"));
+        prop_assert_eq!(&warm, &cold, "warm run diverged from the cold run");
+        prop_assert!(store.stats().entries > 0, "the priming run left the store empty");
+
+        // The same store through the sharded coordinator: `spec` is now
+        // fully cached, so this exercises the zero-launch skip too.
+        let merged = run_sharded(&spec, ShardOptions::new(shards).retries(0), &InProcess, &cached)
+            .expect("sharded warm run");
+        prop_assert_eq!(&to_json(&merged), &cold, "sharded warm run diverged");
+    }
+}
+
+#[test]
+fn partial_overlap_executes_only_uncached_groups() {
+    if gradpim_sim::env::reference_mode() {
+        return; // reference mode bypasses the cache by design
+    }
+    let store = mem_store();
+    let one = ExperimentSpec::new(Experiment::Fig12a, QUICK, Some(vec!["MLP1".into()]));
+    let two = ExperimentSpec::new(
+        Experiment::Fig12a,
+        QUICK,
+        Some(vec!["MLP1".into(), "ResNet18".into()]),
+    );
+
+    // Two worker threads: the scheduler's inline path (sequential engines,
+    // single-job batches) bypasses the jobs counter, and this test is
+    // precisely about counting scheduled jobs.
+    let priming = Engine::new(2).with_cache(store.clone());
+    one.run(&priming).expect("priming run");
+    let one_net_jobs = priming.sched_stats().jobs;
+    assert!(one_net_jobs > 0, "the priming run scheduled no jobs");
+
+    // Fig12a sweeps the same ratio points for every network, so a two-net
+    // run over a store already holding MLP1 must execute exactly one
+    // net's worth of sweep-point jobs — the uncached ResNet18 groups.
+    let partial = Engine::new(2).with_cache(store.clone());
+    let report = two.run(&partial).expect("partially warm run");
+    assert_eq!(
+        partial.sched_stats().jobs,
+        one_net_jobs,
+        "a partially warm run re-executed cached groups"
+    );
+
+    // Now everything is cached: zero jobs, same bytes.
+    let warm = Engine::new(2).with_cache(store);
+    let again = two.run(&warm).expect("fully warm run");
+    assert_eq!(warm.sched_stats().jobs, 0, "a fully warm run scheduled jobs");
+    assert_eq!(to_json(&again), to_json(&report));
+    assert_eq!(to_json(&report), to_json(&two.run(&Engine::sequential()).expect("uncached run")));
+}
+
+#[test]
+fn fully_cached_sharded_rerun_launches_no_workers() {
+    if gradpim_sim::env::reference_mode() {
+        return; // reference mode bypasses the cache by design
+    }
+    let dir = scratch("store");
+    let _ = std::fs::remove_dir_all(&dir);
+    let spec_path = scratch("cache.spec.json");
+    std::fs::write(&spec_path, fig12b_spec().to_json()).expect("write spec");
+    let spec = spec_path.to_str().expect("utf-8 temp path");
+    let cache = dir.to_str().expect("utf-8 temp path");
+
+    let cold =
+        run_cli(&["--run-spec", spec, "--shards", "3", "--cache", cache, "--format", "json"], &[]);
+    assert!(cold.status.success(), "cold sharded run failed: {}", stderr_of(&cold));
+
+    // Rerun against a worker program that dies instantly: only a
+    // coordinator that never launches a single worker can succeed.
+    let warm = run_cli(
+        &["--run-spec", spec, "--shards", "3", "--cache", cache, "--format", "json"],
+        &[(WORKER_PROGRAM_ENV, "/bin/false")],
+    );
+    assert!(warm.status.success(), "fully-cached rerun launched workers: {}", stderr_of(&warm));
+    assert_eq!(cold.stdout, warm.stdout, "warm sharded rerun diverged from the cold run");
+
+    // The store the pipeline built passes its own integrity gates.
+    for args in [&["cache", "verify", "--cache", cache][..], &["check", "cache", cache][..]] {
+        let out = run_cli(args, &[]);
+        assert!(out.status.success(), "{args:?}: {}", stderr_of(&out));
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&spec_path);
+}
+
+#[test]
+fn check_aliases_match_and_cache_usage_errors_exit_2() {
+    let report_path = scratch("alias.report.json");
+    let report = fig12b_spec().run(&Engine::sequential()).expect("in-process run");
+    std::fs::write(&report_path, to_json(&report)).expect("write report");
+    let path = report_path.to_str().expect("utf-8 temp path");
+
+    // The deprecated spellings stay byte-compatible with `check {report,trace}`.
+    let new = run_cli(&["check", "report", path], &[]);
+    assert!(new.status.success(), "{}", stderr_of(&new));
+    let old = run_cli(&["check-report", path], &[]);
+    assert_eq!(new.stdout, old.stdout, "check-report diverged from `check report`");
+
+    // `cache …` without a resolvable store, unknown check targets, and
+    // --cache on modes that cannot use it are usage errors, not runtime ones.
+    for args in [
+        &["cache", "stats"][..],
+        &["check", "nonsense", path][..],
+        &["check", "report"][..],
+        &["cache", "shrink"][..],
+        &["check-report", path, "--cache", "somewhere"][..],
+        &["fig12b", "--emit-spec", "-", "--cache", "somewhere"][..],
+    ] {
+        let out = run_cli(args, &[]);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {}", stderr_of(&out));
+    }
+
+    let _ = std::fs::remove_file(&report_path);
+}

@@ -87,6 +87,10 @@ const THREAD_SPAWN_OK_PREFIXES: &[&str] = &["crates/engine/src/sched/"];
 const PANIC_SCOPE: &[&str] = &[
     "crates/engine/src/pool.rs",
     "crates/engine/src/dist.rs",
+    // The result cache sits on every run's hot path and inside shard
+    // workers: a panic while reading or writing the store turns a cache
+    // lookup into a crashed batch, so corruption must degrade to a miss.
+    "crates/engine/src/cache.rs",
     // The shard-worker path: a worker that panics is a crashed shard the
     // coordinator must retry, so the whole CLI file is held to the same
     // standard.
@@ -403,6 +407,10 @@ mod tests {
         let m = FileMeta::classify("crates/engine", "crates/engine/src/report.rs".into());
         assert!(m.panic_reach_root(), "report emission is a protocol root");
         assert!(!m.check_panic_discipline());
+
+        let m = FileMeta::classify("crates/engine", "crates/engine/src/cache.rs".into());
+        assert!(m.check_panic_discipline(), "the result store sits on the run hot path");
+        assert!(m.panic_reach_root(), "panic-discipline files are panic-reach roots");
         assert!(panic_reach_absorbed("gradpim_engine::serialize::ExperimentSpec::run"));
         assert!(!panic_reach_absorbed("gradpim_engine::serialize::ExperimentSpec::runner"));
     }

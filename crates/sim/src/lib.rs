@@ -39,6 +39,6 @@ pub mod train;
 pub use config::{Design, SystemConfig};
 pub use distributed::{distributed_step, DistConfig, DistReport, DistSpec};
 pub use functional::{synthetic_dataset, PimTrainer};
-pub use phase::{PhaseError, PhaseResult};
+pub use phase::{PhaseError, PhaseMemo, PhaseResult};
 pub use report::{Column, Kind, Report, Schema, SweepRow, ToRow, Value};
 pub use train::{speedup_over_baseline, BlockReport, TrainingReport, TrainingSim};

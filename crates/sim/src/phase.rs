@@ -115,6 +115,73 @@ fn current_drain_exec() -> Option<DrainExec> {
     DRAIN_EXEC.with(|cell| cell.borrow().clone())
 }
 
+/// A phase-result memo: the second hook an execution engine can install
+/// around sweep jobs (alongside [`DrainExec`]). Phase executors are pure
+/// functions of their arguments, so two sweep points that share a
+/// `(config × traffic shape × optimizer × precision)` phase produce
+/// bit-identical [`PhaseResult`]s — a memo collapses such repeats to one
+/// simulation. Keys are exact: they render every argument (including the
+/// full [`DramConfig`]) via `Debug`, so a hit can only be served for the
+/// identical computation, and [`PhaseResult::to_bits_string`] round-trips
+/// every `f64` bit-exactly. `GRADPIM_REFERENCE=1` bypasses memoization
+/// entirely (reference runs exist to exercise the simulation path).
+pub trait PhaseMemo: Send + Sync {
+    /// Returns the stored result for `key`, if any.
+    fn get(&self, key: &str) -> Option<PhaseResult>;
+    /// Stores `result` under `key`.
+    fn put(&self, key: &str, result: &PhaseResult);
+}
+
+thread_local! {
+    /// The ambient phase memo for this thread, if a driver installed one.
+    /// Thread-local for the same reason as [`DRAIN_EXEC`]: concurrent
+    /// engines never see each other's stores.
+    static PHASE_MEMO: std::cell::RefCell<Option<std::sync::Arc<dyn PhaseMemo>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with `memo` installed as this thread's ambient phase memo;
+/// the previous memo is restored afterwards, even on unwind, so scopes
+/// nest cleanly. Every phase executor reached from `f` consults the memo
+/// before simulating (except under `GRADPIM_REFERENCE=1`).
+pub fn with_phase_memo<T>(memo: std::sync::Arc<dyn PhaseMemo>, f: impl FnOnce() -> T) -> T {
+    struct Restore(Option<std::sync::Arc<dyn PhaseMemo>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            PHASE_MEMO.with(|cell| *cell.borrow_mut() = self.0.take());
+        }
+    }
+    let prev = PHASE_MEMO.with(|cell| cell.borrow_mut().replace(memo));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// This thread's ambient phase memo, if any.
+fn current_phase_memo() -> Option<std::sync::Arc<dyn PhaseMemo>> {
+    PHASE_MEMO.with(|cell| cell.borrow().clone())
+}
+
+/// Consults the ambient memo before running `compute`. The key is only
+/// rendered when a memo is installed, so uncached runs pay nothing. A
+/// stored result is returned as-is — executors are pure, so it is
+/// bit-identical to recomputing. Reference mode bypasses the memo.
+fn memoized(
+    key_of: impl FnOnce() -> String,
+    compute: impl FnOnce() -> Result<PhaseResult, PhaseError>,
+) -> Result<PhaseResult, PhaseError> {
+    let memo = match current_phase_memo() {
+        Some(m) if !reference_mode() => m,
+        _ => return compute(),
+    };
+    let key = key_of();
+    if let Some(hit) = memo.get(&key) {
+        return Ok(hit);
+    }
+    let out = compute()?;
+    memo.put(&key, &out);
+    Ok(out)
+}
+
 /// One backpressure step: per-cycle in reference mode, event-driven
 /// otherwise (observably identical).
 fn step(mem: &mut MemorySystem) {
@@ -171,6 +238,72 @@ impl PhaseResult {
     /// A zero-length phase (e.g. update of a parameter-free block).
     pub fn empty() -> Self {
         Self { scale: 1.0, ..Self::default() }
+    }
+
+    /// Exact serialization for [`PhaseMemo`] stores: every `f64` as its
+    /// raw bit pattern in hex, so decoding reproduces the result
+    /// bit-identically (NaN payloads and signed zeros included). The
+    /// leading `pr1` tag versions the field layout.
+    pub fn to_bits_string(&self) -> String {
+        let f = [
+            self.time_ns,
+            self.scale,
+            self.energy.act_pj,
+            self.energy.rd_pj,
+            self.energy.wr_pj,
+            self.energy.io_pj,
+            self.energy.pim_pj,
+            self.energy.refresh_pj,
+            self.energy.background_pj,
+            self.external_bytes,
+            self.internal_bytes,
+            self.cmd_bus_util,
+            self.external_bw,
+            self.internal_bw,
+        ];
+        let mut out = String::from("pr1");
+        for v in f {
+            out.push_str(&format!(" {:x}", v.to_bits()));
+        }
+        out.push_str(&format!(" {:x}", self.sim_cycles));
+        out
+    }
+
+    /// Decodes [`to_bits_string`](Self::to_bits_string) output. `None` on
+    /// any tag/arity/token mismatch — callers treat that as a cache miss.
+    pub fn from_bits_string(s: &str) -> Option<Self> {
+        let mut it = s.split(' ');
+        if it.next()? != "pr1" {
+            return None;
+        }
+        let mut next_u64 = || u64::from_str_radix(it.next()?, 16).ok();
+        let mut f = [0f64; 14];
+        for slot in &mut f {
+            *slot = f64::from_bits(next_u64()?);
+        }
+        let sim_cycles = next_u64()?;
+        if it.next().is_some() {
+            return None;
+        }
+        Some(Self {
+            time_ns: f[0],
+            scale: f[1],
+            energy: EnergyBreakdown {
+                act_pj: f[2],
+                rd_pj: f[3],
+                wr_pj: f[4],
+                io_pj: f[5],
+                pim_pj: f[6],
+                refresh_pj: f[7],
+                background_pj: f[8],
+            },
+            external_bytes: f[9],
+            internal_bytes: f[10],
+            cmd_bus_util: f[11],
+            external_bw: f[12],
+            internal_bw: f[13],
+            sim_cycles,
+        })
     }
 
     fn from_stats(cfg: &DramConfig, stats: &Stats, scale: f64) -> Self {
@@ -287,41 +420,48 @@ pub fn stream_phase(
     let w_sim = sim_total - r_sim;
     let scale = total as f64 / sim_total as f64;
 
-    let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
-    // Reads walk bank region 0, writes bank region 2 (disjoint banks under
-    // the Fig. 7 mapping).
-    let w_base = AddressMapping::GradPim.capacity_bytes(cfg) / 2;
-    // Batch reads and writes (write-drain style) in traffic proportion.
-    const R_BATCH: u64 = 32;
-    let w_batch = if r_sim == 0 { 32 } else { (R_BATCH * w_sim).div_ceil(r_sim.max(1)).max(1) };
-    let cfg2 = cfg.clone();
-    let (mut ri, mut wi) = (0u64, 0u64);
-    let mut phase_w = false;
-    let mut left_in_batch = R_BATCH;
-    let reqs = std::iter::from_fn(move || loop {
-        if ri >= r_sim && wi >= w_sim {
-            return None;
-        }
-        if left_in_batch == 0 || (!phase_w && ri >= r_sim) || (phase_w && wi >= w_sim) {
-            phase_w = !phase_w;
-            left_in_batch = if phase_w { w_batch } else { R_BATCH };
-            continue;
-        }
-        left_in_batch -= 1;
-        if !phase_w {
-            if ri < r_sim {
-                let a = interleaved_addr(&cfg2, 0, ri);
-                ri += 1;
-                return Some(Req::Read(a));
-            }
-        } else if wi < w_sim {
-            let a = interleaved_addr(&cfg2, w_base, wi);
-            wi += 1;
-            return Some(Req::Write(a));
-        }
-    });
-    run_requests(&mut mem, reqs, "stream")?;
-    Ok(observed("stream", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
+    let result = memoized(
+        || format!("phase/v1/stream/{read_bytes}/{write_bytes}/{cap_bursts}/{cfg:?}"),
+        || {
+            let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+            // Reads walk bank region 0, writes bank region 2 (disjoint banks under
+            // the Fig. 7 mapping).
+            let w_base = AddressMapping::GradPim.capacity_bytes(cfg) / 2;
+            // Batch reads and writes (write-drain style) in traffic proportion.
+            const R_BATCH: u64 = 32;
+            let w_batch =
+                if r_sim == 0 { 32 } else { (R_BATCH * w_sim).div_ceil(r_sim.max(1)).max(1) };
+            let cfg2 = cfg.clone();
+            let (mut ri, mut wi) = (0u64, 0u64);
+            let mut phase_w = false;
+            let mut left_in_batch = R_BATCH;
+            let reqs = std::iter::from_fn(move || loop {
+                if ri >= r_sim && wi >= w_sim {
+                    return None;
+                }
+                if left_in_batch == 0 || (!phase_w && ri >= r_sim) || (phase_w && wi >= w_sim) {
+                    phase_w = !phase_w;
+                    left_in_batch = if phase_w { w_batch } else { R_BATCH };
+                    continue;
+                }
+                left_in_batch -= 1;
+                if !phase_w {
+                    if ri < r_sim {
+                        let a = interleaved_addr(&cfg2, 0, ri);
+                        ri += 1;
+                        return Some(Req::Read(a));
+                    }
+                } else if wi < w_sim {
+                    let a = interleaved_addr(&cfg2, w_base, wi);
+                    wi += 1;
+                    return Some(Req::Write(a));
+                }
+            });
+            run_requests(&mut mem, reqs, "stream")?;
+            Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+        },
+    )?;
+    Ok(observed("stream", result))
 }
 
 /// The baseline (and TensorDIMM) update phase: the update engine streams
@@ -343,81 +483,109 @@ pub fn baseline_update_phase(
     if params == 0 {
         return Ok(PhaseResult::empty());
     }
-    let sim_params = params.min(cap_params.max(1024)) as usize;
-    let scale = params as f64 / sim_params as f64;
-    let placement = Placement::for_optimizer(optimizer, mix, sim_params, cfg)
-        .expect("placement for baseline update");
-    let ratio = mix.quant_ratio() as u32;
-    let mixed = mix.is_mixed();
-    let states: Vec<ArrayName> =
-        [ArrayName::State0, ArrayName::State1].into_iter().take(optimizer.state_arrays()).collect();
+    let result = memoized(
+        || format!("phase/v1/baseline-update/{optimizer:?}/{mix:?}/{params}/{cap_params}/{cfg:?}"),
+        || {
+            let sim_params = params.min(cap_params.max(1024)) as usize;
+            let scale = params as f64 / sim_params as f64;
+            let placement = Placement::for_optimizer(optimizer, mix, sim_params, cfg)
+                .expect("placement for baseline update");
+            let ratio = mix.quant_ratio() as u32;
+            let mixed = mix.is_mixed();
+            let states: Vec<ArrayName> = [ArrayName::State0, ArrayName::State1]
+                .into_iter()
+                .take(optimizer.state_arrays())
+                .collect();
 
-    // Per-chunk request lists: reads and writes batched per BATCH-column
-    // group (the update engine double-buffers a small tile: load it, update
-    // it, store it — the paper's baseline has "dedicated 32bit modules", a
-    // streaming vector unit with shallow buffering, so the tile is small
-    // and read/write turnarounds are a real cost), then interleaved
-    // round-robin across chunks so every rank and bank group is fed
-    // concurrently.
-    const BATCH: u32 = 4;
-    let mut per_chunk: Vec<Vec<Req>> = Vec::new();
-    for chunk in placement.chunks(cfg) {
-        let mut reqs = Vec::new();
-        let mut col = 0u32;
-        while col < chunk.cols {
-            let hi = (col + BATCH).min(chunk.cols);
-            for c in col..hi {
-                if mixed {
-                    if c % ratio == 0 {
-                        let qg = placement.array(ArrayName::QGrad);
-                        reqs.push(Req::Read(placement.quant_col_addr(qg, &chunk, c / ratio, cfg)));
+            // Per-chunk request lists: reads and writes batched per BATCH-column
+            // group (the update engine double-buffers a small tile: load it, update
+            // it, store it — the paper's baseline has "dedicated 32bit modules", a
+            // streaming vector unit with shallow buffering, so the tile is small
+            // and read/write turnarounds are a real cost), then interleaved
+            // round-robin across chunks so every rank and bank group is fed
+            // concurrently.
+            const BATCH: u32 = 4;
+            let mut per_chunk: Vec<Vec<Req>> = Vec::new();
+            for chunk in placement.chunks(cfg) {
+                let mut reqs = Vec::new();
+                let mut col = 0u32;
+                while col < chunk.cols {
+                    let hi = (col + BATCH).min(chunk.cols);
+                    for c in col..hi {
+                        if mixed {
+                            if c % ratio == 0 {
+                                let qg = placement.array(ArrayName::QGrad);
+                                reqs.push(Req::Read(placement.quant_col_addr(
+                                    qg,
+                                    &chunk,
+                                    c / ratio,
+                                    cfg,
+                                )));
+                            }
+                        } else {
+                            let g = placement.array(ArrayName::Grad);
+                            reqs.push(Req::Read(placement.col_addr(g, &chunk, c, cfg)));
+                        }
+                        let theta = placement.array(ArrayName::Theta);
+                        reqs.push(Req::Read(placement.col_addr(theta, &chunk, c, cfg)));
+                        for s in &states {
+                            reqs.push(Req::Read(placement.col_addr(
+                                placement.array(*s),
+                                &chunk,
+                                c,
+                                cfg,
+                            )));
+                        }
                     }
-                } else {
-                    let g = placement.array(ArrayName::Grad);
-                    reqs.push(Req::Read(placement.col_addr(g, &chunk, c, cfg)));
+                    for c in col..hi {
+                        let theta = placement.array(ArrayName::Theta);
+                        reqs.push(Req::Write(placement.col_addr(theta, &chunk, c, cfg)));
+                        for s in &states {
+                            reqs.push(Req::Write(placement.col_addr(
+                                placement.array(*s),
+                                &chunk,
+                                c,
+                                cfg,
+                            )));
+                        }
+                        if mixed && (c % ratio == ratio - 1 || c == chunk.cols - 1) {
+                            let qt = placement.array(ArrayName::QTheta);
+                            reqs.push(Req::Write(placement.quant_col_addr(
+                                qt,
+                                &chunk,
+                                c / ratio,
+                                cfg,
+                            )));
+                        }
+                    }
+                    col = hi;
                 }
-                let theta = placement.array(ArrayName::Theta);
-                reqs.push(Req::Read(placement.col_addr(theta, &chunk, c, cfg)));
-                for s in &states {
-                    reqs.push(Req::Read(placement.col_addr(placement.array(*s), &chunk, c, cfg)));
+                per_chunk.push(reqs);
+            }
+            // Round-robin merge in tile-sized slices.
+            let slice = (BATCH as usize) * (3 + states.len() * 2);
+            let mut cursors = vec![0usize; per_chunk.len()];
+            let mut merged = Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
+            loop {
+                let mut progressed = false;
+                for (i, reqs) in per_chunk.iter().enumerate() {
+                    if cursors[i] < reqs.len() {
+                        let hi = (cursors[i] + slice).min(reqs.len());
+                        merged.extend_from_slice(&reqs[cursors[i]..hi]);
+                        cursors[i] = hi;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
                 }
             }
-            for c in col..hi {
-                let theta = placement.array(ArrayName::Theta);
-                reqs.push(Req::Write(placement.col_addr(theta, &chunk, c, cfg)));
-                for s in &states {
-                    reqs.push(Req::Write(placement.col_addr(placement.array(*s), &chunk, c, cfg)));
-                }
-                if mixed && (c % ratio == ratio - 1 || c == chunk.cols - 1) {
-                    let qt = placement.array(ArrayName::QTheta);
-                    reqs.push(Req::Write(placement.quant_col_addr(qt, &chunk, c / ratio, cfg)));
-                }
-            }
-            col = hi;
-        }
-        per_chunk.push(reqs);
-    }
-    // Round-robin merge in tile-sized slices.
-    let slice = (BATCH as usize) * (3 + states.len() * 2);
-    let mut cursors = vec![0usize; per_chunk.len()];
-    let mut merged = Vec::with_capacity(per_chunk.iter().map(Vec::len).sum());
-    loop {
-        let mut progressed = false;
-        for (i, reqs) in per_chunk.iter().enumerate() {
-            if cursors[i] < reqs.len() {
-                let hi = (cursors[i] + slice).min(reqs.len());
-                merged.extend_from_slice(&reqs[cursors[i]..hi]);
-                cursors[i] = hi;
-                progressed = true;
-            }
-        }
-        if !progressed {
-            break;
-        }
-    }
-    let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
-    run_requests(&mut mem, merged.into_iter(), "baseline-update")?;
-    Ok(observed("baseline-update", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
+            let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+            run_requests(&mut mem, merged.into_iter(), "baseline-update")?;
+            Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+        },
+    )?;
+    Ok(observed("baseline-update", result))
 }
 
 /// The GradPIM update phase proper: the Fig. 5 (middle) update kernel
@@ -475,18 +643,29 @@ fn pim_kernel_phase(
     if params == 0 {
         return Ok(PhaseResult::empty());
     }
-    let sim_params = params.min(cap_params.max(1024)) as usize;
-    let scale = params as f64 / sim_params as f64;
-    let placement = Placement::for_optimizer(optimizer, mix, sim_params, cfg)
-        .expect("placement for PIM update");
-    let plan = compile_step_parts(&placement, hyper, cfg, parts).expect("kernel compilation");
-    let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
-    run_unit_streams(
-        &mut mem,
-        plan.streams.iter().map(|s| (s.channel, s.rank, s.bankgroup, s.ops.as_slice())),
-        "pim-kernel",
+    let result = memoized(
+        || {
+            format!(
+                "phase/v1/pim-kernel/{optimizer:?}/{mix:?}/{hyper:?}/{params}/{cap_params}/{parts:?}/{cfg:?}"
+            )
+        },
+        || {
+            let sim_params = params.min(cap_params.max(1024)) as usize;
+            let scale = params as f64 / sim_params as f64;
+            let placement = Placement::for_optimizer(optimizer, mix, sim_params, cfg)
+                .expect("placement for PIM update");
+            let plan =
+                compile_step_parts(&placement, hyper, cfg, parts).expect("kernel compilation");
+            let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+            run_unit_streams(
+                &mut mem,
+                plan.streams.iter().map(|s| (s.channel, s.rank, s.bankgroup, s.ops.as_slice())),
+                "pim-kernel",
+            )?;
+            Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+        },
     )?;
-    Ok(observed("pim-kernel", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
+    Ok(observed("pim-kernel", result))
 }
 
 /// The AoS-PB update phase (§VI-B): per-bank units, arrays interleaved as
@@ -508,48 +687,59 @@ pub fn aos_per_bank_update_phase(
     if params == 0 {
         return Ok(PhaseResult::empty());
     }
-    let high = mix.high.bytes();
-    let epc = cfg.burst_bytes / high;
-    // Struct fields per element: θ + g + states (+ quantized shadow slot).
-    let fields = 2 + optimizer.state_arrays() + usize::from(mix.is_mixed());
-    let cols_per_chunk = (cfg.columns / fields).max(1) as u32;
-    let elems_per_chunk = epc * cols_per_chunk as usize;
+    let result = memoized(
+        || format!("phase/v1/aos-pb/{optimizer:?}/{mix:?}/{params}/{cap_params}/{cfg:?}"),
+        || {
+            let high = mix.high.bytes();
+            let epc = cfg.burst_bytes / high;
+            // Struct fields per element: θ + g + states (+ quantized shadow slot).
+            let fields = 2 + optimizer.state_arrays() + usize::from(mix.is_mixed());
+            let cols_per_chunk = (cfg.columns / fields).max(1) as u32;
+            let elems_per_chunk = epc * cols_per_chunk as usize;
 
-    let sim_params = params.min(cap_params.max(1024)) as usize;
-    let scale = params as f64 / sim_params as f64;
-    let n_chunks = sim_params.div_ceil(elems_per_chunk);
+            let sim_params = params.min(cap_params.max(1024)) as usize;
+            let scale = params as f64 / sim_params as f64;
+            let n_chunks = sim_params.div_ceil(elems_per_chunk);
 
-    let mut streams: Vec<(usize, u8, u8, Vec<PimOp>)> = Vec::new();
-    for c in 0..n_chunks {
-        let bg = (c % cfg.bankgroups) as u8;
-        let rank = ((c / cfg.bankgroups) % cfg.ranks) as u8;
-        let wave = c / (cfg.bankgroups * cfg.ranks);
-        let bank = (wave % cfg.banks_per_group) as u8;
-        let row = (wave / cfg.banks_per_group) as u32;
-        let idx = streams.iter().position(|s| s.1 == rank && s.2 == bg).unwrap_or_else(|| {
-            streams.push((0, rank, bg, Vec::new()));
-            streams.len() - 1
-        });
-        let ops = &mut streams[idx].3;
-        let remaining = sim_params - c * elems_per_chunk;
-        let cols = remaining.min(elems_per_chunk).div_ceil(epc) as u32;
-        for lc in 0..cols {
-            let base = lc * fields as u32;
-            // Momentum-style mix on struct fields: g, v, θ adjacent columns.
-            ops.push(PimOp::ScaledRead { bank, row, col: base, scaler: 0, dst: 0 });
-            ops.push(PimOp::ScaledRead { bank, row, col: base + 1, scaler: 1, dst: 1 });
-            ops.push(PimOp::Add { bank, dst: 1 });
-            ops.push(PimOp::Writeback { bank, row, col: base + 1, src: 1 });
-            ops.push(PimOp::ScaledRead { bank, row, col: base + 2, scaler: 3, dst: 0 });
-            ops.push(PimOp::Add { bank, dst: 0 });
-            ops.push(PimOp::Writeback { bank, row, col: base + 2, src: 0 });
-            // Quantization/dequantization overlap fwd/bwd as in the
-            // per-bank-group designs, so they are not part of this window.
-        }
-    }
-    let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
-    run_unit_streams(&mut mem, streams.iter().map(|s| (s.0, s.1, s.2, s.3.as_slice())), "aos-pb")?;
-    Ok(observed("aos-pb", PhaseResult::from_stats(cfg, &mem.stats(), scale)))
+            let mut streams: Vec<(usize, u8, u8, Vec<PimOp>)> = Vec::new();
+            for c in 0..n_chunks {
+                let bg = (c % cfg.bankgroups) as u8;
+                let rank = ((c / cfg.bankgroups) % cfg.ranks) as u8;
+                let wave = c / (cfg.bankgroups * cfg.ranks);
+                let bank = (wave % cfg.banks_per_group) as u8;
+                let row = (wave / cfg.banks_per_group) as u32;
+                let idx =
+                    streams.iter().position(|s| s.1 == rank && s.2 == bg).unwrap_or_else(|| {
+                        streams.push((0, rank, bg, Vec::new()));
+                        streams.len() - 1
+                    });
+                let ops = &mut streams[idx].3;
+                let remaining = sim_params - c * elems_per_chunk;
+                let cols = remaining.min(elems_per_chunk).div_ceil(epc) as u32;
+                for lc in 0..cols {
+                    let base = lc * fields as u32;
+                    // Momentum-style mix on struct fields: g, v, θ adjacent columns.
+                    ops.push(PimOp::ScaledRead { bank, row, col: base, scaler: 0, dst: 0 });
+                    ops.push(PimOp::ScaledRead { bank, row, col: base + 1, scaler: 1, dst: 1 });
+                    ops.push(PimOp::Add { bank, dst: 1 });
+                    ops.push(PimOp::Writeback { bank, row, col: base + 1, src: 1 });
+                    ops.push(PimOp::ScaledRead { bank, row, col: base + 2, scaler: 3, dst: 0 });
+                    ops.push(PimOp::Add { bank, dst: 0 });
+                    ops.push(PimOp::Writeback { bank, row, col: base + 2, src: 0 });
+                    // Quantization/dequantization overlap fwd/bwd as in the
+                    // per-bank-group designs, so they are not part of this window.
+                }
+            }
+            let mut mem = MemorySystem::new(cfg.clone(), AddressMapping::GradPim);
+            run_unit_streams(
+                &mut mem,
+                streams.iter().map(|s| (s.0, s.1, s.2, s.3.as_slice())),
+                "aos-pb",
+            )?;
+            Ok(PhaseResult::from_stats(cfg, &mem.stats(), scale))
+        },
+    )?;
+    Ok(observed("aos-pb", result))
 }
 
 /// Round-robin enqueue of per-unit op streams with backpressure
@@ -765,6 +955,81 @@ mod tests {
         // The scope ended: later drains are back on the sequential path.
         assert_eq!(plain, stream_phase(&cfg, 1 << 20, 512 << 10, CAP).unwrap());
         assert_eq!(calls.load(std::sync::atomic::Ordering::Relaxed), drains_inside);
+    }
+
+    #[test]
+    fn bits_string_round_trips_exactly() {
+        let cfg = SystemConfig::new(Design::Baseline).dram();
+        let r = stream_phase(&cfg, 1 << 20, 512 << 10, CAP).unwrap();
+        let enc = r.to_bits_string();
+        assert_eq!(PhaseResult::from_bits_string(&enc), Some(r.clone()));
+        // Hostile payloads decode as misses, never as garbage results.
+        assert_eq!(PhaseResult::from_bits_string(""), None);
+        assert_eq!(PhaseResult::from_bits_string("pr0 1 2"), None);
+        assert_eq!(PhaseResult::from_bits_string(&format!("{enc} deadbeef")), None);
+        // Non-finite and signed-zero floats survive the round trip.
+        let weird = PhaseResult {
+            time_ns: f64::NAN,
+            scale: -0.0,
+            external_bw: f64::INFINITY,
+            ..PhaseResult::empty()
+        };
+        let back = PhaseResult::from_bits_string(&weird.to_bits_string()).unwrap();
+        assert!(back.time_ns.is_nan() && back.scale.to_bits() == (-0.0f64).to_bits());
+        assert_eq!(back.external_bw, f64::INFINITY);
+    }
+
+    #[test]
+    fn installed_phase_memo_is_consulted_and_restored() {
+        if reference_mode() {
+            return; // reference runs bypass memoization by design
+        }
+        use std::sync::{Arc, Mutex};
+        #[derive(Default)]
+        struct Recorder {
+            store: Mutex<std::collections::BTreeMap<String, PhaseResult>>,
+            gets: std::sync::atomic::AtomicU32,
+            hits: std::sync::atomic::AtomicU32,
+        }
+        impl PhaseMemo for Recorder {
+            fn get(&self, key: &str) -> Option<PhaseResult> {
+                self.gets.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let hit = self.store.lock().unwrap().get(key).cloned();
+                if hit.is_some() {
+                    self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+                hit
+            }
+            fn put(&self, key: &str, result: &PhaseResult) {
+                self.store.lock().unwrap().insert(key.to_string(), result.clone());
+            }
+        }
+        let cfg = SystemConfig::new(Design::Baseline).dram();
+        let plain = stream_phase(&cfg, 1 << 20, 512 << 10, CAP).unwrap();
+        let memo = Arc::new(Recorder::default());
+        let first = with_phase_memo(Arc::clone(&memo) as Arc<dyn PhaseMemo>, || {
+            stream_phase(&cfg, 1 << 20, 512 << 10, CAP)
+        })
+        .unwrap();
+        let second = with_phase_memo(Arc::clone(&memo) as Arc<dyn PhaseMemo>, || {
+            stream_phase(&cfg, 1 << 20, 512 << 10, CAP)
+        })
+        .unwrap();
+        // Cold fill, then a hit — and both are bit-identical to no memo.
+        assert_eq!(memo.gets.load(std::sync::atomic::Ordering::Relaxed), 2);
+        assert_eq!(memo.hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert_eq!(first, plain);
+        assert_eq!(second, plain);
+        // A different traffic shape misses: the key is exact.
+        let _ = with_phase_memo(Arc::clone(&memo) as Arc<dyn PhaseMemo>, || {
+            stream_phase(&cfg, 2 << 20, 512 << 10, CAP)
+        })
+        .unwrap();
+        assert_eq!(memo.hits.load(std::sync::atomic::Ordering::Relaxed), 1);
+        // The scope ended: later phases never touch the memo.
+        let gets = memo.gets.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(plain, stream_phase(&cfg, 1 << 20, 512 << 10, CAP).unwrap());
+        assert_eq!(memo.gets.load(std::sync::atomic::Ordering::Relaxed), gets);
     }
 
     #[test]

@@ -11,6 +11,14 @@
 //! simply map `run` over the specs in order. The `gradpim-engine` crate
 //! fans the same specs across a worker pool instead — sweep points share no
 //! state, so any schedule produces bit-identical points.
+//!
+//! Since the cache/engine unification, every family also implements the
+//! [`SweepFamily`] trait ([`OpsBandwidth`], [`BatchSize`], [`Precision`],
+//! [`LayerScatter`] here; the design-space and distributed-scaling families
+//! live in `gradpim-engine`), so executors, result caches, and the CLI can
+//! dispatch generically over row groups instead of matching on the
+//! experiment kind. The free functions remain as thin compatibility
+//! wrappers over the trait surface.
 
 use gradpim_dram::DramConfig;
 use gradpim_npu::NpuConfig;
@@ -25,6 +33,83 @@ use crate::train::TrainingSim;
 /// Traffic-scaling caps shared by every sweep: `Some((bursts, params))`
 /// overrides `max_sim_bursts` / `max_sim_params` on each simulated system.
 pub type QuickCaps = Option<(u64, usize)>;
+
+/// One sweep family behind a single generic surface.
+///
+/// A family enumerates its independent simulation jobs as **row groups**
+/// — the smallest runs of report rows that are computed together (one
+/// sweep point for the sensitivity sweeps; one network for the Fig. 9
+/// design space, whose speedups reference the group's own baseline row;
+/// one `(network, nodes)` spec pair for the Fig. 14 scaling study). The
+/// group is the unit of sharding *and* of result caching: two different
+/// sweeps that share a group share its rows.
+///
+/// Implementations must be deterministic end to end: `groups` enumerates
+/// in figure order, `run_spec` is a pure function of the spec, and
+/// `group_rows` derives rows from the group's own outputs only — this is
+/// what makes a content-addressed cache over `{:?}`-rendered groups sound.
+pub trait SweepFamily {
+    /// One independent simulation job. `Debug` must render every field
+    /// that influences the simulated result (derived `Debug` on the spec
+    /// structs does): the rendering is the family's cache-key material.
+    type Spec: Clone + Send + Sync + std::fmt::Debug;
+    /// The raw result of simulating one spec, before row conversion.
+    type Out: Send;
+
+    /// Stable family name — a cache-key component, so renaming it
+    /// invalidates every stored group of the family.
+    const NAME: &'static str;
+
+    /// Enumerates the family's row groups in figure order.
+    fn groups(nets: &[Network], quick: QuickCaps) -> Vec<Vec<Self::Spec>>;
+
+    /// The report schema every group's rows follow.
+    fn schema() -> Schema;
+
+    /// Simulates one spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`PhaseError`] from the simulation.
+    fn run_spec(spec: &Self::Spec) -> Result<Self::Out, PhaseError>;
+
+    /// The spec's [`Workload`] shape (cost-model input only — never
+    /// influences simulated results).
+    fn workload(spec: &Self::Spec) -> Workload;
+
+    /// How many report rows one group contributes. Defaults to one row
+    /// per spec; families that fold several specs into a row override it.
+    fn rows_per_group(group: &[Self::Spec]) -> usize {
+        group.len()
+    }
+
+    /// Converts one group's outputs (in spec order) into its report rows.
+    fn group_rows(group: &[Self::Spec], outs: Vec<Self::Out>) -> Vec<SweepRow>;
+
+    /// All specs of every group, flattened in figure order.
+    fn specs(nets: &[Network], quick: QuickCaps) -> Vec<Self::Spec> {
+        Self::groups(nets, quick).into_iter().flatten().collect()
+    }
+
+    /// Runs the whole family sequentially into a [`Report`] (the classic
+    /// single-threaded entry point; `gradpim-engine` provides the pooled
+    /// and cached executors over the same group surface).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`PhaseError`] in figure order.
+    fn report(nets: &[Network], quick: QuickCaps) -> Result<Report, PhaseError> {
+        let mut rep = Report::new(Self::schema());
+        for group in Self::groups(nets, quick) {
+            let outs: Vec<Self::Out> =
+                group.iter().map(Self::run_spec).collect::<Result<_, _>>()?;
+            for row in Self::group_rows(&group, outs) {
+                rep.push(row);
+            }
+        }
+        Ok(rep)
+    }
+}
 
 /// A (baseline, PIM) system pair for one sweep point.
 fn design_pair(quick: QuickCaps) -> (SystemConfig, SystemConfig) {
@@ -136,20 +221,27 @@ pub fn ops_bandwidth_specs(net: &Network, quick: QuickCaps) -> Vec<OpsBwSpec> {
 /// sweeping MAC-array sizes over memory presets (the paper uses
 /// AlphaGoZero).
 ///
+/// Deprecated thin wrapper: prefer the [`OpsBandwidth`] family's
+/// [`SweepFamily`] surface; this spelling is kept for one release so
+/// existing examples and benches compile unchanged.
+///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn ops_bandwidth_sweep(net: &Network, quick: QuickCaps) -> Result<Vec<OpsBwPoint>, PhaseError> {
-    ops_bandwidth_specs(net, quick).iter().map(OpsBwSpec::run).collect()
+    OpsBandwidth::specs(std::slice::from_ref(net), quick).iter().map(OpsBwSpec::run).collect()
 }
 
 /// Fig. 12a as a structured [`Report`] (same points, tabular form).
+///
+/// Deprecated thin wrapper: prefer [`OpsBandwidth`]'s
+/// [`SweepFamily::report`].
 ///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn ops_bandwidth_report(net: &Network, quick: QuickCaps) -> Result<Report, PhaseError> {
-    Ok(Report::from_points(&ops_bandwidth_sweep(net, quick)?))
+    OpsBandwidth::report(std::slice::from_ref(net), quick)
 }
 
 /// One row of the Fig. 12b minibatch sweep.
@@ -224,20 +316,25 @@ pub fn batch_specs(nets: &[Network], quick: QuickCaps) -> Vec<BatchSpec> {
 
 /// Fig. 12b: speedup vs minibatch size (16/32/64).
 ///
+/// Deprecated thin wrapper: prefer the [`BatchSize`] family's
+/// [`SweepFamily`] surface.
+///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn batch_sweep(nets: &[Network], quick: QuickCaps) -> Result<Vec<BatchPoint>, PhaseError> {
-    batch_specs(nets, quick).iter().map(BatchSpec::run).collect()
+    BatchSize::specs(nets, quick).iter().map(BatchSpec::run).collect()
 }
 
 /// Fig. 12b as a structured [`Report`] (same points, tabular form).
+///
+/// Deprecated thin wrapper: prefer [`BatchSize`]'s [`SweepFamily::report`].
 ///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn batch_report(nets: &[Network], quick: QuickCaps) -> Result<Report, PhaseError> {
-    Ok(Report::from_points(&batch_sweep(nets, quick)?))
+    BatchSize::report(nets, quick)
 }
 
 /// One row of the Fig. 12c/d precision sweep.
@@ -326,6 +423,9 @@ pub fn precision_specs(nets: &[Network], quick: QuickCaps) -> Vec<PrecisionSpec>
 /// Fig. 12c/d: speedup and energy vs precision mix, each relative to the
 /// no-PIM baseline *at the same precision* (the paper's definition).
 ///
+/// Deprecated thin wrapper: prefer the [`Precision`] family's
+/// [`SweepFamily`] surface.
+///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
@@ -333,16 +433,18 @@ pub fn precision_sweep(
     nets: &[Network],
     quick: QuickCaps,
 ) -> Result<Vec<PrecisionPoint>, PhaseError> {
-    precision_specs(nets, quick).iter().map(PrecisionSpec::run).collect()
+    Precision::specs(nets, quick).iter().map(PrecisionSpec::run).collect()
 }
 
 /// Fig. 12c/d as a structured [`Report`] (same points, tabular form).
+///
+/// Deprecated thin wrapper: prefer [`Precision`]'s [`SweepFamily::report`].
 ///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn precision_report(nets: &[Network], quick: QuickCaps) -> Result<Report, PhaseError> {
-    Ok(Report::from_points(&precision_sweep(nets, quick)?))
+    Precision::report(nets, quick)
 }
 
 /// One point of the Fig. 13 layer-characterization scatter.
@@ -448,20 +550,156 @@ pub fn layer_specs(nets: &[Network], quick: QuickCaps) -> Vec<LayerSpec> {
 /// Fig. 13: per-layer speedup vs weight/activation ratio. Each layer is
 /// simulated as its own single-layer "network".
 ///
+/// Deprecated thin wrapper: prefer the [`LayerScatter`] family's
+/// [`SweepFamily`] surface.
+///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn layer_scatter(nets: &[Network], quick: QuickCaps) -> Result<Vec<LayerPoint>, PhaseError> {
-    layer_specs(nets, quick).iter().map(LayerSpec::run).collect()
+    LayerScatter::specs(nets, quick).iter().map(LayerSpec::run).collect()
 }
 
 /// Fig. 13 as a structured [`Report`] (same points, tabular form).
+///
+/// Deprecated thin wrapper: prefer [`LayerScatter`]'s
+/// [`SweepFamily::report`].
 ///
 /// # Errors
 ///
 /// Propagates the first [`PhaseError`] from any simulated point.
 pub fn layer_report(nets: &[Network], quick: QuickCaps) -> Result<Report, PhaseError> {
-    Ok(Report::from_points(&layer_scatter(nets, quick)?))
+    LayerScatter::report(nets, quick)
+}
+
+/// [`SweepFamily`] for the Fig. 12a ops/bandwidth sweep. Each group is a
+/// single sweep point; a multi-network input chains each network's
+/// memory-major enumeration.
+#[derive(Debug, Clone, Copy)]
+pub struct OpsBandwidth;
+
+impl SweepFamily for OpsBandwidth {
+    type Spec = OpsBwSpec;
+    type Out = OpsBwPoint;
+
+    const NAME: &'static str = "ops-bandwidth";
+
+    fn groups(nets: &[Network], quick: QuickCaps) -> Vec<Vec<OpsBwSpec>> {
+        nets.iter()
+            .flat_map(|net| ops_bandwidth_specs(net, quick).into_iter().map(|s| vec![s]))
+            .collect()
+    }
+
+    fn schema() -> Schema {
+        OpsBwPoint::schema()
+    }
+
+    fn run_spec(spec: &OpsBwSpec) -> Result<OpsBwPoint, PhaseError> {
+        spec.run()
+    }
+
+    fn workload(spec: &OpsBwSpec) -> Workload {
+        spec.workload()
+    }
+
+    fn group_rows(_group: &[OpsBwSpec], outs: Vec<OpsBwPoint>) -> Vec<SweepRow> {
+        outs.iter().map(ToRow::row).collect()
+    }
+}
+
+/// [`SweepFamily`] for the Fig. 12b minibatch sweep (one point per group).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchSize;
+
+impl SweepFamily for BatchSize {
+    type Spec = BatchSpec;
+    type Out = BatchPoint;
+
+    const NAME: &'static str = "batch";
+
+    fn groups(nets: &[Network], quick: QuickCaps) -> Vec<Vec<BatchSpec>> {
+        batch_specs(nets, quick).into_iter().map(|s| vec![s]).collect()
+    }
+
+    fn schema() -> Schema {
+        BatchPoint::schema()
+    }
+
+    fn run_spec(spec: &BatchSpec) -> Result<BatchPoint, PhaseError> {
+        spec.run()
+    }
+
+    fn workload(spec: &BatchSpec) -> Workload {
+        spec.workload()
+    }
+
+    fn group_rows(_group: &[BatchSpec], outs: Vec<BatchPoint>) -> Vec<SweepRow> {
+        outs.iter().map(ToRow::row).collect()
+    }
+}
+
+/// [`SweepFamily`] for the Fig. 12c/d precision sweep (one point per
+/// group).
+#[derive(Debug, Clone, Copy)]
+pub struct Precision;
+
+impl SweepFamily for Precision {
+    type Spec = PrecisionSpec;
+    type Out = PrecisionPoint;
+
+    const NAME: &'static str = "precision";
+
+    fn groups(nets: &[Network], quick: QuickCaps) -> Vec<Vec<PrecisionSpec>> {
+        precision_specs(nets, quick).into_iter().map(|s| vec![s]).collect()
+    }
+
+    fn schema() -> Schema {
+        PrecisionPoint::schema()
+    }
+
+    fn run_spec(spec: &PrecisionSpec) -> Result<PrecisionPoint, PhaseError> {
+        spec.run()
+    }
+
+    fn workload(spec: &PrecisionSpec) -> Workload {
+        spec.workload()
+    }
+
+    fn group_rows(_group: &[PrecisionSpec], outs: Vec<PrecisionPoint>) -> Vec<SweepRow> {
+        outs.iter().map(ToRow::row).collect()
+    }
+}
+
+/// [`SweepFamily`] for the Fig. 13 layer-characterization scatter (one
+/// single-layer point per group).
+#[derive(Debug, Clone, Copy)]
+pub struct LayerScatter;
+
+impl SweepFamily for LayerScatter {
+    type Spec = LayerSpec;
+    type Out = LayerPoint;
+
+    const NAME: &'static str = "layer-scatter";
+
+    fn groups(nets: &[Network], quick: QuickCaps) -> Vec<Vec<LayerSpec>> {
+        layer_specs(nets, quick).into_iter().map(|s| vec![s]).collect()
+    }
+
+    fn schema() -> Schema {
+        LayerPoint::schema()
+    }
+
+    fn run_spec(spec: &LayerSpec) -> Result<LayerPoint, PhaseError> {
+        spec.run()
+    }
+
+    fn workload(spec: &LayerSpec) -> Workload {
+        spec.workload()
+    }
+
+    fn group_rows(_group: &[LayerSpec], outs: Vec<LayerPoint>) -> Vec<SweepRow> {
+        outs.iter().map(ToRow::row).collect()
+    }
 }
 
 #[cfg(test)]
@@ -541,6 +779,24 @@ mod tests {
             assert_eq!(s.base.max_sim_bursts, 1500);
             assert_eq!(s.pim.max_sim_params, 20_000);
         }
+    }
+
+    #[test]
+    fn family_surface_matches_the_free_functions() {
+        // The trait is the canonical surface; the free wrappers and the
+        // trait must agree on enumeration, schema, and (byte-identical)
+        // simulated rows.
+        let nets = [models::mlp()];
+        assert_eq!(BatchSize::specs(&nets, QUICK).len(), batch_specs(&nets, QUICK).len());
+        assert_eq!(OpsBandwidth::groups(&nets, QUICK).len(), 12, "one group per sweep point");
+        assert_eq!(BatchSize::schema(), BatchPoint::schema());
+        let via_trait = BatchSize::report(&nets, QUICK).unwrap();
+        let via_points = Report::from_points(&batch_sweep(&nets, QUICK).unwrap());
+        assert_eq!(via_trait, via_points);
+        // Groups carry exactly the rows the report shows, in figure order.
+        let groups = LayerScatter::groups(&nets, QUICK);
+        let rows: usize = groups.iter().map(|g| LayerScatter::rows_per_group(g)).sum();
+        assert_eq!(rows, LayerScatter::report(&nets, QUICK).unwrap().rows.len());
     }
 
     #[test]
